@@ -1,0 +1,75 @@
+//! Criterion benches for the numerical kernels underlying PMTBR:
+//! dense vs. sparse LU (the `O(n^α)` circuit-solve assumption of the
+//! paper's cost model), the Jacobi SVD, and the Schur decomposition that
+//! dominates exact-TBR cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use circuits::{rc_mesh, spread_ports};
+use numkit::{schur, svd, DMat, Lu};
+use sparsekit::{SparseLu, Triplet};
+
+fn mesh_matrices(side: usize) -> (Triplet<f64>, DMat) {
+    let ports = spread_ports(side, side, 4);
+    let sys = rc_mesh(side, side, &ports, 1.0, 1.0, 2.0).expect("valid mesh");
+    let n = sys.nstates();
+    let mut t = Triplet::new(n, n);
+    for (i, j, v) in sys.a.iter() {
+        t.push(i, j, -v); // G = -A is SPD
+    }
+    (t, sys.a.to_dense().scale(-1.0))
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_solve");
+    group.sample_size(20);
+    for side in [10usize, 20, 30] {
+        let (t, dense) = mesh_matrices(side);
+        let csc = t.to_csc();
+        let n = dense.nrows();
+        let b = vec![1.0f64; n];
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |bench, _| {
+            bench.iter(|| {
+                let lu = SparseLu::new(black_box(&csc)).expect("factorable");
+                black_box(lu.solve(&b).expect("solve"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |bench, _| {
+            bench.iter(|| {
+                let lu = Lu::new(black_box(dense.clone())).expect("factorable");
+                black_box(lu.solve(&b).expect("solve"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_svd");
+    group.sample_size(15);
+    for (n, m) in [(100usize, 20usize), (400, 40), (900, 60)] {
+        let a = DMat::from_fn(n, m, |i, j| (((i * 31 + j * 17) % 23) as f64 - 11.0) / 7.0);
+        group.bench_with_input(BenchmarkId::new("tall", format!("{n}x{m}")), &n, |bench, _| {
+            bench.iter(|| black_box(svd(black_box(&a)).expect("svd")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schur(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schur");
+    group.sample_size(10);
+    for side in [8usize, 12] {
+        let (_, g) = mesh_matrices(side);
+        let a = g.scale(-1.0);
+        let n = a.nrows();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(schur(black_box(&a)).expect("schur")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lu, bench_svd, bench_schur);
+criterion_main!(benches);

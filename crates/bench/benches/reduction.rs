@@ -1,0 +1,54 @@
+//! Criterion benches reproducing the paper's cost comparison
+//! (Section III-C): PMTBR costs like multipoint projection
+//! (`O(nq² + qn^α + qn^β)`), PRIMA saves the extra factorizations
+//! (`O(nq² + qn^α + n^β)`), and exact TBR pays the cubic Gramian bill —
+//! so its wall time blows up fastest as the mesh grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use circuits::{rc_mesh, spread_ports};
+use krylov::{mpproj, prima};
+use lti::{tbr, Descriptor};
+use numkit::c64;
+use pmtbr::{pmtbr, PmtbrOptions, Sampling};
+
+fn mesh(side: usize) -> Descriptor {
+    let ports = spread_ports(side, side, 4);
+    rc_mesh(side, side, &ports, 1.0, 1.0, 2.0).expect("valid mesh")
+}
+
+fn bench_reduction_cost(c: &mut Criterion) {
+    let order = 10usize;
+    let mut group = c.benchmark_group("reduction_cost");
+    group.sample_size(10);
+    for side in [8usize, 12, 16] {
+        let sys = mesh(side);
+        let n = sys.nstates();
+
+        group.bench_with_input(BenchmarkId::new("pmtbr", n), &n, |bench, _| {
+            let opts = PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: order })
+                .with_max_order(order);
+            bench.iter(|| black_box(pmtbr(black_box(&sys), &opts).expect("pmtbr")))
+        });
+
+        group.bench_with_input(BenchmarkId::new("mpproj", n), &n, |bench, _| {
+            let pts: Vec<c64> =
+                (0..order).map(|k| c64::new(0.0, 0.5 + 2.0 * k as f64)).collect();
+            bench.iter(|| black_box(mpproj(black_box(&sys), &pts, order).expect("mpproj")))
+        });
+
+        group.bench_with_input(BenchmarkId::new("prima", n), &n, |bench, _| {
+            bench.iter(|| black_box(prima(black_box(&sys), order, 0.0).expect("prima")))
+        });
+
+        group.bench_with_input(BenchmarkId::new("tbr", n), &n, |bench, _| {
+            let ss = sys.to_state_space().expect("invertible E");
+            bench.iter(|| black_box(tbr(black_box(&ss), order).expect("tbr")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction_cost);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerates the paper's figures: `repro <fig3|fig5|...|fig16|ablations|all>`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|ablations|all>");
+        return ExitCode::FAILURE;
+    }
+    for arg in &args {
+        let result: Result<(), Box<dyn std::error::Error>> = match arg.as_str() {
+            "fig3" => bench::fig3::run(),
+            "fig5" => bench::fig5::run(),
+            "fig6" => bench::fig6::run(),
+            "fig7" => bench::fig7::run(),
+            "fig8" => bench::fig8::run(),
+            "fig9" => bench::fig9::run(),
+            "fig10" => bench::fig10::run(),
+            "fig11" => bench::fig11::run(),
+            "fig12" => bench::fig12::run(),
+            "fig13" => bench::fig13::run(),
+            "fig14" => bench::fig14::run(),
+            "fig15" => bench::fig15::run(),
+            "fig16" => bench::fig16::run(),
+            "ablations" => bench::ablations::run(),
+            "all" => {
+                let figs: &[(&str, fn() -> Result<(), Box<dyn std::error::Error>>)] = &[
+                    ("fig3", bench::fig3::run),
+                    ("fig5", bench::fig5::run),
+                    ("fig6", bench::fig6::run),
+                    ("fig7", bench::fig7::run),
+                    ("fig8", bench::fig8::run),
+                    ("fig9", bench::fig9::run),
+                    ("fig10", bench::fig10::run),
+                    ("fig11", bench::fig11::run),
+                    ("fig12", bench::fig12::run),
+                    ("fig13", bench::fig13::run),
+                    ("fig14", bench::fig14::run),
+                    ("fig15", bench::fig15::run),
+                    ("fig16", bench::fig16::run),
+                    ("ablations", bench::ablations::run),
+                ];
+                let mut out = Ok(());
+                for (name, f) in figs {
+                    if let Err(e) = f() {
+                        eprintln!("{name} failed: {e}");
+                        out = Err(e);
+                    }
+                }
+                out
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("{arg} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

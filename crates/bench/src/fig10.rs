@@ -1,0 +1,62 @@
+//! Fig. 10 — Multipoint projection (MPPROJ) vs. PMTBR error against
+//! model order, on the PEEC-style resonator.
+//!
+//! Paper observation: at low orders the methods are comparable, but at
+//! high accuracy the gap *widens dramatically* — MPPROJ's error "goes
+//! down very slowly with order increase" while PMTBR's SVD prunes the
+//! redundancy and collapses to solver precision. Both handle the
+//! singular `E` matrix without preprocessing.
+
+use circuits::{peec_resonator, PeecParams};
+use krylov::mpproj;
+use lti::{frequency_response, linspace, FreqResponse};
+use numkit::c64;
+use pmtbr::{reduce_with_basis, sample_basis, PmtbrOptions, Sampling};
+
+use crate::util::{banner, hz, Series};
+
+/// Relative RMS (L2-over-the-grid) error between two responses — the
+/// right metric for resonant systems, where max-norm error is dominated
+/// by tiny shifts of razor-sharp peaks.
+fn rms_err(a: &FreqResponse, b: &FreqResponse) -> f64 {
+    let num: f64 = a.h.iter().zip(&b.h).map(|(x, y)| (x - y).norm_fro().powi(2)).sum();
+    let den: f64 = a.h.iter().map(|x| x.norm_fro().powi(2)).sum();
+    (num / den).sqrt()
+}
+
+/// Runs the experiment: MPPROJ vs. PMTBR error per order.
+pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 10: multipoint projection vs. PMTBR (PEEC resonator)");
+    let sys = peec_resonator(&PeecParams::default())?;
+    println!("peec model: {} states (singular E)", sys.nstates());
+    let omega_max = hz(20e9);
+
+    // Both methods see the same information: the same candidate points.
+    let sampling = Sampling::Linear { omega_max, n: 50 };
+    let points: Vec<c64> = sampling.points()?.iter().map(|p| p.s).collect();
+    let basis = sample_basis(&sys, &sampling)?;
+
+    let grid: Vec<f64> = linspace(omega_max * 0.005, omega_max * 0.995, 250);
+    let h_full = frequency_response(&sys, &grid)?;
+
+    let mut series = Series::new("fig10_mpproj_vs_pmtbr", &["order", "mpproj", "pmtbr"]);
+    for order in [4usize, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28] {
+        let e_mp = match mpproj(&sys, &points, order) {
+            Ok(m) => rms_err(&h_full, &frequency_response(&m.reduced, &grid)?),
+            Err(_) => f64::NAN,
+        };
+        let opts = PmtbrOptions::new(sampling.clone()).with_max_order(order);
+        let e_pm = match reduce_with_basis(&sys, &basis, &opts) {
+            Ok(m) => rms_err(&h_full, &frequency_response(&m.reduced, &grid)?),
+            Err(_) => f64::NAN,
+        };
+        series.push(vec![order as f64, e_mp, e_pm]);
+    }
+    series.emit();
+    println!(
+        "\n(high-accuracy regime: PMTBR collapses to solver precision once every\n\
+         significant mode is captured, while MPPROJ's un-pruned basis stalls —\n\
+         the paper's widening-gap observation)"
+    );
+    Ok(())
+}

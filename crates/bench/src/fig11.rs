@@ -1,0 +1,68 @@
+//! Fig. 11 — Transfer-function approximations for the 18-pin connector:
+//! exact vs. order-30 global TBR vs. order-18 frequency-selective PMTBR
+//! on the 0–8 GHz band.
+//!
+//! Paper observation: the smaller FS-PMTBR model is accurate in-band,
+//! while global TBR spends its budget on the large out-of-band (~15 GHz)
+//! features and misses the band of interest.
+
+use circuits::{connector, ConnectorParams};
+use lti::{frequency_response, linspace, max_rel_error, tbr};
+use pmtbr::frequency_selective_pmtbr;
+
+use crate::util::{banner, hz, Series};
+
+/// Runs the experiment: |Z21| over frequency for all three models, plus
+/// in-band error numbers.
+pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 11: connector transfer function, FS-PMTBR vs. global TBR");
+    let sys = connector(&ConnectorParams::default())?;
+    println!("connector model: {} states", sys.nstates());
+
+    // Order-18 FS-PMTBR on 0–8 GHz.
+    let fs = frequency_selective_pmtbr(&sys, &[(0.0, hz(8e9))], 60, Some(18), 1e-12)?;
+    // Order-30 global TBR.
+    let ss = sys.to_state_space()?;
+    let global = tbr(&ss, 30)?;
+    println!(
+        "FS-PMTBR order {}, global TBR order {}",
+        fs.order,
+        global.reduced.nstates()
+    );
+
+    // Magnitude sweep 0–20 GHz (covers both bands for the plot).
+    let grid: Vec<f64> = linspace(0.05e9, 20e9, 160).iter().map(|f| hz(*f)).collect();
+    let h = frequency_response(&sys, &grid)?;
+    let h_fs = frequency_response(&fs.reduced, &grid)?;
+    let h_tbr = frequency_response(&global.reduced, &grid)?;
+
+    let mut series =
+        Series::new("fig11_connector_tf", &["freq_ghz", "exact", "fs_pmtbr18", "tbr30"]);
+    for k in 0..grid.len() {
+        series.push(vec![
+            grid[k] / hz(1e9),
+            h.h[k][(1, 0)].abs(),
+            h_fs.h[k][(1, 0)].abs(),
+            h_tbr.h[k][(1, 0)].abs(),
+        ]);
+    }
+    series.emit();
+
+    // In-band error comparison (the figure's headline).
+    let in_grid: Vec<f64> = linspace(0.05e9, 8e9, 80).iter().map(|f| hz(*f)).collect();
+    let hi = frequency_response(&sys, &in_grid)?;
+    let e_fs = max_rel_error(&hi, &frequency_response(&fs.reduced, &in_grid)?);
+    let e_tbr = max_rel_error(&hi, &frequency_response(&global.reduced, &in_grid)?);
+    println!("\nin-band (0-8 GHz) max relative error:");
+    println!("  FS-PMTBR order {:2}: {e_fs:.3e}", fs.order);
+    println!("  TBR      order 30: {e_tbr:.3e}");
+    println!(
+        "  => {}",
+        if e_fs < e_tbr {
+            "smaller FS-PMTBR model wins in-band (paper's conclusion)"
+        } else {
+            "UNEXPECTED: TBR won in-band"
+        }
+    );
+    Ok(())
+}

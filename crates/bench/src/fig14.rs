@@ -1,0 +1,44 @@
+//! Fig. 14 — The same 15-state models driven with *re-randomized phase*
+//! square waves: the input-correlated model's accuracy degrades
+//! noticeably once the inputs leave the class it was built for.
+
+use lti::{max_transient_error, random_phase_square_inputs, simulate_descriptor, simulate_ss};
+
+use crate::fig13::setup;
+use crate::util::{banner, Series};
+
+/// Runs the experiment: out-of-class traces and the degradation factor.
+pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 14: same 15-state models, re-randomized input phases");
+    let s = setup()?;
+    let u_out = random_phase_square_inputs(32, s.nt, s.h, s.period, 9);
+    let full = simulate_descriptor(&s.sys, &u_out, s.h)?;
+    let y_ic = simulate_ss(&s.ic_model, &u_out, s.h)?;
+    let y_tbr = simulate_ss(&s.tbr_model, &u_out, s.h)?;
+
+    let out = 5usize;
+    let mut series =
+        Series::new("fig14_transient_outclass", &["t", "full", "ic_pmtbr15", "tbr15"]);
+    for k in (0..s.nt).step_by(2) {
+        series.push(vec![full.t[k], full.y[(out, k)], y_ic.y[(out, k)], y_tbr.y[(out, k)]]);
+    }
+    series.emit();
+
+    let scale = full.y.norm_max();
+    let e_ic = max_transient_error(&full, &y_ic) / scale;
+    let e_tbr = max_transient_error(&full, &y_tbr) / scale;
+    println!("\nmax relative transient error, out-of-class inputs:");
+    println!("  IC-PMTBR (15 states): {e_ic:.3e}");
+    println!("  TBR      (15 states): {e_tbr:.3e}");
+
+    // Degradation vs. the in-class case of Fig. 13.
+    let u_in = lti::dithered_square_inputs(32, s.nt, s.h, s.period, 0.1, 2);
+    let full_in = simulate_descriptor(&s.sys, &u_in, s.h)?;
+    let y_ic_in = simulate_ss(&s.ic_model, &u_in, s.h)?;
+    let e_in = max_transient_error(&full_in, &y_ic_in) / full_in.y.norm_max();
+    println!(
+        "IC-PMTBR degradation (out-of-class / in-class): {:.1}x",
+        e_ic / e_in.max(1e-300)
+    );
+    Ok(())
+}

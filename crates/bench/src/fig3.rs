@@ -1,0 +1,52 @@
+//! Fig. 3 — TBR error bounds for a 12×12 RC mesh as a function of the
+//! number of inputs.
+//!
+//! Paper observation: the order needed for a given accuracy *grows with
+//! the port count*; with 64 inputs even a 20% (normalized) error bound
+//! requires ≥ 40 states.
+
+use circuits::{rc_mesh, spread_ports};
+use lti::{hankel_singular_values, tbr_error_bounds};
+
+use crate::util::{banner, Series};
+
+/// Runs the experiment and prints the bound-vs-order series per port
+/// count, plus the order needed to reach a 20% normalized bound.
+pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+    banner("Fig. 3: TBR error bound vs. number of inputs (12x12 RC mesh)");
+    let input_counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut series = Series::new(
+        "fig3_tbr_bound_vs_inputs",
+        &["order", "p1", "p2", "p4", "p8", "p16", "p32", "p64"],
+    );
+    let mut bounds_all = Vec::new();
+    for &p in &input_counts {
+        let ports = spread_ports(12, 12, p);
+        let sys = rc_mesh(12, 12, &ports, 1.0, 1.0, 2.0)?;
+        let ss = sys.to_state_space()?;
+        let hsv = hankel_singular_values(&ss)?;
+        let bounds = tbr_error_bounds(&hsv);
+        bounds_all.push(bounds);
+    }
+    let max_order = 80usize;
+    for q in 0..=max_order {
+        let mut row = vec![q as f64];
+        for b in &bounds_all {
+            // Normalize by the total (order-0 bound) so port counts are
+            // comparable, as in the paper's relative-accuracy reading.
+            let norm = b[0].max(f64::MIN_POSITIVE);
+            row.push(b.get(q).copied().unwrap_or(0.0) / norm);
+        }
+        series.push(row);
+    }
+    series.emit();
+
+    println!("\norder needed for a 20% normalized error bound:");
+    for (k, &p) in input_counts.iter().enumerate() {
+        let b = &bounds_all[k];
+        let norm = b[0].max(f64::MIN_POSITIVE);
+        let q20 = b.iter().position(|&x| x / norm < 0.2).unwrap_or(b.len());
+        println!("  {p:>3} inputs -> order {q20}");
+    }
+    Ok(())
+}

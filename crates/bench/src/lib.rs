@@ -1,0 +1,33 @@
+//! # bench — figure-reproduction harness for the PMTBR paper
+//!
+//! One module per figure of the paper's experimental section (the paper
+//! has no tables). Each `run()` prints the series the figure plots (and
+//! mirrors it to `results/<name>.csv`), followed by the headline
+//! comparison the paper draws from it. The `repro` binary dispatches:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- fig7
+//! cargo run --release -p bench --bin repro -- all
+//! ```
+//!
+//! Criterion benches (reduction cost vs. problem size, kernel costs)
+//! live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod util;

@@ -1,0 +1,74 @@
+//! Shared helpers for the figure-reproduction harness.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Converts a frequency in hertz to angular frequency in rad/s.
+pub fn hz(f: f64) -> f64 {
+    2.0 * std::f64::consts::PI * f
+}
+
+/// A simple experiment record: a named series of (x, columns...) rows,
+/// printed to stdout and mirrored to `results/<name>.csv`.
+pub struct Series {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Series {
+    /// Starts a series with the given column names (first column is x).
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Series {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Prints the series as an aligned table and writes the CSV mirror.
+    pub fn emit(&self) {
+        println!("# {}", self.name);
+        let widths: Vec<usize> = self.header.iter().map(|h| h.len().max(12)).collect();
+        print!("  ");
+        for (h, w) in self.header.iter().zip(&widths) {
+            print!("{h:>w$} ", w = w);
+        }
+        println!();
+        for row in &self.rows {
+            print!("  ");
+            for (v, w) in row.iter().zip(&widths) {
+                print!("{v:>w$.4e} ", w = w);
+            }
+            println!();
+        }
+        if let Err(e) = self.write_csv() {
+            eprintln!("(could not write results csv: {e})");
+        }
+    }
+
+    fn write_csv(&self) -> std::io::Result<()> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let mut f = fs::File::create(dir.join(format!("{}.csv", self.name)))?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v:.10e}")).collect();
+            writeln!(f, "{}", line.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}

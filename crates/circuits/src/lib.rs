@@ -1,0 +1,53 @@
+//! # circuits — netlists, MNA, and the paper's benchmark structures
+//!
+//! A small linear-circuit toolkit: build RLC(+mutual) netlists with
+//! current-injection ports via [`Netlist`], assemble them into sparse
+//! descriptor systems (`lti::Descriptor`) with modified nodal analysis,
+//! and generate every test structure of the PMTBR paper's experimental
+//! section:
+//!
+//! | Generator | Paper experiment |
+//! |-----------|------------------|
+//! | [`rc_mesh`] | Fig. 3 (error bound vs. port count) |
+//! | [`clock_tree`] | Figs. 5–6 (convergence to TBR) |
+//! | [`spiral_inductor`] | Figs. 7–9 (vs. PRIMA; order control) |
+//! | [`peec_resonator`] | Fig. 10 (vs. multipoint projection) |
+//! | [`connector`] | Fig. 11 (frequency-selective reduction) |
+//! | [`multiport_rc32`] | Figs. 12–14 (input-correlated reduction) |
+//! | [`substrate_network`] | Figs. 15–16 (massively coupled networks) |
+//!
+//! ```
+//! use circuits::Netlist;
+//!
+//! # fn main() -> Result<(), numkit::NumError> {
+//! let mut nl = Netlist::new();
+//! nl.resistor(1, 2, 100.0);
+//! nl.capacitor(2, 0, 1e-12);
+//! nl.resistor(2, 0, 1e6);
+//! nl.port(1);
+//! let sys = nl.build()?;
+//! assert_eq!(sys.nstates(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod connector;
+mod mesh;
+mod netlist;
+mod parse;
+mod peec;
+mod spiral;
+mod substrate;
+mod tree;
+
+pub use connector::{connector, ConnectorParams};
+pub use mesh::{multiport_rc32, rc_mesh, spread_ports};
+pub use netlist::{Netlist, NodeId};
+pub use parse::{parse_netlist, ParseNetlistError};
+pub use peec::{peec_resonator, PeecParams};
+pub use spiral::{spiral_inductor, spiral_resistance, SpiralParams};
+pub use substrate::{substrate_network, SubstrateParams};
+pub use tree::{clock_tree, clock_tree_jittered};

@@ -1,0 +1,159 @@
+//! RC mesh and multi-port RC interconnect generators.
+//!
+//! The `rows × cols` RC mesh is the workhorse test structure of the
+//! paper: Fig. 3 varies the number of ports on a 12×12 mesh, and the
+//! input-correlated experiments (Figs. 12–14) drive a 32-port RC
+//! interconnect network.
+
+use lti::Descriptor;
+use numkit::NumError;
+
+use crate::Netlist;
+
+/// Builds a `rows × cols` RC mesh: unit resistors between grid
+/// neighbors, a capacitor to ground at every node, and a port (current
+/// in, voltage out) at each listed node position.
+///
+/// Node positions are flattened row-major: `pos = row·cols + col`.
+/// Every port node additionally gets a grounding resistor `r_gnd`,
+/// modeling driver/termination impedance and ensuring a Hurwitz system.
+///
+/// # Errors
+///
+/// [`NumError::InvalidArgument`] on an empty mesh, out-of-range port
+/// positions, or no ports.
+///
+/// # Examples
+///
+/// ```
+/// use circuits::rc_mesh;
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = rc_mesh(12, 12, &[0, 143], 1.0, 1.0, 10.0)?;
+/// assert_eq!(sys.nstates(), 144);
+/// assert_eq!(sys.ninputs(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rc_mesh(
+    rows: usize,
+    cols: usize,
+    port_positions: &[usize],
+    r: f64,
+    c: f64,
+    r_gnd: f64,
+) -> Result<Descriptor, NumError> {
+    if rows == 0 || cols == 0 {
+        return Err(NumError::InvalidArgument("mesh must have at least one node"));
+    }
+    if port_positions.iter().any(|&p| p >= rows * cols) {
+        return Err(NumError::InvalidArgument("port position outside the mesh"));
+    }
+    let mut nl = Netlist::new();
+    let node = |i: usize, j: usize| i * cols + j + 1; // 1-based, 0 is ground
+    for i in 0..rows {
+        for j in 0..cols {
+            nl.capacitor(node(i, j), 0, c);
+            if j + 1 < cols {
+                nl.resistor(node(i, j), node(i, j + 1), r);
+            }
+            if i + 1 < rows {
+                nl.resistor(node(i, j), node(i + 1, j), r);
+            }
+        }
+    }
+    for &p in port_positions {
+        let n = p + 1;
+        nl.resistor(n, 0, r_gnd);
+        nl.port(n);
+    }
+    nl.build()
+}
+
+/// Chooses `nports` node positions spread quasi-uniformly over a
+/// `rows × cols` mesh (row-major stride sampling).
+///
+/// # Panics
+///
+/// Panics if `nports` exceeds the node count or is zero.
+pub fn spread_ports(rows: usize, cols: usize, nports: usize) -> Vec<usize> {
+    let total = rows * cols;
+    assert!(nports > 0 && nports <= total, "invalid port count");
+    (0..nports).map(|k| k * total / nports).collect()
+}
+
+/// The paper's 32-port RC interconnect network (Figs. 12–14): a
+/// `16 × 16` RC mesh with 32 ports spread over the grid.
+///
+/// Time constants are normalized to ~1 s; drive it with waveforms whose
+/// period is a few seconds for interesting dynamics, or rescale.
+///
+/// # Errors
+///
+/// Propagates [`rc_mesh`] errors (cannot occur for these parameters).
+pub fn multiport_rc32() -> Result<Descriptor, NumError> {
+    let ports = spread_ports(16, 16, 32);
+    rc_mesh(16, 16, &ports, 1.0, 1.0, 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::c64;
+
+    #[test]
+    fn mesh_dimensions() {
+        let sys = rc_mesh(3, 4, &[0, 11], 1.0, 1.0, 5.0).unwrap();
+        assert_eq!(sys.nstates(), 12);
+        assert_eq!(sys.ninputs(), 2);
+        assert_eq!(sys.noutputs(), 2);
+    }
+
+    #[test]
+    fn mesh_is_symmetric_rc() {
+        let sys = rc_mesh(4, 4, &[0, 15], 1.0, 2.0, 3.0).unwrap();
+        let a = sys.a.to_dense();
+        assert!((&a - &a.transpose()).norm_max() < 1e-14);
+        assert!((&sys.c - &sys.b.transpose()).norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn mesh_state_space_is_stable() {
+        let sys = rc_mesh(4, 4, &[5], 1.0, 1.0, 10.0).unwrap().to_state_space().unwrap();
+        assert!(sys.is_stable().unwrap());
+    }
+
+    #[test]
+    fn dc_impedance_is_grounding_network() {
+        // Single port: at dc the caps vanish; Z(0) is the resistance seen
+        // into the mesh + grounding resistor network. With one port and
+        // one grounding resistor, all current returns through it: Z = r_gnd.
+        let sys = rc_mesh(3, 3, &[4], 1.0, 1.0, 7.0).unwrap();
+        let z0 = sys.transfer_function(c64::ZERO).unwrap()[(0, 0)];
+        assert!((z0.re - 7.0).abs() < 1e-9, "got {z0}");
+    }
+
+    #[test]
+    fn spread_ports_unique_and_in_range() {
+        let p = spread_ports(8, 16, 32);
+        assert_eq!(p.len(), 32);
+        let mut q = p.clone();
+        q.dedup();
+        assert_eq!(q.len(), 32);
+        assert!(p.iter().all(|&x| x < 128));
+    }
+
+    #[test]
+    fn multiport_rc32_shape() {
+        let sys = multiport_rc32().unwrap();
+        assert_eq!(sys.nstates(), 256);
+        assert_eq!(sys.ninputs(), 32);
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        assert!(rc_mesh(0, 4, &[0], 1.0, 1.0, 1.0).is_err());
+        assert!(rc_mesh(2, 2, &[4], 1.0, 1.0, 1.0).is_err());
+        assert!(rc_mesh(2, 2, &[], 1.0, 1.0, 1.0).is_err());
+    }
+}

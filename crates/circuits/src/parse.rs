@@ -1,0 +1,281 @@
+//! A small SPICE-flavored netlist parser.
+//!
+//! Supported card types (case-insensitive, `*` or `;` comments):
+//!
+//! ```text
+//! * name  n+  n-  value
+//! R1      1   2   1k          ; resistor, ohms
+//! C1      2   0   0.5p        ; capacitor, farads
+//! L1      2   3   10n         ; inductor, henries
+//! K1      L1  L2  0.4         ; mutual coupling coefficient |k| < 1
+//! PORT    1                   ; current-in/voltage-out port
+//! PROBE   3                   ; voltage probe (output only)
+//! .END                        ; optional terminator
+//! ```
+//!
+//! Values accept engineering suffixes `f p n u m k meg g t` (SPICE
+//! convention: `m` = milli, `meg` = mega). Node labels are arbitrary
+//! identifiers (`0`/`gnd` is ground); they are mapped to dense internal
+//! indices in order of first appearance.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::Netlist;
+
+/// Error produced while parsing a netlist file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending card.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
+    ParseNetlistError { line, message: message.into() }
+}
+
+/// Parses an engineering-notation value like `4.7k`, `10n`, `2meg`.
+fn parse_value(tok: &str, line: usize) -> Result<f64, ParseNetlistError> {
+    let lower = tok.to_ascii_lowercase();
+    let (mult, digits) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (1e6, stripped)
+    } else {
+        match lower.as_bytes().last() {
+            Some(b'f') => (1e-15, &lower[..lower.len() - 1]),
+            Some(b'p') => (1e-12, &lower[..lower.len() - 1]),
+            Some(b'n') => (1e-9, &lower[..lower.len() - 1]),
+            Some(b'u') => (1e-6, &lower[..lower.len() - 1]),
+            Some(b'm') => (1e-3, &lower[..lower.len() - 1]),
+            Some(b'k') => (1e3, &lower[..lower.len() - 1]),
+            Some(b'g') => (1e9, &lower[..lower.len() - 1]),
+            Some(b't') => (1e12, &lower[..lower.len() - 1]),
+            _ => (1.0, lower.as_str()),
+        }
+    };
+    digits
+        .parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| err(line, format!("invalid value `{tok}`")))
+}
+
+/// Maps arbitrary node labels to dense 1-based indices (0 = ground).
+#[derive(Default)]
+struct NodeMap {
+    ids: HashMap<String, usize>,
+}
+
+impl NodeMap {
+    fn resolve(&mut self, tok: &str) -> usize {
+        let key = tok.to_ascii_lowercase();
+        if key == "0" || key == "gnd" {
+            return 0;
+        }
+        let next = self.ids.len() + 1;
+        *self.ids.entry(key).or_insert(next)
+    }
+}
+
+/// Parses a netlist from SPICE-flavored text.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] with the line number for any
+/// malformed card, unknown element, duplicate name, dangling mutual
+/// coupling reference, or out-of-range coupling coefficient.
+///
+/// # Examples
+///
+/// ```
+/// let text = "\
+/// * RC low-pass
+/// R1 1 2 1k
+/// C1 2 0 1u
+/// R2 2 0 10k
+/// PORT 1
+/// .end";
+/// let nl = circuits::parse_netlist(text)?;
+/// let sys = nl.build()?;
+/// assert_eq!(sys.nstates(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut nl = Netlist::new();
+    // name -> (branch index, inductance) for mutual-coupling cards.
+    let mut inductors: HashMap<String, (usize, f64)> = HashMap::new();
+    let mut seen_names: HashMap<String, usize> = HashMap::new();
+    let mut nodes = NodeMap::default();
+    // Mutual cards are resolved after all inductors are read.
+    let mut pending_mutual: Vec<(usize, String, String, f64)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split(|c| c == '*' || c == ';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let card = toks[0].to_ascii_uppercase();
+        if card == ".END" {
+            break;
+        }
+        if card == "PORT" || card == "PROBE" {
+            if toks.len() != 2 {
+                return Err(err(lineno, format!("{card} expects exactly one node")));
+            }
+            let node = nodes.resolve(toks[1]);
+            if node == 0 {
+                return Err(err(lineno, format!("{card} cannot attach to ground")));
+            }
+            if card == "PORT" {
+                nl.port(node);
+            } else {
+                nl.probe(node);
+            }
+            continue;
+        }
+        let kind = card.chars().next().expect("nonempty card");
+        if let Some(prev) = seen_names.insert(card.clone(), lineno) {
+            return Err(err(lineno, format!("duplicate element `{card}` (first at line {prev})")));
+        }
+        match kind {
+            'R' | 'C' | 'L' => {
+                if toks.len() != 4 {
+                    return Err(err(lineno, format!("{card} expects: name n+ n- value")));
+                }
+                let n1 = nodes.resolve(toks[1]);
+                let n2 = nodes.resolve(toks[2]);
+                let v = parse_value(toks[3], lineno)?;
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(err(lineno, format!("{card}: value must be positive, got {v}")));
+                }
+                if n1 == n2 {
+                    return Err(err(lineno, format!("{card}: element shorts node {n1} to itself")));
+                }
+                match kind {
+                    'R' => {
+                        nl.resistor(n1, n2, v);
+                    }
+                    'C' => {
+                        nl.capacitor(n1, n2, v);
+                    }
+                    'L' => {
+                        let branch = nl.inductor(n1, n2, v);
+                        inductors.insert(card.clone(), (branch, v));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            'K' => {
+                if toks.len() != 4 {
+                    return Err(err(lineno, format!("{card} expects: name L1 L2 k")));
+                }
+                let k = parse_value(toks[3], lineno)?;
+                if !(k.abs() < 1.0) {
+                    return Err(err(lineno, format!("{card}: |k| must be < 1, got {k}")));
+                }
+                pending_mutual.push((
+                    lineno,
+                    toks[1].to_ascii_uppercase(),
+                    toks[2].to_ascii_uppercase(),
+                    k,
+                ));
+            }
+            _ => return Err(err(lineno, format!("unknown element type `{card}`"))),
+        }
+    }
+    for (lineno, l1, l2, k) in pending_mutual {
+        let (b1, v1) = *inductors
+            .get(&l1)
+            .ok_or_else(|| err(lineno, format!("mutual coupling references unknown inductor `{l1}`")))?;
+        let (b2, v2) = *inductors
+            .get(&l2)
+            .ok_or_else(|| err(lineno, format!("mutual coupling references unknown inductor `{l2}`")))?;
+        if b1 == b2 {
+            return Err(err(lineno, "mutual coupling of an inductor with itself"));
+        }
+        nl.mutual(b1, b2, k * (v1 * v2).sqrt());
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::c64;
+
+    #[test]
+    fn parses_rc_lowpass() {
+        let nl = parse_netlist("R1 1 2 1k\nC1 2 0 1u\nR2 2 0 1meg\nPORT 1\n").unwrap();
+        let sys = nl.build().unwrap();
+        assert_eq!(sys.nstates(), 2);
+        let z0 = sys.transfer_function(c64::ZERO).unwrap()[(0, 0)];
+        assert!((z0.re - 1_001_000.0).abs() < 1.0, "got {}", z0.re);
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(parse_value("1k", 1).unwrap(), 1e3);
+        assert_eq!(parse_value("2meg", 1).unwrap(), 2e6);
+        assert!((parse_value("4.7n", 1).unwrap() - 4.7e-9).abs() < 1e-22);
+        assert!((parse_value("10f", 1).unwrap() - 1e-14).abs() < 1e-28);
+        assert_eq!(parse_value("3", 1).unwrap(), 3.0);
+        assert_eq!(parse_value("1m", 1).unwrap(), 1e-3);
+        assert!(parse_value("1x", 1).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let nl = parse_netlist(
+            "* header\n\nR1 1 0 50 ; termination\n; full comment\nC1 1 0 1p\nPORT 1\n.end\nR9 9 0 bogus-after-end",
+        )
+        .unwrap();
+        assert_eq!(nl.build().unwrap().nstates(), 1);
+    }
+
+    #[test]
+    fn mutual_coupling_resolved_by_name() {
+        let text = "L1 1 2 1n\nL2 3 4 4n\nK1 L1 L2 0.5\nR1 2 0 1\nR2 4 0 1\nC1 1 0 1p\nC2 3 0 1p\nPORT 1\nPORT 3\n";
+        let sys = parse_netlist(text).unwrap().build().unwrap();
+        // M = k·√(L1·L2) = 0.5·2n: verify ac coupling exists.
+        let z = sys.transfer_function(c64::new(0.0, 1e9)).unwrap();
+        assert!(z[(0, 1)].abs() > 0.0);
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        let e = parse_netlist("R1 1 2 1k\nXQ 1 2 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown element"));
+
+        let e = parse_netlist("R1 1 2 1k\nR1 2 0 1k\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+
+        let e = parse_netlist("K1 L1 L2 0.5\n").unwrap_err();
+        assert!(e.message.contains("unknown inductor"));
+
+        let e = parse_netlist("R1 1 1 5\n").unwrap_err();
+        assert!(e.message.contains("shorts"));
+
+        let e = parse_netlist("PORT 0\n").unwrap_err();
+        assert!(e.message.contains("ground"));
+
+        let e = parse_netlist("C1 1 0 -2p\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+    }
+
+    #[test]
+    fn gnd_alias() {
+        let nl = parse_netlist("R1 1 GND 50\nC1 1 gnd 1p\nPORT 1\n").unwrap();
+        assert_eq!(nl.build().unwrap().nstates(), 1);
+    }
+}

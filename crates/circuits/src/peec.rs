@@ -1,0 +1,142 @@
+//! PEEC-style lumped equivalent circuit (paper Fig. 10).
+//!
+//! The original example (Feldmann–Freund PVL paper) is a lumped-element
+//! equivalent of a 3-D electromagnetic structure: a high-Q LC ladder with
+//! dense partial-inductance coupling and very sharp resonances. We
+//! synthesize the same structure: a weakly damped LC ladder whose
+//! inductors are all mutually coupled with distance-decaying
+//! coefficients, driven at one end and resistively terminated at the
+//! other. The `E` matrix is structurally singular (series-node trick),
+//! exercising the singular-descriptor robustness PMTBR claims.
+
+use lti::Descriptor;
+use numkit::NumError;
+
+use crate::Netlist;
+
+/// Parameters of the PEEC-like resonator ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeecParams {
+    /// Number of LC sections.
+    pub sections: usize,
+    /// Series inductance per section, henries.
+    pub l_sec: f64,
+    /// Shunt capacitance per node, farads.
+    pub c_sec: f64,
+    /// Small series loss per section, ohms (sets the Q).
+    pub r_loss: f64,
+    /// Termination resistance at the far end, ohms.
+    pub r_term: f64,
+    /// Mutual coupling decay base between sections `i`, `j`:
+    /// `k = k0 / (1 + |i−j|)`.
+    pub k0: f64,
+}
+
+impl Default for PeecParams {
+    fn default() -> Self {
+        PeecParams {
+            sections: 10,
+            l_sec: 1e-9,
+            c_sec: 1e-12,
+            r_loss: 0.02,
+            r_term: 500.0,
+            k0: 0.35,
+        }
+    }
+}
+
+/// Builds the PEEC-like resonator as a one-port descriptor system.
+///
+/// # Errors
+///
+/// [`NumError::InvalidArgument`] for `sections == 0` or `k0 ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use circuits::{peec_resonator, PeecParams};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = peec_resonator(&PeecParams::default())?;
+/// assert_eq!(sys.ninputs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn peec_resonator(p: &PeecParams) -> Result<Descriptor, NumError> {
+    if p.sections == 0 {
+        return Err(NumError::InvalidArgument("resonator needs at least one section"));
+    }
+    if p.k0.abs() >= 1.0 {
+        return Err(NumError::InvalidArgument("coupling base must satisfy |k0| < 1"));
+    }
+    let ns = p.sections;
+    let mut nl = Netlist::new();
+    // Main nodes 1..=ns+1; internal (R–L split) nodes after them.
+    let main = |k: usize| k + 1; // k in 0..=ns
+    let mid = |k: usize| ns + 2 + k; // k in 0..ns
+    let mut branches = Vec::with_capacity(ns);
+    for k in 0..ns {
+        nl.resistor(main(k), mid(k), p.r_loss);
+        branches.push(nl.inductor(mid(k), main(k + 1), p.l_sec));
+        nl.capacitor(main(k + 1), 0, p.c_sec);
+    }
+    nl.capacitor(main(0), 0, p.c_sec);
+    nl.resistor(main(ns), 0, p.r_term);
+    for i in 0..ns {
+        for j in (i + 1)..ns {
+            let k = p.k0 / (1.0 + (j - i) as f64);
+            if k < 2e-2 {
+                continue;
+            }
+            nl.mutual(branches[i], branches[j], k * p.l_sec);
+        }
+    }
+    nl.port(1);
+    nl.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lti::{frequency_response, linspace};
+    use numkit::c64;
+
+    #[test]
+    fn resonator_builds_with_singular_e() {
+        let sys = peec_resonator(&PeecParams::default()).unwrap();
+        assert!(sys.to_state_space().is_err(), "series nodes must make E singular");
+        // But the descriptor transfer function is perfectly well defined.
+        let z = sys.transfer_function(c64::new(0.0, 1e9)).unwrap();
+        assert!(z[(0, 0)].is_finite());
+    }
+
+    #[test]
+    fn has_sharp_resonances() {
+        let sys = peec_resonator(&PeecParams::default()).unwrap();
+        // Sweep 0.1–40 GHz; the peak magnitude must dwarf the median by a
+        // large factor (high Q).
+        let omega: Vec<f64> =
+            linspace(0.1e9, 40e9, 400).iter().map(|f| 2.0 * std::f64::consts::PI * f).collect();
+        let resp = frequency_response(&sys, &omega).unwrap();
+        let mut mags = resp.magnitude(0, 0);
+        let peak = mags.iter().cloned().fold(0.0, f64::max);
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = mags[mags.len() / 2];
+        assert!(peak > 20.0 * median, "peak {peak:.1} vs median {median:.1}: not resonant enough");
+    }
+
+    #[test]
+    fn dc_impedance_is_termination_plus_losses() {
+        let p = PeecParams::default();
+        let sys = peec_resonator(&p).unwrap();
+        let z0 = sys.transfer_function(c64::ZERO).unwrap()[(0, 0)];
+        let expect = p.r_term + p.r_loss * p.sections as f64;
+        assert!((z0.re - expect).abs() < 1e-6, "got {}, want {expect}", z0.re);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(peec_resonator(&PeecParams { sections: 0, ..Default::default() }).is_err());
+        assert!(peec_resonator(&PeecParams { k0: 1.5, ..Default::default() }).is_err());
+    }
+}

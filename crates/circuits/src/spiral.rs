@@ -1,0 +1,189 @@
+//! On-chip spiral inductor model (paper Figs. 7–9).
+//!
+//! The physical spiral is modeled as a ladder of series R–L segments
+//! (one per turn group) with inter-turn mutual inductance, plus oxide
+//! capacitance and lossy substrate at each internal node. The mutual
+//! coupling redistributes current between turns as frequency rises,
+//! which makes the effective series resistance Re{Z(jω)} strongly
+//! frequency dependent — the feature PRIMA converges slowly on (Fig. 7).
+
+use lti::Descriptor;
+use numkit::NumError;
+
+use crate::Netlist;
+
+/// Parameters of the synthetic spiral inductor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpiralParams {
+    /// Number of R–L ladder segments (turn groups).
+    pub segments: usize,
+    /// Series inductance per segment, henries.
+    pub l_seg: f64,
+    /// Series resistance per segment, ohms.
+    pub r_seg: f64,
+    /// Inter-segment magnetic coupling coefficient (geometric decay).
+    pub k_couple: f64,
+    /// Oxide capacitance to substrate per node, farads.
+    pub c_ox: f64,
+    /// Substrate loss resistance per node, ohms.
+    pub r_sub: f64,
+}
+
+impl Default for SpiralParams {
+    fn default() -> Self {
+        SpiralParams {
+            segments: 8,
+            l_seg: 0.5e-9,
+            r_seg: 0.6,
+            k_couple: 0.45,
+            c_ox: 40e-15,
+            r_sub: 8.0,
+        }
+    }
+}
+
+/// Builds the spiral inductor as a one-port (driving-point impedance)
+/// descriptor system.
+///
+/// Note the `E` matrix is structurally singular (the internal nodes
+/// between each R and L carry no capacitance): only descriptor-aware
+/// algorithms apply directly — a feature, per paper Section V-A.
+///
+/// # Errors
+///
+/// [`NumError::InvalidArgument`] for a degenerate parameter set
+/// (`segments == 0` or `|k_couple| ≥ 1`).
+///
+/// # Examples
+///
+/// ```
+/// use circuits::{spiral_inductor, SpiralParams};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = spiral_inductor(&SpiralParams::default())?;
+/// assert_eq!(sys.ninputs(), 1);
+/// // DC resistance = sum of segment resistances.
+/// let z0 = sys.transfer_function(numkit::c64::ZERO)?[(0, 0)];
+/// assert!((z0.re - 8.0 * 0.6).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spiral_inductor(p: &SpiralParams) -> Result<Descriptor, NumError> {
+    if p.segments == 0 {
+        return Err(NumError::InvalidArgument("spiral needs at least one segment"));
+    }
+    if p.k_couple.abs() >= 1.0 {
+        return Err(NumError::InvalidArgument("coupling coefficient must satisfy |k| < 1"));
+    }
+    let ns = p.segments;
+    let mut nl = Netlist::new();
+    // Node layout (1-based): main nodes 1..=ns (node 1 = port; segment k
+    // runs from main node k to k+1, the last to ground), internal nodes
+    // m_k between R and L, substrate nodes s_k under each main node.
+    let main = |k: usize| k + 1; // k in 0..ns, plus the port at main(0)=1
+    let mid = |k: usize| ns + 1 + k; // k in 0..ns
+    let sub = |k: usize| 2 * ns + 1 + k; // k in 0..ns
+
+    let mut branches = Vec::with_capacity(ns);
+    for k in 0..ns {
+        let from = main(k);
+        let to = if k + 1 < ns { main(k + 1) } else { 0 };
+        nl.resistor(from, mid(k), p.r_seg);
+        let b = nl.inductor(mid(k), to, p.l_seg); // final segment lands on ground (to = 0)
+        branches.push(b);
+        // Oxide + substrate loss at the segment's head node.
+        nl.capacitor(from, sub(k), p.c_ox);
+        nl.resistor(sub(k), 0, p.r_sub);
+    }
+    // Mutual coupling with geometric decay in turn separation.
+    for i in 0..ns {
+        for j in (i + 1)..ns {
+            let k = p.k_couple.powi((j - i) as i32);
+            if k.abs() < 1e-4 {
+                continue;
+            }
+            nl.mutual(branches[i], branches[j], k * p.l_seg);
+        }
+    }
+    nl.port(1);
+    nl.build()
+}
+
+/// Effective series resistance `Re{Z(jω)}` over a frequency grid — the
+/// quantity whose approximation error Fig. 7 plots.
+///
+/// # Errors
+///
+/// Propagates transfer-function evaluation failures.
+pub fn spiral_resistance(sys: &Descriptor, omega: &[f64]) -> Result<Vec<f64>, NumError> {
+    let mut out = Vec::with_capacity(omega.len());
+    for &w in omega {
+        let z = sys.transfer_function(numkit::c64::new(0.0, w))?;
+        out.push(z[(0, 0)].re);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::c64;
+
+    #[test]
+    fn default_spiral_builds() {
+        let sys = spiral_inductor(&SpiralParams::default()).unwrap();
+        // 3·ns nodes + ns inductor currents.
+        assert_eq!(sys.nstates(), 4 * 8);
+        assert_eq!(sys.ninputs(), 1);
+    }
+
+    #[test]
+    fn dc_resistance_is_sum_of_segments() {
+        let p = SpiralParams { segments: 5, r_seg: 1.5, ..SpiralParams::default() };
+        let sys = spiral_inductor(&p).unwrap();
+        let z0 = sys.transfer_function(c64::ZERO).unwrap()[(0, 0)];
+        assert!((z0.re - 7.5).abs() < 1e-6, "got {}", z0.re);
+    }
+
+    #[test]
+    fn low_frequency_impedance_is_inductive() {
+        let p = SpiralParams::default();
+        let sys = spiral_inductor(&p).unwrap();
+        let w = 2.0 * std::f64::consts::PI * 1e8; // 100 MHz: below resonance
+        let z = sys.transfer_function(c64::new(0.0, w)).unwrap()[(0, 0)];
+        assert!(z.im > 0.0, "inductive below self-resonance, got {z}");
+        // Total inductance exceeds the sum of self-inductances thanks to
+        // positive mutual coupling.
+        let l_eff = z.im / w;
+        let l_self = 8.0 * p.l_seg;
+        assert!(l_eff > l_self, "l_eff {l_eff:e} <= sum of self L {l_self:e}");
+    }
+
+    #[test]
+    fn resistance_rises_with_frequency() {
+        // The substrate/coupling losses make Re{Z} grow with ω — the
+        // effect that stresses moment matching at s=0.
+        let sys = spiral_inductor(&SpiralParams::default()).unwrap();
+        let r_dc = spiral_resistance(&sys, &[0.0]).unwrap()[0];
+        let r_hf = spiral_resistance(&sys, &[2.0 * std::f64::consts::PI * 3e9]).unwrap()[0];
+        assert!(
+            r_hf > 1.5 * r_dc,
+            "expected pronounced frequency dependence: dc {r_dc}, hf {r_hf}"
+        );
+    }
+
+    #[test]
+    fn e_matrix_is_singular_by_construction() {
+        let sys = spiral_inductor(&SpiralParams::default()).unwrap();
+        assert!(
+            sys.to_state_space().is_err(),
+            "spiral E must be singular (internal nodes carry no capacitance)"
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(spiral_inductor(&SpiralParams { segments: 0, ..Default::default() }).is_err());
+        assert!(spiral_inductor(&SpiralParams { k_couple: 1.0, ..Default::default() }).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Synthetic substrate coupling network (paper Figs. 15–16).
+//!
+//! The paper extracts substrate networks with a boundary-element method:
+//! every contact couples resistively to nearby contacts and capacitively
+//! to the backplane, giving a massively coupled network with as many
+//! ports as states ("for most intents unreducible with standard
+//! projection methods"). We synthesize the same structure: contacts on a
+//! grid, conductances decaying with Euclidean distance inside a cutoff
+//! radius, plus backplane conductance and contact capacitance.
+
+use lti::Descriptor;
+use numkit::{DMat, NumError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparsekit::Triplet;
+
+/// Parameters of the synthetic substrate network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubstrateParams {
+    /// Number of contacts (= ports = states).
+    pub ports: usize,
+    /// Coupling conductance scale (siemens at unit distance).
+    pub g0: f64,
+    /// Coupling cutoff radius in grid units.
+    pub radius: f64,
+    /// Backplane (bulk) conductance per contact, siemens.
+    pub g_bulk: f64,
+    /// Contact capacitance to backplane, farads.
+    pub c_contact: f64,
+    /// Relative random perturbation of element values (process spread).
+    pub jitter: f64,
+    /// RNG seed for the jitter.
+    pub seed: u64,
+}
+
+impl Default for SubstrateParams {
+    fn default() -> Self {
+        SubstrateParams {
+            ports: 150,
+            g0: 1e-3,
+            radius: 3.2,
+            g_bulk: 2e-4,
+            c_contact: 5e-15,
+            jitter: 0.2,
+            seed: 7,
+        }
+    }
+}
+
+/// Builds the substrate network as a descriptor system with a current
+/// input and voltage output at *every* contact (`B = C = I` up to state
+/// ordering): the massively coupled case of Section IV-C.
+///
+/// # Errors
+///
+/// [`NumError::InvalidArgument`] if `ports == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use circuits::{substrate_network, SubstrateParams};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = substrate_network(&SubstrateParams { ports: 64, ..Default::default() })?;
+/// assert_eq!(sys.nstates(), 64);
+/// assert_eq!(sys.ninputs(), 64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn substrate_network(p: &SubstrateParams) -> Result<Descriptor, NumError> {
+    if p.ports == 0 {
+        return Err(NumError::InvalidArgument("substrate needs at least one contact"));
+    }
+    let n = p.ports;
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let jit = move |base: f64, rng: &mut StdRng| base * (1.0 + p.jitter * (rng.gen::<f64>() - 0.5));
+
+    // Contacts on a near-square grid.
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let pos: Vec<(f64, f64)> =
+        (0..n).map(|k| ((k % cols) as f64, (k / cols) as f64)).collect();
+
+    let mut g = Triplet::new(n, n);
+    let mut c = Triplet::new(n, n);
+    for i in 0..n {
+        g.push(i, i, jit(p.g_bulk, &mut rng));
+        c.push(i, i, jit(p.c_contact, &mut rng));
+        for j in (i + 1)..n {
+            let dx = pos[i].0 - pos[j].0;
+            let dy = pos[i].1 - pos[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d > p.radius {
+                continue;
+            }
+            let gij = jit(p.g0 / d, &mut rng);
+            g.push(i, i, gij);
+            g.push(j, j, gij);
+            g.push(i, j, -gij);
+            g.push(j, i, -gij);
+        }
+    }
+    let a = {
+        let mut t = Triplet::new(n, n);
+        for (i, j, v) in g.to_csr().iter() {
+            t.push(i, j, -v);
+        }
+        t.to_csr()
+    };
+    Descriptor::new(c.to_csr(), a, DMat::identity(n), DMat::identity(n), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::c64;
+
+    #[test]
+    fn network_shape_and_symmetry() {
+        let sys = substrate_network(&SubstrateParams { ports: 49, ..Default::default() }).unwrap();
+        assert_eq!(sys.nstates(), 49);
+        let a = sys.a.to_dense();
+        assert!((&a - &a.transpose()).norm_max() < 1e-18);
+    }
+
+    #[test]
+    fn sparse_for_large_port_counts() {
+        let sys =
+            substrate_network(&SubstrateParams { ports: 1000, ..Default::default() }).unwrap();
+        let nnz = sys.a.nnz();
+        assert!(
+            nnz < 1000 * 80,
+            "coupling must stay sparse under the cutoff radius: nnz = {nnz}"
+        );
+    }
+
+    #[test]
+    fn stable_and_well_posed() {
+        let sys = substrate_network(&SubstrateParams { ports: 36, ..Default::default() }).unwrap();
+        let ss = sys.to_state_space().unwrap();
+        assert!(ss.is_stable().unwrap());
+    }
+
+    #[test]
+    fn transfer_function_is_spd_at_dc() {
+        // Z(0) = G⁻¹ of an SPD conductance matrix: diagonal entries
+        // positive and dominant over the couplings.
+        let sys = substrate_network(&SubstrateParams { ports: 25, ..Default::default() }).unwrap();
+        let z = sys.transfer_function(c64::ZERO).unwrap();
+        for i in 0..25 {
+            assert!(z[(i, i)].re > 0.0);
+            for j in 0..25 {
+                if i != j {
+                    assert!(z[(i, i)].re >= z[(i, j)].re - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = substrate_network(&SubstrateParams { ports: 16, ..Default::default() }).unwrap();
+        let b = substrate_network(&SubstrateParams { ports: 16, ..Default::default() }).unwrap();
+        assert!((&a.a.to_dense() - &b.a.to_dense()).norm_max() == 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! RC clock-distribution tree (paper Figs. 5–6).
+//!
+//! A binary H-tree of RC segments: the root is driven through the clock
+//! driver's output impedance, branches halve in width (R doubles, C
+//! halves) as in a stylized H-tree, and the leaves carry load
+//! capacitance. The result is a finite-bandwidth, intrinsically low-order
+//! RC system whose Hankel spectrum decays over many decades — exactly the
+//! behaviour Fig. 5 illustrates.
+
+use lti::Descriptor;
+use numkit::NumError;
+
+use crate::Netlist;
+
+/// Builds a binary RC clock tree with `levels` levels of branching.
+///
+/// States: `2^(levels+1) − 1` internal nodes. The single port sits at the
+/// root (driver side); the transfer function is the driving-point
+/// impedance, making the system symmetric (`A = Aᵀ`, `C = Bᵀ`) — the
+/// case analyzed in Section III-A of the paper.
+///
+/// `r0`/`c0` are the root segment values; `r_driver` is the driver output
+/// resistance to ground; `c_leaf` is the extra leaf load.
+///
+/// # Errors
+///
+/// [`NumError::InvalidArgument`] if `levels == 0` or `levels > 12`
+/// (size guard).
+///
+/// # Examples
+///
+/// ```
+/// use circuits::clock_tree;
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = clock_tree(5, 1.0, 1.0, 0.5, 4.0)?;
+/// assert_eq!(sys.nstates(), 63);
+/// assert_eq!(sys.ninputs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn clock_tree(
+    levels: usize,
+    r0: f64,
+    c0: f64,
+    r_driver: f64,
+    c_leaf: f64,
+) -> Result<Descriptor, NumError> {
+    clock_tree_jittered(levels, r0, c0, r_driver, c_leaf, 0.0, 0)
+}
+
+/// [`clock_tree`] with per-branch parameter jitter (relative spread),
+/// modeling process variation and asymmetric loading.
+///
+/// A perfectly symmetric binary tree driven at the root has only
+/// `levels + 1` controllable modes (identical subtrees respond
+/// identically), so its Hankel spectrum cliffs after a handful of
+/// values. Jitter breaks the symmetry and restores the gradual
+/// many-decade decay real clock networks show (paper Fig. 5).
+///
+/// # Errors
+///
+/// Same as [`clock_tree`].
+pub fn clock_tree_jittered(
+    levels: usize,
+    r0: f64,
+    c0: f64,
+    r_driver: f64,
+    c_leaf: f64,
+    jitter: f64,
+    seed: u64,
+) -> Result<Descriptor, NumError> {
+    if levels == 0 || levels > 12 {
+        return Err(NumError::InvalidArgument("clock tree levels must be in 1..=12"));
+    }
+    // Small deterministic xorshift for the jitter (no rand dependency
+    // needed for a reproducible topology perturbation).
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(0x1234_5678);
+    let mut jit = move |base: f64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64; // in [0, 1)
+        base * (1.0 + jitter * (u - 0.5))
+    };
+    let mut nl = Netlist::new();
+    // Heap numbering: node k has children 2k and 2k+1 (1-based).
+    let n_nodes = (1usize << (levels + 1)) - 1;
+    nl.resistor(1, 0, r_driver);
+    nl.capacitor(1, 0, jit(c0));
+    for k in 1..=n_nodes {
+        let level = (usize::BITS - k.leading_zeros() - 1) as usize; // floor(log2 k)
+        if level >= levels {
+            // Leaf: add load capacitance.
+            nl.capacitor(k, 0, jit(c_leaf));
+            continue;
+        }
+        // Wire halves in width each level: R doubles, C halves.
+        let scale = (1u64 << level) as f64;
+        let r = r0 * scale;
+        let c = c0 / scale;
+        for child in [2 * k, 2 * k + 1] {
+            nl.resistor(k, child, jit(r));
+            nl.capacitor(child, 0, jit(c));
+        }
+    }
+    nl.port(1);
+    nl.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lti::hankel_singular_values;
+    use numkit::c64;
+
+    #[test]
+    fn tree_size_is_full_binary() {
+        for levels in [1, 3, 5] {
+            let sys = clock_tree(levels, 1.0, 1.0, 1.0, 2.0).unwrap();
+            assert_eq!(sys.nstates(), (1 << (levels + 1)) - 1);
+        }
+    }
+
+    #[test]
+    fn tree_is_symmetric_and_stable() {
+        let sys = clock_tree(4, 1.0, 1.0, 0.5, 2.0).unwrap();
+        let a = sys.a.to_dense();
+        assert!((&a - &a.transpose()).norm_max() < 1e-14);
+        let ss = sys.to_state_space().unwrap();
+        assert!(ss.is_stable().unwrap());
+    }
+
+    #[test]
+    fn hankel_spectrum_decays_fast() {
+        // The paper's Fig. 5 point: RC trees are intrinsically low order.
+        let sys = clock_tree(4, 1.0, 1.0, 0.5, 2.0).unwrap().to_state_space().unwrap();
+        let hsv = hankel_singular_values(&sys).unwrap();
+        assert!(
+            hsv[8] < 1e-6 * hsv[0],
+            "expected >6 decades of decay by index 8: {:e} vs {:e}",
+            hsv[8],
+            hsv[0]
+        );
+    }
+
+    #[test]
+    fn dc_impedance_is_driver_resistance() {
+        let sys = clock_tree(3, 1.0, 1.0, 0.7, 1.0).unwrap();
+        let z0 = sys.transfer_function(c64::ZERO).unwrap()[(0, 0)];
+        assert!((z0.re - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_bounds_enforced() {
+        assert!(clock_tree(0, 1.0, 1.0, 1.0, 1.0).is_err());
+        assert!(clock_tree(13, 1.0, 1.0, 1.0, 1.0).is_err());
+    }
+}

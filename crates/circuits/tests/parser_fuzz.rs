@@ -1,0 +1,57 @@
+//! Robustness: the netlist parser must never panic, only return errors,
+//! whatever bytes it is fed — and valid netlists must always build into
+//! well-posed systems.
+
+use circuits::parse_netlist;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary printable text never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(text in "[ -~\n]{0,200}") {
+        let _ = parse_netlist(&text);
+    }
+
+    /// Token soup built from netlist-ish vocabulary never panics either
+    /// (exercises deeper code paths than fully random text).
+    #[test]
+    fn netlistish_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("R1"), Just("C2"), Just("L3"), Just("K1"), Just("PORT"),
+                Just("PROBE"), Just("1"), Just("2"), Just("0"), Just("gnd"),
+                Just("1k"), Just("-3p"), Just("0.5"), Just("meg"), Just("*"),
+                Just(".end"), Just("\n"), Just("L9"),
+            ],
+            0..40,
+        )
+    ) {
+        let text = tokens.join(" ");
+        let _ = parse_netlist(&text);
+    }
+
+    /// Structured random RC ladders always parse and build, and the
+    /// resulting descriptor has the right dimensions.
+    #[test]
+    fn random_rc_ladders_build(
+        n in 2usize..8,
+        rs in proptest::collection::vec(1.0f64..1000.0, 7),
+        cs in proptest::collection::vec(0.1f64..10.0, 7),
+    ) {
+        let mut text = String::new();
+        for k in 1..n {
+            text.push_str(&format!("R{k} {k} {} {:.3}\n", k + 1, rs[k - 1]));
+            text.push_str(&format!("C{k} {k} 0 {:.3}p\n", cs[k - 1]));
+        }
+        text.push_str(&format!("R{n} {n} 0 {:.3}\n", rs[n - 1]));
+        text.push_str(&format!("C{n} {n} 0 {:.3}p\n", cs[n - 1]));
+        text.push_str("PORT 1\n");
+        let sys = parse_netlist(&text).unwrap().build().unwrap();
+        prop_assert_eq!(sys.nstates(), n);
+        // Well-posed: dc impedance is finite and positive.
+        let z = sys.transfer_function(numkit::c64::ZERO).unwrap();
+        prop_assert!(z[(0, 0)].re > 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! `pmtbr-cli` — reduce SPICE-flavored RLC netlists from the shell.
+//!
+//! ```text
+//! pmtbr-cli sweep  <netlist> --from <hz> --to <hz> [--points N] [--log]
+//! pmtbr-cli hsv    <netlist> [--band <hz>] [--samples N]
+//! pmtbr-cli reduce <netlist> [--order N] [--tol T] [--band <hz>]
+//!                  [--samples N] [--method pmtbr|prima|mpproj|tbr]
+//!                  [--check N]
+//! ```
+//!
+//! All frequency arguments are in hertz. `sweep` prints the port
+//! impedance magnitudes as CSV; `hsv` prints the PMTBR singular-value
+//! estimates (and exact Hankel values when the descriptor admits a
+//! state-space form); `reduce` builds a reduced model, reports its
+//! spectra and error estimate, and optionally cross-checks it against
+//! the full model over the band.
+
+use std::process::ExitCode;
+
+use lti::{frequency_response, linspace, logspace, max_rel_error, SquareWave};
+use numkit::c64;
+use pmtbr::{pmtbr, sample_basis, PmtbrOptions, Sampling};
+
+const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = if it.peek().map_or(false, |v| !v.starts_with("--")) {
+                    Some(it.next().expect("peeked").clone())
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(tok.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag_value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag_present(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flag_value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: expected a number, got `{v}`")),
+        }
+    }
+
+    fn int(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flag_value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: expected an integer, got `{v}`")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<lti::Descriptor, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let nl = circuits::parse_netlist(&text).map_err(|e| e.to_string())?;
+    nl.build().map_err(|e| format!("mna assembly failed: {e}"))
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("sweep: missing netlist path")?;
+    let sys = load(path)?;
+    let from = args.num("from", 1e6)?;
+    let to = args.num("to", 1e10)?;
+    let points = args.int("points", 50)?;
+    if !(to > from && from > 0.0) || points == 0 {
+        return Err("sweep: need 0 < --from < --to and --points > 0".into());
+    }
+    let freqs =
+        if args.flag_present("log") { logspace(from, to, points) } else { linspace(from, to, points) };
+    let omega: Vec<f64> = freqs.iter().map(|f| f * TAU).collect();
+    let resp = frequency_response(&sys, &omega).map_err(|e| e.to_string())?;
+    let q = sys.noutputs();
+    let p = sys.ninputs();
+    print!("freq_hz");
+    for i in 0..q {
+        for j in 0..p {
+            print!(",mag_z{}{}", i + 1, j + 1);
+        }
+    }
+    println!();
+    for (k, f) in freqs.iter().enumerate() {
+        print!("{f:.6e}");
+        for i in 0..q {
+            for j in 0..p {
+                print!(",{:.6e}", resp.h[k][(i, j)].abs());
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_hsv(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("hsv: missing netlist path")?;
+    let sys = load(path)?;
+    let band = args.num("band", 1e10)?;
+    let samples = args.int("samples", 40)?;
+    let basis = sample_basis(&sys, &Sampling::Linear { omega_max: band * TAU, n: samples })
+        .map_err(|e| e.to_string())?;
+    let est = basis.singular_values();
+    let exact = sys.to_state_space().ok().and_then(|ss| lti::hankel_singular_values(&ss).ok());
+    println!("index,pmtbr_estimate{}", if exact.is_some() { ",exact_hankel" } else { "" });
+    for (i, s) in est.iter().take(40).enumerate() {
+        match &exact {
+            Some(h) => println!("{i},{s:.6e},{:.6e}", h.get(i).copied().unwrap_or(0.0)),
+            None => println!("{i},{s:.6e}"),
+        }
+    }
+    if exact.is_none() {
+        eprintln!("(E is singular: exact Hankel values unavailable — PMTBR estimates only)");
+    }
+    Ok(())
+}
+
+fn cmd_reduce(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("reduce: missing netlist path")?;
+    let sys = load(path)?;
+    let band = args.num("band", 1e10)?;
+    let samples = args.int("samples", 40)?;
+    let tol = args.num("tol", 1e-8)?;
+    let order = args.flag_value("order").map(|v| v.parse::<usize>()).transpose().map_err(|_| "--order: invalid integer".to_string())?;
+    let method = args.flag_value("method").unwrap_or("pmtbr").to_string();
+    let omega_max = band * TAU;
+
+    let reduced = match method.as_str() {
+        "pmtbr" => {
+            let mut opts = PmtbrOptions::new(Sampling::Linear { omega_max, n: samples })
+                .with_tolerance(tol);
+            if let Some(q) = order {
+                opts = opts.with_max_order(q);
+            }
+            let m = pmtbr(&sys, &opts).map_err(|e| e.to_string())?;
+            println!("method: pmtbr");
+            println!("order: {}", m.order);
+            println!("error_estimate: {:.6e}", m.error_estimate);
+            println!("singular_values:");
+            for (i, s) in m.singular_values.iter().take(m.order + 5).enumerate() {
+                println!("  sigma_{i}: {s:.6e}");
+            }
+            m.reduced
+        }
+        "prima" => {
+            let q = order.ok_or("prima requires --order")?;
+            let m = krylov::prima(&sys, q, 0.0).map_err(|e| e.to_string())?;
+            println!("method: prima\norder: {}", m.reduced.nstates());
+            m.reduced
+        }
+        "mpproj" => {
+            let q = order.ok_or("mpproj requires --order")?;
+            let pts: Vec<c64> = Sampling::Linear { omega_max, n: samples }
+                .points()
+                .map_err(|e| e.to_string())?
+                .iter()
+                .map(|p| p.s)
+                .collect();
+            let m = krylov::mpproj(&sys, &pts, q).map_err(|e| e.to_string())?;
+            println!("method: mpproj\norder: {}", m.reduced.nstates());
+            m.reduced
+        }
+        "tbr" | "tbr-res" | "fltbr" => {
+            let q = order.ok_or("tbr variants require --order")?;
+            let ss = sys
+                .to_state_space()
+                .map_err(|e| format!("{method} needs an invertible E matrix: {e}"))?;
+            let m = match method.as_str() {
+                "tbr" => lti::tbr(&ss, q),
+                "tbr-res" => lti::tbr_residualized(&ss, q),
+                _ => lti::frequency_limited_tbr(&ss, omega_max, q),
+            }
+            .map_err(|e| e.to_string())?;
+            println!("method: {method}\norder: {}", m.reduced.nstates());
+            println!("error_bound: {:.6e}", m.error_bound);
+            m.reduced
+        }
+        "balanced" => {
+            let q = order.ok_or("balanced requires --order")?;
+            let m = pmtbr::balanced_pmtbr(
+                &sys,
+                &Sampling::Linear { omega_max, n: samples },
+                q,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("method: balanced-pmtbr\norder: {}", m.order);
+            println!("error_estimate: {:.6e}", m.error_estimate);
+            m.reduced
+        }
+        other => {
+            return Err(format!(
+                "unknown --method `{other}` (pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr)"
+            ))
+        }
+    };
+
+    if let Some(npts) = args.flag_value("check") {
+        let npts: usize = npts.parse().map_err(|_| "--check: invalid integer".to_string())?;
+        let omega: Vec<f64> = linspace(omega_max / npts as f64, omega_max, npts);
+        let h_full = frequency_response(&sys, &omega).map_err(|e| e.to_string())?;
+        let h_red = frequency_response(&reduced, &omega).map_err(|e| e.to_string())?;
+        println!("check_max_rel_error: {:.6e}", max_rel_error(&h_full, &h_red));
+    }
+
+    // Emit the reduced model in a plain, parseable form.
+    let q = reduced.nstates();
+    println!("A: # {q}x{q}");
+    for i in 0..q {
+        let row: Vec<String> = (0..q).map(|j| format!("{:.12e}", reduced.a[(i, j)])).collect();
+        println!("  {}", row.join(" "));
+    }
+    println!("B: # {q}x{}", reduced.ninputs());
+    for i in 0..q {
+        let row: Vec<String> =
+            (0..reduced.ninputs()).map(|j| format!("{:.12e}", reduced.b[(i, j)])).collect();
+        println!("  {}", row.join(" "));
+    }
+    println!("C: # {}x{q}", reduced.noutputs());
+    for i in 0..reduced.noutputs() {
+        let row: Vec<String> = (0..q).map(|j| format!("{:.12e}", reduced.c[(i, j)])).collect();
+        println!("  {}", row.join(" "));
+    }
+    Ok(())
+}
+
+/// Simulates the netlist's transient response to square waves on every
+/// port and prints t + all port voltages as CSV.
+fn cmd_transient(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("transient: missing netlist path")?;
+    let sys = load(path)?;
+    let period = args.num("period", 1e-9)?;
+    let steps = args.int("steps", 400)?;
+    if !(period > 0.0) || steps < 2 {
+        return Err("transient: need --period > 0 and --steps >= 2".into());
+    }
+    let h = 2.0 * period / steps as f64; // two periods by default
+    let p = sys.ninputs();
+    let mut u = numkit::DMat::zeros(p, steps);
+    for i in 0..p {
+        // Stagger phases so ports are distinguishable.
+        let w = SquareWave { phase: period * i as f64 / p.max(1) as f64, ..SquareWave::new(period) };
+        for (k, v) in w.sample(steps, h).into_iter().enumerate() {
+            u[(i, k)] = v;
+        }
+    }
+    let tr = lti::simulate_descriptor(&sys, &u, h).map_err(|e| e.to_string())?;
+    print!("t");
+    for i in 0..sys.noutputs() {
+        print!(",y{}", i + 1);
+    }
+    println!();
+    for k in 0..steps {
+        print!("{:.6e}", tr.t[k]);
+        for i in 0..sys.noutputs() {
+            print!(",{:.6e}", tr.y[(i, k)]);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--samples N] [--method pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr] [--check N]"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(rest);
+    let result = match cmd.as_str() {
+        "sweep" => cmd_sweep(&args),
+        "hsv" => cmd_hsv(&args),
+        "transient" => cmd_transient(&args),
+        "reduce" => cmd_reduce(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["file.sp", "--order", "12", "--log", "--band", "8e9"]);
+        assert_eq!(a.positional, vec!["file.sp"]);
+        assert_eq!(a.flag_value("order"), Some("12"));
+        assert!(a.flag_present("log"));
+        assert_eq!(a.num("band", 0.0).unwrap(), 8e9);
+        assert_eq!(a.int("order", 0).unwrap(), 12);
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = args(&["x"]);
+        assert_eq!(a.num("missing", 2.5).unwrap(), 2.5);
+        assert_eq!(a.int("missing", 7).unwrap(), 7);
+        let bad = args(&["x", "--order", "abc"]);
+        assert!(bad.int("order", 1).is_err());
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let a = args(&["--band", "1", "--band", "2"]);
+        assert_eq!(a.num("band", 0.0).unwrap(), 2.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests driving the `pmtbr-cli` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pmtbr-cli"))
+}
+
+fn write_netlist(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pmtbr-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create netlist");
+    f.write_all(text.as_bytes()).expect("write netlist");
+    path
+}
+
+const RC_LADDER: &str = "\
+* 4-node RC ladder
+R1 1 2 100
+R2 2 3 100
+R3 3 4 100
+R4 4 0 100
+C1 1 0 1p
+C2 2 0 1p
+C3 3 0 1p
+C4 4 0 1p
+PORT 1
+.end";
+
+#[test]
+fn sweep_emits_csv() {
+    let nl = write_netlist("ladder.sp", RC_LADDER);
+    let out = bin()
+        .args(["sweep", nl.to_str().expect("utf8 path"), "--from", "1e6", "--to", "1e9", "--points", "5"])
+        .output()
+        .expect("run sweep");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "freq_hz,mag_z11");
+    assert_eq!(lines.len(), 6, "header + 5 rows");
+    // DC-ish magnitude ≈ 400 Ω (series resistance to ground).
+    let first: Vec<&str> = lines[1].split(',').collect();
+    let mag: f64 = first[1].parse().expect("numeric magnitude");
+    assert!((mag - 400.0).abs() < 5.0, "got {mag}");
+}
+
+#[test]
+fn reduce_reports_model_and_check() {
+    let nl = write_netlist("ladder2.sp", RC_LADDER);
+    let out = bin()
+        .args([
+            "reduce",
+            nl.to_str().expect("utf8 path"),
+            "--order",
+            "2",
+            "--band",
+            "2e9",
+            "--samples",
+            "12",
+            "--check",
+            "15",
+        ])
+        .output()
+        .expect("run reduce");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("method: pmtbr"));
+    assert!(text.contains("order: 2"));
+    assert!(text.contains("A: # 2x2"));
+    let check_line = text
+        .lines()
+        .find(|l| l.starts_with("check_max_rel_error:"))
+        .expect("check line present");
+    let err: f64 = check_line.split(':').nth(1).expect("value").trim().parse().expect("numeric");
+    assert!(err < 0.05, "order-2 model of a 4-state ladder should check out: {err}");
+}
+
+#[test]
+fn hsv_lists_both_spectra_for_regular_e() {
+    let nl = write_netlist("ladder3.sp", RC_LADDER);
+    let out = bin()
+        .args(["hsv", nl.to_str().expect("utf8 path"), "--band", "2e9", "--samples", "16"])
+        .output()
+        .expect("run hsv");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().next().expect("header").contains("exact_hankel"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_line_numbers() {
+    let nl = write_netlist("bad.sp", "R1 1 2 100\nQX 1 2 3\n");
+    let out = bin().args(["sweep", nl.to_str().expect("utf8 path")]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,134 @@
+//! Multipoint rational projection (MPPROJ) — the multipoint baseline of
+//! the paper's Fig. 10.
+//!
+//! Columns `z_k = (s_k·E − A)⁻¹·B` are computed at the given complex
+//! sample points, realified, and orthonormalized *in arrival order* by
+//! Gram–Schmidt. Unlike PMTBR there is no weighted-SVD compression step:
+//! redundant directions are merely deflated, not optimally pruned — the
+//! difference the paper's comparison isolates.
+
+use lti::{realify_columns, LtiSystem, StateSpace};
+use numkit::{c64, DMat, NumError};
+
+use crate::orth::{columns_to_mat, orthonormalize_into};
+
+/// Result of a multipoint projection reduction.
+#[derive(Debug, Clone)]
+pub struct MpprojModel {
+    /// The reduced model.
+    pub reduced: StateSpace,
+    /// The projection basis (`n × q`).
+    pub v: DMat,
+    /// Sample points actually consumed (in order).
+    pub points_used: usize,
+}
+
+/// Builds a multipoint projection model of (at most) order `order`,
+/// consuming sample points in the given order until the basis is full.
+///
+/// Each complex point contributes up to `2·p` real columns (real and
+/// imaginary parts of the block solve), each real point up to `p`.
+///
+/// # Errors
+///
+/// - [`NumError::InvalidArgument`] if `order == 0` or no points given.
+/// - [`NumError::Singular`] if a sample point hits a system pole.
+///
+/// # Examples
+///
+/// ```
+/// use circuits::rc_mesh;
+/// use krylov::mpproj;
+/// use numkit::c64;
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = rc_mesh(3, 3, &[0], 1.0, 1.0, 2.0)?;
+/// let pts = [c64::new(0.0, 0.1), c64::new(0.0, 1.0)];
+/// let m = mpproj(&sys, &pts, 4)?;
+/// assert!(m.reduced.nstates() <= 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mpproj<S: LtiSystem + ?Sized>(
+    sys: &S,
+    points: &[c64],
+    order: usize,
+) -> Result<MpprojModel, NumError> {
+    if order == 0 {
+        return Err(NumError::InvalidArgument("reduction order must be at least 1"));
+    }
+    if points.is_empty() {
+        return Err(NumError::InvalidArgument("multipoint projection needs sample points"));
+    }
+    let b = sys.input_matrix().to_complex();
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut used = 0usize;
+    for &s in points {
+        if basis.len() >= order {
+            break;
+        }
+        let z = sys.solve_shifted(s, &b)?;
+        let cols = realify_columns(&z, 1e-12);
+        orthonormalize_into(&mut basis, &cols);
+        used += 1;
+    }
+    basis.truncate(order);
+    let v = columns_to_mat(&basis);
+    let reduced = sys.project(&v, &v)?;
+    Ok(MpprojModel { reduced, v, points_used: used })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::rc_mesh;
+    use lti::Descriptor;
+
+    fn small_mesh() -> Descriptor {
+        rc_mesh(3, 3, &[0], 1.0, 1.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn interpolates_at_sample_points() {
+        let sys = small_mesh();
+        let s = c64::new(0.0, 0.7);
+        let m = mpproj(&sys, &[s], 2).unwrap();
+        // Rational Krylov projection interpolates H at the sample point.
+        let h = sys.transfer_function(s).unwrap();
+        let hr = m.reduced.transfer_function(s).unwrap();
+        assert!((&h - &hr).norm_max() < 1e-8, "must interpolate at s");
+    }
+
+    #[test]
+    fn more_points_improve_global_accuracy() {
+        let sys = small_mesh();
+        let probe = c64::new(0.0, 2.5);
+        let h = sys.transfer_function(probe).unwrap();
+        let few = mpproj(&sys, &[c64::new(0.0, 0.1)], 9).unwrap();
+        let many = mpproj(
+            &sys,
+            &[c64::new(0.0, 0.1), c64::new(0.0, 1.0), c64::new(0.0, 3.0), c64::new(0.0, 8.0)],
+            9,
+        )
+        .unwrap();
+        let e_few = (&h - &few.reduced.transfer_function(probe).unwrap()).norm_max();
+        let e_many = (&h - &many.reduced.transfer_function(probe).unwrap()).norm_max();
+        assert!(e_many < e_few, "more points must help off-sample: {e_many} vs {e_few}");
+    }
+
+    #[test]
+    fn respects_order_cap() {
+        let sys = small_mesh();
+        let pts: Vec<c64> = (1..=6).map(|k| c64::new(0.0, k as f64)).collect();
+        let m = mpproj(&sys, &pts, 3).unwrap();
+        assert_eq!(m.reduced.nstates(), 3);
+        assert!(m.points_used <= 3, "stops consuming points once full");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let sys = small_mesh();
+        assert!(mpproj(&sys, &[], 2).is_err());
+        assert!(mpproj(&sys, &[c64::I], 0).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Block orthonormalization utilities (modified Gram–Schmidt with
+//! reorthogonalization and deflation).
+
+use numkit::DMat;
+
+/// Tolerance below which a candidate direction is considered linearly
+/// dependent and deflated (relative to its pre-orthogonalization norm).
+pub(crate) const DEFLATE_TOL: f64 = 1e-10;
+
+/// Orthonormalizes the columns of `cand` against the columns of `basis`
+/// and against each other, appending the surviving directions to `basis`.
+///
+/// Returns the number of columns added. Uses two passes of modified
+/// Gram–Schmidt ("twice is enough") for numerical orthogonality.
+pub(crate) fn orthonormalize_into(basis: &mut Vec<Vec<f64>>, cand: &DMat) -> usize {
+    let mut added = 0;
+    for j in 0..cand.ncols() {
+        let mut v = cand.col(j);
+        let norm0: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm0 == 0.0 {
+            continue;
+        }
+        for _pass in 0..2 {
+            for b in basis.iter() {
+                let proj: f64 = b.iter().zip(&v).map(|(x, y)| x * y).sum();
+                for (vi, bi) in v.iter_mut().zip(b) {
+                    *vi -= proj * bi;
+                }
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm <= DEFLATE_TOL * norm0 {
+            continue; // linearly dependent: deflate
+        }
+        for vi in v.iter_mut() {
+            *vi /= norm;
+        }
+        basis.push(v);
+        added += 1;
+    }
+    added
+}
+
+/// Packs a column list into a dense matrix.
+///
+/// # Panics
+///
+/// Panics if `cols` is empty (no basis directions survived).
+pub(crate) fn columns_to_mat(cols: &[Vec<f64>]) -> DMat {
+    assert!(!cols.is_empty(), "empty basis");
+    DMat::from_cols(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orthonormalizes_and_deflates() {
+        let mut basis = Vec::new();
+        let cand = DMat::from_cols(&[
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+            vec![2.0, 1.0, 0.0], // dependent on the first two
+        ]);
+        let added = orthonormalize_into(&mut basis, &cand);
+        assert_eq!(added, 2, "third column must deflate");
+        let m = columns_to_mat(&basis);
+        let g = &m.transpose() * &m;
+        assert!((&g - &DMat::identity(2)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn respects_existing_basis() {
+        let mut basis = vec![vec![1.0, 0.0]];
+        let cand = DMat::from_cols(&[vec![1.0, 1.0]]);
+        let added = orthonormalize_into(&mut basis, &cand);
+        assert_eq!(added, 1);
+        assert!((basis[1][0]).abs() < 1e-12, "must be orthogonal to e1");
+        assert!((basis[1][1].abs() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! State-space composition: series, parallel, and feedback
+//! interconnections.
+//!
+//! Composition is what the classical frequency-weighted reduction
+//! methods (paper references [15]–[17]) are built on: pre-/post-
+//! multiplying the plant by weighting systems and reducing the
+//! composite. It is also generally useful for assembling blocks
+//! (driver + interconnect + load) into one model.
+
+use numkit::{DMat, NumError};
+
+use crate::StateSpace;
+
+impl StateSpace {
+    /// Series interconnection `self ∘ first`: the output of `first`
+    /// feeds the input of `self`, so the composite realizes
+    /// `H(s) = H_self(s)·H_first(s)`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::ShapeMismatch`] if `first.noutputs() != self.ninputs()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lti::StateSpace;
+    /// use numkit::{c64, DMat};
+    ///
+    /// # fn main() -> Result<(), numkit::NumError> {
+    /// let lp = |a: f64| StateSpace::new(
+    ///     DMat::from_rows(&[&[-a]]),
+    ///     DMat::from_rows(&[&[a]]),
+    ///     DMat::from_rows(&[&[1.0]]),
+    ///     None,
+    /// );
+    /// let cascade = lp(1.0)?.series(&lp(2.0)?)?;
+    /// let h = cascade.transfer_function(c64::ZERO)?;
+    /// assert!((h[(0, 0)].re - 1.0).abs() < 1e-12); // dc gain 1·1
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn series(&self, first: &StateSpace) -> Result<StateSpace, NumError> {
+        if first.noutputs() != self.ninputs() {
+            return Err(NumError::ShapeMismatch {
+                operation: "series interconnection",
+                left: (self.ninputs(), 0),
+                right: (first.noutputs(), 0),
+            });
+        }
+        let n1 = first.nstates();
+        let n2 = self.nstates();
+        let b2c1 = self.b.matmul(&first.c)?;
+        let a = DMat::from_fn(n1 + n2, n1 + n2, |i, j| {
+            if i < n1 && j < n1 {
+                first.a[(i, j)]
+            } else if i >= n1 && j >= n1 {
+                self.a[(i - n1, j - n1)]
+            } else if i >= n1 && j < n1 {
+                b2c1[(i - n1, j)]
+            } else {
+                0.0
+            }
+        });
+        let b2d1 = self.b.matmul(&first.d)?;
+        let b = DMat::from_fn(n1 + n2, first.ninputs(), |i, j| {
+            if i < n1 {
+                first.b[(i, j)]
+            } else {
+                b2d1[(i - n1, j)]
+            }
+        });
+        let d2c1 = self.d.matmul(&first.c)?;
+        let c = DMat::from_fn(self.noutputs(), n1 + n2, |i, j| {
+            if j < n1 {
+                d2c1[(i, j)]
+            } else {
+                self.c[(i, j - n1)]
+            }
+        });
+        let d = self.d.matmul(&first.d)?;
+        StateSpace::new(a, b, c, Some(d))
+    }
+
+    /// Parallel interconnection: `H(s) = H_self(s) + H_other(s)`
+    /// (shared input, summed output).
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::ShapeMismatch`] on differing input/output counts.
+    pub fn parallel(&self, other: &StateSpace) -> Result<StateSpace, NumError> {
+        if self.ninputs() != other.ninputs() || self.noutputs() != other.noutputs() {
+            return Err(NumError::ShapeMismatch {
+                operation: "parallel interconnection",
+                left: (self.noutputs(), self.ninputs()),
+                right: (other.noutputs(), other.ninputs()),
+            });
+        }
+        let n1 = self.nstates();
+        let n2 = other.nstates();
+        let a = DMat::from_fn(n1 + n2, n1 + n2, |i, j| {
+            if i < n1 && j < n1 {
+                self.a[(i, j)]
+            } else if i >= n1 && j >= n1 {
+                other.a[(i - n1, j - n1)]
+            } else {
+                0.0
+            }
+        });
+        let b = DMat::from_fn(n1 + n2, self.ninputs(), |i, j| {
+            if i < n1 {
+                self.b[(i, j)]
+            } else {
+                other.b[(i - n1, j)]
+            }
+        });
+        let c = DMat::from_fn(self.noutputs(), n1 + n2, |i, j| {
+            if j < n1 {
+                self.c[(i, j)]
+            } else {
+                other.c[(i, j - n1)]
+            }
+        });
+        let d = &self.d + &other.d;
+        StateSpace::new(a, b, c, Some(d))
+    }
+
+    /// Negative feedback around `self` with unit feedback gain:
+    /// `H_cl = (I + H)⁻¹·H` (square systems, well-posed when
+    /// `I + D` is invertible).
+    ///
+    /// # Errors
+    ///
+    /// - [`NumError::InvalidArgument`] if the system is not square.
+    /// - [`NumError::Singular`] if `I + D` is singular (algebraic loop).
+    pub fn feedback_unit(&self) -> Result<StateSpace, NumError> {
+        if self.ninputs() != self.noutputs() {
+            return Err(NumError::InvalidArgument("unit feedback needs a square system"));
+        }
+        let p = self.ninputs();
+        let mut id_plus_d = self.d.clone();
+        for i in 0..p {
+            id_plus_d[(i, i)] += 1.0;
+        }
+        let lu = numkit::Lu::new(id_plus_d)?;
+        // Closed loop: ẋ = (A − B·(I+D)⁻¹·C)x + B·(I+D)⁻¹·u,
+        //              y = (I+D)⁻¹·C·x + (I+D)⁻¹·D·u.
+        let minv_c = lu.solve_mat(&self.c)?;
+        let minv_d = lu.solve_mat(&self.d)?;
+        let a = &self.a - &self.b.matmul(&minv_c)?;
+        // B·(I+D)⁻¹ = solve on the transpose side.
+        let b = {
+            let mut idt = self.d.transpose();
+            for i in 0..p {
+                idt[(i, i)] += 1.0;
+            }
+            let lut = numkit::Lu::new(idt)?;
+            let bt = lut.solve_mat(&self.b.transpose())?;
+            bt.transpose()
+        };
+        StateSpace::new(a, b, minv_c, Some(minv_d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::c64;
+
+    fn lowpass(a: f64) -> StateSpace {
+        StateSpace::new(
+            DMat::from_rows(&[&[-a]]),
+            DMat::from_rows(&[&[a]]),
+            DMat::from_rows(&[&[1.0]]),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn series_multiplies_transfer_functions() {
+        let g1 = lowpass(1.0);
+        let g2 = lowpass(3.0);
+        let cascade = g2.series(&g1).unwrap();
+        assert_eq!(cascade.nstates(), 2);
+        for &w in &[0.0, 0.5, 2.0] {
+            let s = c64::new(0.0, w);
+            let h = cascade.transfer_function(s).unwrap()[(0, 0)];
+            let expect = g1.transfer_function(s).unwrap()[(0, 0)]
+                * g2.transfer_function(s).unwrap()[(0, 0)];
+            assert!((h - expect).abs() < 1e-12, "w={w}");
+        }
+    }
+
+    #[test]
+    fn parallel_adds_transfer_functions() {
+        let g1 = lowpass(1.0);
+        let g2 = lowpass(5.0);
+        let sum = g1.parallel(&g2).unwrap();
+        let s = c64::new(0.0, 1.3);
+        let h = sum.transfer_function(s).unwrap()[(0, 0)];
+        let expect = g1.transfer_function(s).unwrap()[(0, 0)]
+            + g2.transfer_function(s).unwrap()[(0, 0)];
+        assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_feedback_closed_loop() {
+        // G = 1/(s+1); closed loop G/(1+G) = 1/(s+2).
+        let g = lowpass(1.0);
+        let cl = g.feedback_unit().unwrap();
+        for &w in &[0.0, 1.0, 4.0] {
+            let s = c64::new(0.0, w);
+            let h = cl.transfer_function(s).unwrap()[(0, 0)];
+            let expect = c64::ONE / (s + c64::from_real(2.0));
+            assert!((h - expect).abs() < 1e-12, "w={w}");
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let g1 = lowpass(1.0);
+        let wide = StateSpace::new(
+            DMat::from_rows(&[&[-1.0]]),
+            DMat::from_rows(&[&[1.0, 2.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            None,
+        )
+        .unwrap();
+        assert!(g1.series(&wide).is_ok()); // wide has 1 output
+        assert!(wide.series(&g1).is_err()); // g1 has 1 output, wide needs 2 inputs
+        assert!(g1.parallel(&wide).is_err());
+        assert!(wide.feedback_unit().is_err());
+    }
+}

@@ -1,0 +1,441 @@
+//! Sparse descriptor systems `E·ẋ = A·x + B·u`, `y = C·x + D·u`.
+//!
+//! This is the natural output of MNA circuit stamping (`E = C`-matrix,
+//! `A = −G`-matrix). `E` may be singular — PMTBR and the projection
+//! baselines handle that case directly, which is one of the paper's
+//! selling points (Section V-A).
+
+use numkit::{c64, DMat, NumError, ZMat};
+use sparsekit::{Csr, SparseLu, Triplet};
+
+use crate::StateSpace;
+
+/// A sparse-matrix descriptor (generalized state-space) model.
+#[derive(Debug, Clone)]
+pub struct Descriptor {
+    /// Descriptor (mass) matrix `E`, `n × n`, possibly singular.
+    pub e: Csr<f64>,
+    /// State matrix `A`, `n × n`.
+    pub a: Csr<f64>,
+    /// Input matrix `B`, `n × p`.
+    pub b: DMat,
+    /// Output matrix `C`, `q × n`.
+    pub c: DMat,
+    /// Feedthrough `D`, `q × p`.
+    pub d: DMat,
+}
+
+impl Descriptor {
+    /// Creates a descriptor model, validating shapes. Missing `d` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for inconsistent dimensions.
+    pub fn new(
+        e: Csr<f64>,
+        a: Csr<f64>,
+        b: DMat,
+        c: DMat,
+        d: Option<DMat>,
+    ) -> Result<Self, NumError> {
+        let n = a.nrows();
+        if a.nrows() != a.ncols() {
+            return Err(NumError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        if e.shape() != a.shape() {
+            return Err(NumError::ShapeMismatch {
+                operation: "descriptor e",
+                left: e.shape(),
+                right: a.shape(),
+            });
+        }
+        if b.nrows() != n || c.ncols() != n {
+            return Err(NumError::ShapeMismatch {
+                operation: "descriptor b/c",
+                left: b.shape(),
+                right: c.shape(),
+            });
+        }
+        let d = d.unwrap_or_else(|| DMat::zeros(c.nrows(), b.ncols()));
+        if d.shape() != (c.nrows(), b.ncols()) {
+            return Err(NumError::ShapeMismatch {
+                operation: "descriptor d",
+                left: (c.nrows(), b.ncols()),
+                right: d.shape(),
+            });
+        }
+        Ok(Descriptor { e, a, b, c, d })
+    }
+
+    /// Number of states.
+    pub fn nstates(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// Number of inputs.
+    pub fn ninputs(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Number of outputs.
+    pub fn noutputs(&self) -> usize {
+        self.c.nrows()
+    }
+
+    /// Factors the complex shifted pencil `(s·E − A)`.
+    ///
+    /// Callers doing many solves at one frequency should reuse the
+    /// returned factorization (C-INTERMEDIATE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if `s` is a generalized eigenvalue.
+    pub fn factor_shifted(&self, s: c64) -> Result<SparseLu<c64>, NumError> {
+        let n = self.nstates();
+        let mut t = Triplet::<c64>::with_capacity(n, n, self.e.nnz() + self.a.nnz());
+        for (i, j, v) in self.e.iter() {
+            t.push(i, j, s.scale(v));
+        }
+        for (i, j, v) in self.a.iter() {
+            t.push(i, j, c64::from_real(-v));
+        }
+        SparseLu::new(&t.to_csc())
+    }
+
+    /// Factors the transposed shifted pencil `(s·E − A)ᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if `s` is a generalized eigenvalue.
+    pub fn factor_shifted_transpose(&self, s: c64) -> Result<SparseLu<c64>, NumError> {
+        let n = self.nstates();
+        let mut t = Triplet::<c64>::with_capacity(n, n, self.e.nnz() + self.a.nnz());
+        for (i, j, v) in self.e.iter() {
+            t.push(j, i, s.scale(v));
+        }
+        for (i, j, v) in self.a.iter() {
+            t.push(j, i, c64::from_real(-v));
+        }
+        SparseLu::new(&t.to_csc())
+    }
+
+    /// Solves `(s·E − A)·Z = R`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Descriptor::factor_shifted`].
+    pub fn solve_shifted(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        self.factor_shifted(s)?.solve_mat(rhs)
+    }
+
+    /// Solves `(s·E − A)ᵀ·Z = R`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Descriptor::factor_shifted_transpose`].
+    pub fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        self.factor_shifted_transpose(s)?.solve_mat(rhs)
+    }
+
+    /// Transfer function `H(s) = C·(sE − A)⁻¹·B + D`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Descriptor::factor_shifted`].
+    pub fn transfer_function(&self, s: c64) -> Result<ZMat, NumError> {
+        let z = self.solve_shifted(s, &self.b.to_complex())?;
+        let h = self.c.to_complex().matmul(&z)?;
+        Ok(&h + &self.d.to_complex())
+    }
+
+    /// Converts to an explicit state-space model `ẋ = E⁻¹A·x + E⁻¹B·u`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if `E` is singular — in that case
+    /// only descriptor-aware algorithms (PMTBR, projection) apply.
+    pub fn to_state_space(&self) -> Result<StateSpace, NumError> {
+        let lu = SparseLu::new(
+            &csr_to_csc(&self.e),
+        )?;
+        let ea = lu.solve_mat(&self.a.to_dense())?;
+        let eb = lu.solve_mat(&self.b)?;
+        StateSpace::new(ea, eb, self.c.clone(), Some(self.d.clone()))
+    }
+
+    /// Petrov–Galerkin projection onto bases `w`, `v`, returning the small
+    /// dense descriptor `(WᵀEV, WᵀAV, WᵀB, CV, D)` converted to a
+    /// state-space model (the reduced `WᵀEV` must be invertible).
+    ///
+    /// Pass `w == v` for a congruence projection, which preserves
+    /// passivity for suitably formulated RC/RLC MNA systems
+    /// (paper Section V-E).
+    ///
+    /// # Errors
+    ///
+    /// Shape errors, or [`NumError::Singular`] if `WᵀEV` is singular.
+    pub fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
+        let n = self.nstates();
+        if w.nrows() != n || v.nrows() != n || w.ncols() != v.ncols() {
+            return Err(NumError::ShapeMismatch {
+                operation: "descriptor projection",
+                left: w.shape(),
+                right: v.shape(),
+            });
+        }
+        let k = v.ncols();
+        // WᵀEV and WᵀAV via sparse row iteration: (sparse · V) then Wᵀ·.
+        let ev = sparse_times_dense(&self.e, v);
+        let av = sparse_times_dense(&self.a, v);
+        let wt = w.transpose();
+        let er = wt.matmul(&ev)?;
+        let ar = wt.matmul(&av)?;
+        let br = wt.matmul(&self.b)?;
+        let cr = self.c.matmul(v)?;
+        reduce_pencil(er, ar, br, cr, self.d.clone(), k)
+    }
+}
+
+/// Converts a small dense pencil `(Er, Ar, Br, Cr, D)` into an explicit
+/// state-space model.
+///
+/// If `Er` is (numerically) singular, the algebraic directions are
+/// eliminated statically, as for an index-1 DAE: in SVD coordinates
+/// `Er = U·Σ·Vᵀ` the zero block of `Σ` yields `0 = A_ad·z_d + A_aa·z_a +
+/// B_a·u`, which is solved for `z_a` and substituted — producing a
+/// smaller ODE *with feedthrough*. This is what makes reduced models of
+/// singular-`E` MNA systems (pure resistive nodes at the ports)
+/// well-posed.
+fn reduce_pencil(
+    er: DMat,
+    ar: DMat,
+    br: DMat,
+    cr: DMat,
+    d: DMat,
+    k: usize,
+) -> Result<StateSpace, NumError> {
+    let f = numkit::svd(&er)?;
+    let rank = f.rank(1e-12);
+    if rank == k {
+        // Regular pencil: plain inversion.
+        let lu = numkit::Lu::new(er)?;
+        let a_red = lu.solve_mat(&ar)?;
+        let b_red = lu.solve_mat(&br)?;
+        return StateSpace::new(a_red, b_red, cr, Some(d));
+    }
+    if rank == 0 {
+        return Err(NumError::InvalidArgument(
+            "reduced descriptor is purely algebraic (zero E projection)",
+        ));
+    }
+    // Transform to SVD coordinates: z = V·[z_d; z_a], equations
+    // premultiplied by Uᵀ. Σ_d is the invertible block.
+    let ut = f.u.adjoint();
+    let abar = ut.matmul(&ar.matmul(&f.v)?)?;
+    let bbar = ut.matmul(&br)?;
+    let cbar = cr.matmul(&f.v)?;
+    let na = k - rank;
+    let add = abar.block(0, rank, 0, rank);
+    let ada = abar.block(0, rank, rank, k);
+    let aad = abar.block(rank, k, 0, rank);
+    let aaa = abar.block(rank, k, rank, k);
+    let bd = bbar.block(0, rank, 0, bbar.ncols());
+    let ba = bbar.block(rank, k, 0, bbar.ncols());
+    let cd = cbar.block(0, cbar.nrows(), 0, rank);
+    let ca = cbar.block(0, cbar.nrows(), rank, k);
+    // Index-1 condition: A_aa invertible.
+    let aaa_lu = numkit::Lu::new(aaa)?;
+    let aaa_inv_aad = aaa_lu.solve_mat(&aad)?;
+    let aaa_inv_ba = aaa_lu.solve_mat(&ba)?;
+    debug_assert_eq!(aaa_inv_aad.nrows(), na);
+    // Dynamic part: Σ_d ż_d = (A_dd − A_da·A_aa⁻¹·A_ad) z_d + (...) u.
+    let a_eff = &add - &ada.matmul(&aaa_inv_aad)?;
+    let b_eff = &bd - &ada.matmul(&aaa_inv_ba)?;
+    let mut a_red = a_eff;
+    let mut b_red = b_eff;
+    for i in 0..rank {
+        let inv_sigma = 1.0 / f.s[i];
+        for j in 0..rank {
+            a_red[(i, j)] *= inv_sigma;
+        }
+        for j in 0..b_red.ncols() {
+            b_red[(i, j)] *= inv_sigma;
+        }
+    }
+    let c_red = &cd - &ca.matmul(&aaa_inv_aad)?;
+    let d_red = &d - &ca.matmul(&aaa_inv_ba)?;
+    StateSpace::new(a_red, b_red, c_red, Some(d_red))
+}
+
+/// Multiplies a sparse CSR matrix by a dense matrix.
+pub(crate) fn sparse_times_dense(m: &Csr<f64>, v: &DMat) -> DMat {
+    assert_eq!(m.ncols(), v.nrows(), "sparse_times_dense: shape mismatch");
+    let mut out = DMat::zeros(m.nrows(), v.ncols());
+    for i in 0..m.nrows() {
+        let (cols, vals) = m.row(i);
+        for (&cidx, &mv) in cols.iter().zip(vals) {
+            for j in 0..v.ncols() {
+                out[(i, j)] += mv * v[(cidx, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Rebuilds a CSC copy of a CSR matrix.
+pub(crate) fn csr_to_csc(m: &Csr<f64>) -> sparsekit::Csc<f64> {
+    let mut t = Triplet::with_capacity(m.nrows(), m.ncols(), m.nnz());
+    for (i, j, v) in m.iter() {
+        t.push(i, j, v);
+    }
+    t.to_csc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RC line: 3 nodes, unit R to ground-driven source at node 0.
+    fn rc_line() -> Descriptor {
+        // G (conductance): chain of 1Ω resistors; C: 1F at each node.
+        let n = 3;
+        let mut g = Triplet::new(n, n);
+        for i in 0..n - 1 {
+            g.push(i, i, 1.0);
+            g.push(i + 1, i + 1, 1.0);
+            g.push(i, i + 1, -1.0);
+            g.push(i + 1, i, -1.0);
+        }
+        g.push(0, 0, 1.0); // grounding resistor at the driven node
+        let mut cm = Triplet::new(n, n);
+        for i in 0..n {
+            cm.push(i, i, 1.0);
+        }
+        // E = C, A = -G; input: current into node 0; output: voltage node 2.
+        let a = {
+            let mut t = Triplet::new(n, n);
+            for (i, j, v) in g.to_csr().iter() {
+                t.push(i, j, -v);
+            }
+            t.to_csr()
+        };
+        let mut b = DMat::zeros(n, 1);
+        b[(0, 0)] = 1.0;
+        let mut c = DMat::zeros(1, n);
+        c[(0, 2)] = 1.0;
+        Descriptor::new(cm.to_csr(), a, b, c, None).unwrap()
+    }
+
+    #[test]
+    fn descriptor_matches_state_space_transfer() {
+        let d = rc_line();
+        let ss = d.to_state_space().unwrap();
+        for &w in &[0.0, 0.3, 1.0, 5.0] {
+            let s = c64::new(0.0, w);
+            let hd = d.transfer_function(s).unwrap()[(0, 0)];
+            let hs = ss.transfer_function(s).unwrap()[(0, 0)];
+            assert!((hd - hs).abs() < 1e-10, "mismatch at w={w}");
+        }
+    }
+
+    #[test]
+    fn dc_value_is_input_resistance_path() {
+        let d = rc_line();
+        // At dc, current 1A into node 0 through the grounding resistor
+        // network: v2 = v1 = v0 = 1V (no current flows in the chain).
+        let h0 = d.transfer_function(c64::ZERO).unwrap()[(0, 0)];
+        assert!((h0.re - 1.0).abs() < 1e-10, "got {h0}");
+    }
+
+    #[test]
+    fn identity_projection_preserves_transfer() {
+        let d = rc_line();
+        let v = DMat::identity(3);
+        let red = d.project(&v, &v).unwrap();
+        let s = c64::new(0.0, 2.0);
+        let h1 = d.transfer_function(s).unwrap()[(0, 0)];
+        let h2 = red.transfer_function(s).unwrap()[(0, 0)];
+        assert!((h1 - h2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transpose_solve_agrees_with_dense() {
+        let d = rc_line();
+        let s = c64::new(0.1, 1.0);
+        let rhs = d.c.adjoint().to_complex();
+        let z = d.solve_shifted_transpose(s, &rhs).unwrap();
+        // Dense verification: (sE − A)ᵀ z = rhs.
+        let m = {
+            let e = d.e.to_dense().to_complex();
+            let a = d.a.to_dense().to_complex();
+            let mut m = ZMat::zeros(3, 3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    m[(i, j)] = s * e[(i, j)] - a[(i, j)];
+                }
+            }
+            m.transpose()
+        };
+        let mz = m.matmul(&z).unwrap();
+        assert!((&mz - &rhs).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn projection_with_singular_reduced_e_eliminates_algebraic_part() {
+        // Port node with no capacitance: its direction is algebraic. A
+        // full-order projection produces a singular reduced E, which must
+        // be Kron-eliminated into an ODE + feedthrough, not rejected.
+        let mut nl_e = Triplet::new(3, 3);
+        nl_e.push(1, 1, 1e-12); // only node 2 carries capacitance
+        nl_e.push(2, 2, 2e-12);
+        let mut nl_g = Triplet::new(3, 3);
+        // Node 1 (port) - R - node 2 - R - node 3 - R - ground; node 1
+        // also has a grounding resistor.
+        for (i, j, g) in [(0, 1, 1e-3), (1, 2, 2e-3)] {
+            nl_g.push(i, i, g);
+            nl_g.push(j, j, g);
+            nl_g.push(i, j, -g);
+            nl_g.push(j, i, -g);
+        }
+        nl_g.push(2, 2, 1e-3);
+        nl_g.push(0, 0, 5e-4);
+        let a = {
+            let mut t = Triplet::new(3, 3);
+            for (i, j, v) in nl_g.to_csr().iter() {
+                t.push(i, j, -v);
+            }
+            t.to_csr()
+        };
+        let mut b = DMat::zeros(3, 1);
+        b[(0, 0)] = 1.0;
+        let mut c = DMat::zeros(1, 3);
+        c[(0, 0)] = 1.0;
+        let sys = Descriptor::new(nl_e.to_csr(), a, b, c, None).unwrap();
+        let v = DMat::identity(3);
+        let red = sys.project(&v, &v).unwrap();
+        assert_eq!(red.nstates(), 2, "one algebraic direction must be eliminated");
+        assert!(red.d[(0, 0)] != 0.0, "static elimination must produce feedthrough");
+        for &w in &[0.0, 1e8, 1e9, 1e10] {
+            let s = c64::new(0.0, w);
+            let h = sys.transfer_function(s).unwrap()[(0, 0)];
+            let hr = red.transfer_function(s).unwrap()[(0, 0)];
+            assert!((h - hr).abs() < 1e-8 * h.abs().max(1e-12), "w={w}: {h} vs {hr}");
+        }
+    }
+
+    #[test]
+    fn singular_e_rejected_for_state_space_but_fine_for_solve() {
+        let mut e = Triplet::new(2, 2);
+        e.push(0, 0, 1.0); // singular E: second state is algebraic
+        let mut a = Triplet::new(2, 2);
+        a.push(0, 0, -1.0);
+        a.push(1, 1, -1.0);
+        let b = DMat::from_rows(&[&[1.0], &[1.0]]);
+        let c = DMat::from_rows(&[&[1.0, 1.0]]);
+        let d = Descriptor::new(e.to_csr(), a.to_csr(), b, c, None).unwrap();
+        assert!(matches!(d.to_state_space(), Err(NumError::Singular { .. })));
+        // But shifted solves are perfectly fine (this is the PMTBR path).
+        let h = d.transfer_function(c64::new(0.0, 1.0)).unwrap();
+        assert!(h[(0, 0)].is_finite());
+    }
+}

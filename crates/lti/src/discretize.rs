@@ -1,0 +1,259 @@
+//! Continuous-to-discrete conversion of state-space models.
+//!
+//! Two classical maps are provided: zero-order hold (exact for staircase
+//! inputs, via the matrix exponential) and Tustin/bilinear (the
+//! transform the trapezoidal simulator implicitly applies). Reduced
+//! parasitic models are consumed by discrete-time simulators and timing
+//! engines, so the conversion is part of the deliverable — and the ZOH
+//! map doubles as an exact reference for integrator validation.
+
+use numkit::{expm, DMat, Lu, NumError};
+
+use crate::StateSpace;
+
+/// A discrete-time state-space model `x[k+1] = A·x[k] + B·u[k]`,
+/// `y[k] = C·x[k] + D·u[k]`, tagged with its sample period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteStateSpace {
+    /// Discrete state matrix.
+    pub a: DMat,
+    /// Discrete input matrix.
+    pub b: DMat,
+    /// Output matrix.
+    pub c: DMat,
+    /// Feedthrough.
+    pub d: DMat,
+    /// Sample period in seconds.
+    pub dt: f64,
+}
+
+impl DiscreteStateSpace {
+    /// Number of states.
+    pub fn nstates(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// Simulates from rest over the columns of `u` (`p × nt`).
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::ShapeMismatch`] if `u` has the wrong row count.
+    pub fn simulate(&self, u: &DMat) -> Result<DMat, NumError> {
+        if u.nrows() != self.b.ncols() {
+            return Err(NumError::ShapeMismatch {
+                operation: "discrete simulate",
+                left: (self.b.ncols(), 0),
+                right: u.shape(),
+            });
+        }
+        let n = self.nstates();
+        let nt = u.ncols();
+        let mut x = vec![0.0f64; n];
+        let mut y = DMat::zeros(self.c.nrows(), nt);
+        for k in 0..nt {
+            let uk = u.col(k);
+            for i in 0..self.c.nrows() {
+                let mut acc = 0.0;
+                for (j, &xj) in x.iter().enumerate() {
+                    acc += self.c[(i, j)] * xj;
+                }
+                for (j, &uj) in uk.iter().enumerate() {
+                    acc += self.d[(i, j)] * uj;
+                }
+                y[(i, k)] = acc;
+            }
+            // x ← A x + B u.
+            let ax = self.a.mul_vec(&x);
+            let mut xn = ax;
+            for i in 0..n {
+                for (j, &uj) in uk.iter().enumerate() {
+                    xn[i] += self.b[(i, j)] * uj;
+                }
+            }
+            x = xn;
+        }
+        Ok(y)
+    }
+}
+
+/// Zero-order-hold discretization: exact when the input is constant over
+/// each period.
+///
+/// Uses the block-matrix trick `exp([[A, B], [0, 0]]·dt) = [[A_d, B_d],
+/// [0, I]]`, which handles singular `A` without special cases.
+///
+/// # Errors
+///
+/// [`NumError::InvalidArgument`] for a non-positive period; propagates
+/// `expm` failures.
+///
+/// # Examples
+///
+/// ```
+/// use lti::{c2d_zoh, StateSpace};
+/// use numkit::DMat;
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = StateSpace::new(
+///     DMat::from_rows(&[&[-1.0]]),
+///     DMat::from_rows(&[&[1.0]]),
+///     DMat::from_rows(&[&[1.0]]),
+///     None,
+/// )?;
+/// let dsys = c2d_zoh(&sys, 0.1)?;
+/// assert!((dsys.a[(0, 0)] - (-0.1f64).exp()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn c2d_zoh(sys: &StateSpace, dt: f64) -> Result<DiscreteStateSpace, NumError> {
+    if !(dt > 0.0 && dt.is_finite()) {
+        return Err(NumError::InvalidArgument("sample period must be positive and finite"));
+    }
+    let n = sys.nstates();
+    let p = sys.ninputs();
+    let mut block = DMat::zeros(n + p, n + p);
+    for i in 0..n {
+        for j in 0..n {
+            block[(i, j)] = sys.a[(i, j)] * dt;
+        }
+        for j in 0..p {
+            block[(i, n + j)] = sys.b[(i, j)] * dt;
+        }
+    }
+    let e = expm(&block)?;
+    let ad = e.block(0, n, 0, n);
+    let bd = e.block(0, n, n, n + p);
+    Ok(DiscreteStateSpace { a: ad, b: bd, c: sys.c.clone(), d: sys.d.clone(), dt })
+}
+
+/// Tustin (bilinear) discretization:
+/// `A_d = (I − A·dt/2)⁻¹(I + A·dt/2)` etc. — the map the trapezoidal
+/// integrator realizes, with optional prewarping left to the caller.
+///
+/// # Errors
+///
+/// [`NumError::InvalidArgument`] for a non-positive period;
+/// [`NumError::Singular`] if `I − A·dt/2` is singular (period at a pole).
+pub fn c2d_tustin(sys: &StateSpace, dt: f64) -> Result<DiscreteStateSpace, NumError> {
+    if !(dt > 0.0 && dt.is_finite()) {
+        return Err(NumError::InvalidArgument("sample period must be positive and finite"));
+    }
+    let n = sys.nstates();
+    let half = dt / 2.0;
+    let m_minus = DMat::from_fn(n, n, |i, j| {
+        (if i == j { 1.0 } else { 0.0 }) - half * sys.a[(i, j)]
+    });
+    let m_plus = DMat::from_fn(n, n, |i, j| {
+        (if i == j { 1.0 } else { 0.0 }) + half * sys.a[(i, j)]
+    });
+    let lu = Lu::new(m_minus)?;
+    let ad = lu.solve_mat(&m_plus)?;
+    let bd = lu.solve_mat(&sys.b.scale(dt))?;
+    // Output equation keeps C, with the Tustin correction folded into D:
+    // y[k] = C·(x[k] + (dt/2)·(A x[k] + B u[k]))… the standard state-space
+    // Tustin uses C_d = C(I − A·dt/2)⁻¹ and D_d = D + C_d·B·dt/2.
+    let cd = {
+        // C_d = C·(I − A·dt/2)⁻¹ via transposed solves.
+        let mt = DMat::from_fn(n, n, |i, j| {
+            (if i == j { 1.0 } else { 0.0 }) - half * sys.a[(j, i)]
+        });
+        let lut = Lu::new(mt)?;
+        let mut out = DMat::zeros(sys.c.nrows(), n);
+        for r in 0..sys.c.nrows() {
+            let row: Vec<f64> = (0..n).map(|j| sys.c[(r, j)]).collect();
+            let sol = lut.solve(&row)?;
+            for j in 0..n {
+                out[(r, j)] = sol[j];
+            }
+        }
+        out
+    };
+    let dd = &sys.d + &cd.matmul(&sys.b.scale(half))?;
+    Ok(DiscreteStateSpace { a: ad, b: bd, c: cd, d: dd, dt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_pole() -> StateSpace {
+        StateSpace::new(
+            DMat::from_rows(&[&[-2.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zoh_step_response_is_exact() {
+        // For a staircase (step) input, ZOH simulation is exact at the
+        // sample instants: y(kh) = (1 − e^{−2kh})/2.
+        let sys = one_pole();
+        let dt = 0.05;
+        let d = c2d_zoh(&sys, dt).unwrap();
+        let u = DMat::from_fn(1, 100, |_, _| 1.0);
+        let y = d.simulate(&u).unwrap();
+        for k in (0..100).step_by(10) {
+            let t = k as f64 * dt;
+            let expect = (1.0 - (-2.0 * t).exp()) / 2.0;
+            assert!((y[(0, k)] - expect).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn zoh_handles_singular_a() {
+        // A pure integrator: A = 0, B = 1. A_d = 1, B_d = dt.
+        let sys = StateSpace::new(
+            DMat::zeros(1, 1),
+            DMat::from_rows(&[&[1.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            None,
+        )
+        .unwrap();
+        let d = c2d_zoh(&sys, 0.25).unwrap();
+        assert!((d.a[(0, 0)] - 1.0).abs() < 1e-14);
+        assert!((d.b[(0, 0)] - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tustin_matches_trapezoidal_simulator() {
+        // The Tustin-discretized model must reproduce simulate_ss (which
+        // integrates with the trapezoidal rule) for midpoint-consistent
+        // input handling: compare on a smooth input.
+        let sys = one_pole();
+        let dt = 0.02;
+        let nt = 200;
+        let u = DMat::from_fn(1, nt, |_, k| (0.3 * k as f64 * dt).sin());
+        let tr = crate::simulate_ss(&sys, &u, dt).unwrap();
+        let d = c2d_tustin(&sys, dt).unwrap();
+        let y = d.simulate(&u).unwrap();
+        // Same order of accuracy: agreement to O(dt²) over the horizon.
+        let mut worst: f64 = 0.0;
+        for k in 0..nt {
+            worst = worst.max((y[(0, k)] - tr.y[(0, k)]).abs());
+        }
+        assert!(worst < 5e-3, "tustin vs trapezoidal: {worst:.2e}");
+    }
+
+    #[test]
+    fn tustin_preserves_dc_gain() {
+        let sys = one_pole();
+        let d = c2d_tustin(&sys, 0.1).unwrap();
+        // Discrete dc gain: C_d (I − A_d)⁻¹ B_d + D_d = continuous H(0).
+        let n = d.nstates();
+        let ia = DMat::from_fn(n, n, |i, j| (if i == j { 1.0 } else { 0.0 }) - d.a[(i, j)]);
+        let x = Lu::new(ia).unwrap().solve_mat(&d.b).unwrap();
+        let g = &d.c.matmul(&x).unwrap() + &d.d;
+        let h0 = sys.transfer_function(numkit::c64::ZERO).unwrap()[(0, 0)].re;
+        assert!((g[(0, 0)] - h0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_period_rejected() {
+        let sys = one_pole();
+        assert!(c2d_zoh(&sys, 0.0).is_err());
+        assert!(c2d_tustin(&sys, -1.0).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! # lti — LTI systems, Gramians, exact TBR, and simulation
+//!
+//! The control-theoretic substrate of the PMTBR reproduction:
+//!
+//! - [`StateSpace`] (dense) and [`Descriptor`] (sparse, possibly
+//!   singular-`E`) models, unified by the [`LtiSystem`] trait;
+//! - Bartels–Stewart [`lyap`]/[`sylvester`] solvers and the exact
+//!   [`tbr`] baseline with Hankel singular values and the classical
+//!   `2·Σσ` error bound;
+//! - the cross-Gramian method of the paper's Section V-D;
+//! - frequency sweeps ([`frequency_response`]) and trapezoidal transient
+//!   simulation ([`simulate_descriptor`], [`simulate_ss`]), plus exact
+//!   ZOH/Tustin discretization ([`c2d_zoh`], [`c2d_tustin`]);
+//! - frequency-limited (Gawronski–Juang) Gramians and TBR
+//!   ([`frequency_limited_tbr`]) — the exact counterpart of
+//!   frequency-selective PMTBR;
+//! - balanced residualization ([`tbr_residualized`], dc-exact) and the
+//!   [`h2_norm`];
+//! - sampled passivity verification ([`is_passive_sampled`]);
+//! - the waveform generators behind the input-correlated experiments
+//!   ([`dithered_square_inputs`], [`latent_mixture_inputs`]) and state
+//!   snapshots for empirical Gramians ([`state_snapshots`]).
+//!
+//! ```
+//! use lti::{hankel_singular_values, tbr, StateSpace};
+//! use numkit::DMat;
+//!
+//! # fn main() -> Result<(), numkit::NumError> {
+//! let sys = StateSpace::new(
+//!     DMat::from_diag(&[-1.0, -10.0, -100.0]),
+//!     DMat::from_rows(&[&[1.0], &[1.0], &[0.01]]),
+//!     DMat::from_rows(&[&[1.0, 1.0, 0.01]]),
+//!     None,
+//! )?;
+//! let hsv = hankel_singular_values(&sys)?;
+//! assert!(hsv[0] > hsv[2]);
+//! let reduced = tbr(&sys, 2)?;
+//! assert!(reduced.error_bound < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compose;
+mod descriptor;
+mod discretize;
+mod freq;
+mod freqlim;
+mod lyap;
+mod passivity;
+mod realify;
+mod signal;
+mod snapshots;
+mod ss;
+mod system;
+mod tbr;
+mod transient;
+mod weighted;
+
+pub use descriptor::Descriptor;
+pub use discretize::{c2d_tustin, c2d_zoh, DiscreteStateSpace};
+pub use freq::{
+    frequency_response, hinf_estimate, linspace, logspace, max_abs_error, max_rel_error,
+    FreqResponse,
+};
+pub use freqlim::{band_controllability_gramian, band_observability_gramian, frequency_limited_tbr};
+pub use lyap::{lyap, lyap_residual, sylvester};
+pub use passivity::{hermitian_part_eigenvalues, is_passive_sampled, passivity_margin};
+pub use realify::realify_columns;
+pub use signal::{
+    correlation_rank, dithered_square_inputs, input_correlation_svd, latent_mixture_inputs,
+    random_phase_square_inputs, SquareWave,
+};
+pub use snapshots::state_snapshots;
+pub use ss::StateSpace;
+pub use system::LtiSystem;
+pub use tbr::{
+    controllability_gramian, correlated_controllability_gramian, cross_gramian,
+    cross_gramian_reduce, h2_norm, hankel_from_gramians, hankel_singular_values,
+    observability_gramian, tbr, tbr_error_bounds, tbr_from_gramians, tbr_residualized, TbrModel,
+};
+pub use transient::{max_transient_error, simulate_descriptor, simulate_ss, Transient};
+pub use weighted::{weighted_controllability_gramian, weighted_observability_gramian, weighted_tbr};

@@ -1,0 +1,69 @@
+//! Realification of complex sample blocks.
+//!
+//! Projection bases must be real for the reduced models to be usable in
+//! time-domain simulation (paper Section V-C). A complex sample column
+//! `z` taken at `s` together with its conjugate (taken implicitly at
+//! `s̄`, step 5 of Algorithm 1) spans the same space as `[Re z, Im z]` —
+//! so we store the real and imaginary parts instead.
+
+use numkit::{DMat, ZMat};
+
+/// Expands complex columns into real/imaginary column pairs.
+///
+/// For each column `z` of `z_cols`, appends `Re z`, and also `Im z`
+/// whenever its norm exceeds `drop_tol` times the column norm (columns
+/// from real sample points have negligible imaginary parts and
+/// contribute one real column, matching Algorithm 1's case split).
+pub fn realify_columns(z_cols: &ZMat, drop_tol: f64) -> DMat {
+    let n = z_cols.nrows();
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(2 * z_cols.ncols());
+    for j in 0..z_cols.ncols() {
+        let col = z_cols.col(j);
+        let re: Vec<f64> = col.iter().map(|v| v.re).collect();
+        let im: Vec<f64> = col.iter().map(|v| v.im).collect();
+        let total: f64 = col.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
+        let re_norm: f64 = re.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let im_norm: f64 = im.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if re_norm > drop_tol * total {
+            cols.push(re);
+        }
+        if im_norm > drop_tol * total {
+            cols.push(im);
+        }
+    }
+    if cols.is_empty() {
+        return DMat::zeros(n, 0);
+    }
+    DMat::from_cols(&cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::c64;
+
+    #[test]
+    fn real_columns_stay_single() {
+        let z = ZMat::from_fn(3, 2, |i, j| c64::from_real((i + j + 1) as f64));
+        let r = realify_columns(&z, 1e-12);
+        assert_eq!(r.ncols(), 2);
+        assert_eq!(r[(2, 1)], 4.0);
+    }
+
+    #[test]
+    fn complex_columns_split_into_pairs() {
+        let z = ZMat::from_fn(3, 1, |i, _| c64::new(i as f64 + 1.0, -(i as f64) - 0.5));
+        let r = realify_columns(&z, 1e-12);
+        assert_eq!(r.ncols(), 2);
+        assert_eq!(r[(0, 0)], 1.0);
+        assert_eq!(r[(0, 1)], -0.5);
+    }
+
+    #[test]
+    fn purely_imaginary_column_keeps_only_imag() {
+        let z = ZMat::from_fn(2, 1, |i, _| c64::new(0.0, (i + 1) as f64));
+        let r = realify_columns(&z, 1e-9);
+        assert_eq!(r.ncols(), 1);
+        assert_eq!(r[(1, 0)], 2.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Dense state-space models `ẋ = A·x + B·u`, `y = C·x + D·u`.
+
+use numkit::{c64, eig, DMat, Lu, NumError, ZMat};
+
+/// A dense linear time-invariant state-space model.
+///
+/// The matrices are public by design — this is a numerical "data struct"
+/// that downstream algorithms (TBR, PMTBR, Krylov projectors) read and
+/// transform freely. Shape invariants are validated at construction.
+///
+/// # Examples
+///
+/// ```
+/// use numkit::DMat;
+/// use lti::StateSpace;
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// // A one-pole RC low-pass: H(s) = 1/(s + 1).
+/// let sys = StateSpace::new(
+///     DMat::from_rows(&[&[-1.0]]),
+///     DMat::from_rows(&[&[1.0]]),
+///     DMat::from_rows(&[&[1.0]]),
+///     None,
+/// )?;
+/// let h0 = sys.transfer_function(numkit::c64::ZERO)?;
+/// assert!((h0[(0, 0)].re - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    /// State matrix, `n × n`.
+    pub a: DMat,
+    /// Input matrix, `n × p`.
+    pub b: DMat,
+    /// Output matrix, `q × n`.
+    pub c: DMat,
+    /// Feedthrough matrix, `q × p`.
+    pub d: DMat,
+}
+
+impl StateSpace {
+    /// Creates a model, validating shapes. A missing `d` defaults to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] / [`NumError::NotSquare`] on
+    /// inconsistent dimensions.
+    pub fn new(a: DMat, b: DMat, c: DMat, d: Option<DMat>) -> Result<Self, NumError> {
+        let n = a.nrows();
+        if !a.is_square() {
+            return Err(NumError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        if b.nrows() != n {
+            return Err(NumError::ShapeMismatch {
+                operation: "state-space b",
+                left: a.shape(),
+                right: b.shape(),
+            });
+        }
+        if c.ncols() != n {
+            return Err(NumError::ShapeMismatch {
+                operation: "state-space c",
+                left: a.shape(),
+                right: c.shape(),
+            });
+        }
+        let d = d.unwrap_or_else(|| DMat::zeros(c.nrows(), b.ncols()));
+        if d.shape() != (c.nrows(), b.ncols()) {
+            return Err(NumError::ShapeMismatch {
+                operation: "state-space d",
+                left: (c.nrows(), b.ncols()),
+                right: d.shape(),
+            });
+        }
+        Ok(StateSpace { a, b, c, d })
+    }
+
+    /// Number of states.
+    pub fn nstates(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// Number of inputs.
+    pub fn ninputs(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Number of outputs.
+    pub fn noutputs(&self) -> usize {
+        self.c.nrows()
+    }
+
+    /// Transfer function `H(s) = C·(sI − A)⁻¹·B + D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if `s` is an eigenvalue of `A`.
+    pub fn transfer_function(&self, s: c64) -> Result<ZMat, NumError> {
+        let z = self.solve_shifted(s, &self.b.to_complex())?;
+        let h = self.c.to_complex().matmul(&z)?;
+        Ok(&h + &self.d.to_complex())
+    }
+
+    /// Solves `(sI − A)·Z = R` for a complex shift `s` and dense
+    /// right-hand sides `R`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if `s` is an eigenvalue of `A`.
+    pub fn solve_shifted(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        let n = self.nstates();
+        let mut m = ZMat::from_fn(n, n, |i, j| c64::from_real(-self.a[(i, j)]));
+        for i in 0..n {
+            m[(i, i)] += s;
+        }
+        Lu::new(m)?.solve_mat(rhs)
+    }
+
+    /// Solves the transposed shifted system `(sI − A)ᵀ·Z = R`
+    /// (plain transpose — used for observability samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if `s` is an eigenvalue of `A`.
+    pub fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        let n = self.nstates();
+        let mut m = ZMat::from_fn(n, n, |i, j| c64::from_real(-self.a[(j, i)]));
+        for i in 0..n {
+            m[(i, i)] += s;
+        }
+        Lu::new(m)?.solve_mat(rhs)
+    }
+
+    /// System poles (eigenvalues of `A`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigensolver failures.
+    pub fn poles(&self) -> Result<Vec<c64>, NumError> {
+        Ok(eig(&self.a)?.values)
+    }
+
+    /// `true` if every pole has strictly negative real part.
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigensolver failures.
+    pub fn is_stable(&self) -> Result<bool, NumError> {
+        Ok(self.poles()?.iter().all(|p| p.re < 0.0))
+    }
+
+    /// DC gain `H(0) = −C·A⁻¹·B + D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if `A` is singular (pole at dc).
+    pub fn dc_gain(&self) -> Result<DMat, NumError> {
+        let x = Lu::new(self.a.clone())?.solve_mat(&self.b)?;
+        let cab = self.c.matmul(&x)?;
+        Ok(&self.d - &cab)
+    }
+
+    /// Petrov–Galerkin projection: `(WᵀAV, WᵀB, CV, D)`.
+    ///
+    /// For a congruence (one-sided, structure/passivity-preserving)
+    /// projection pass the same matrix for `w` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `w`/`v` row counts don't
+    /// match the state dimension or their column counts differ.
+    pub fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
+        let n = self.nstates();
+        if w.nrows() != n || v.nrows() != n || w.ncols() != v.ncols() {
+            return Err(NumError::ShapeMismatch {
+                operation: "projection",
+                left: w.shape(),
+                right: v.shape(),
+            });
+        }
+        let wt = w.transpose();
+        let ar = wt.matmul(&self.a.matmul(v)?)?;
+        let br = wt.matmul(&self.b)?;
+        let cr = self.c.matmul(v)?;
+        StateSpace::new(ar, br, cr, Some(self.d.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pole() -> StateSpace {
+        // Poles at -1, -2; H(s) = 1/(s+1) + 1/(s+2).
+        StateSpace::new(
+            DMat::from_diag(&[-1.0, -2.0]),
+            DMat::from_rows(&[&[1.0], &[1.0]]),
+            DMat::from_rows(&[&[1.0, 1.0]]),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes_validated() {
+        let bad = StateSpace::new(DMat::zeros(2, 2), DMat::zeros(3, 1), DMat::zeros(1, 2), None);
+        assert!(bad.is_err());
+        let bad = StateSpace::new(DMat::zeros(2, 3), DMat::zeros(2, 1), DMat::zeros(1, 2), None);
+        assert!(matches!(bad, Err(NumError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn transfer_function_known_values() {
+        let sys = two_pole();
+        // H(0) = 1 + 1/2 = 1.5
+        let h0 = sys.transfer_function(c64::ZERO).unwrap();
+        assert!((h0[(0, 0)].re - 1.5).abs() < 1e-12);
+        // H(j) = 1/(1+j) + 1/(2+j)
+        let hj = sys.transfer_function(c64::I).unwrap()[(0, 0)];
+        let expect = c64::ONE / c64::new(1.0, 1.0) + c64::ONE / c64::new(2.0, 1.0);
+        assert!((hj - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_gain_matches_transfer_function_at_zero() {
+        let sys = two_pole();
+        let g = sys.dc_gain().unwrap();
+        assert!((g[(0, 0)] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poles_and_stability() {
+        let sys = two_pole();
+        let mut p: Vec<f64> = sys.poles().unwrap().iter().map(|z| z.re).collect();
+        p.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((p[0] + 2.0).abs() < 1e-10 && (p[1] + 1.0).abs() < 1e-10);
+        assert!(sys.is_stable().unwrap());
+        let unstable =
+            StateSpace::new(DMat::from_diag(&[1.0]), DMat::zeros(1, 1), DMat::zeros(1, 1), None)
+                .unwrap();
+        assert!(!unstable.is_stable().unwrap());
+    }
+
+    #[test]
+    fn identity_projection_is_noop() {
+        let sys = two_pole();
+        let i = DMat::identity(2);
+        let proj = sys.project(&i, &i).unwrap();
+        assert_eq!(proj, sys);
+    }
+
+    #[test]
+    fn projection_reduces_dimensions() {
+        let sys = two_pole();
+        let v = DMat::from_rows(&[&[1.0], &[0.0]]);
+        let red = sys.project(&v, &v).unwrap();
+        assert_eq!(red.nstates(), 1);
+        assert_eq!(red.a[(0, 0)], -1.0);
+        // The projected model keeps only the -1 pole.
+        let h0 = red.transfer_function(c64::ZERO).unwrap();
+        assert!((h0[(0, 0)].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_solve_consistency() {
+        let sys = two_pole();
+        let s = c64::new(0.5, 1.0);
+        let rhs = sys.c.adjoint().to_complex();
+        let z1 = sys.solve_shifted_transpose(s, &rhs).unwrap();
+        // Compare against explicitly transposing A.
+        let at = StateSpace::new(
+            sys.a.transpose(),
+            DMat::zeros(2, 1),
+            DMat::zeros(1, 2),
+            None,
+        )
+        .unwrap();
+        let z2 = at.solve_shifted(s, &rhs).unwrap();
+        assert!((&z1 - &z2).norm_max() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! The [`LtiSystem`] abstraction over dense state-space and sparse
+//! descriptor models.
+//!
+//! All reduction algorithms in this workspace (PMTBR variants, PRIMA,
+//! multipoint projection, exact TBR where applicable) are written against
+//! this trait, so they apply uniformly to `ẋ = Ax + Bu` and
+//! `Eẋ = Ax + Bu` systems — including singular-`E` descriptor systems.
+
+use numkit::{c64, DMat, NumError, ZMat};
+
+use crate::{Descriptor, StateSpace};
+
+/// A linear time-invariant system that reduction algorithms can sample.
+///
+/// The required operations are exactly what frequency-domain projection
+/// needs: shifted solves `(sE − A)⁻¹R` (and their transposes, for
+/// observability-side samples), access to `B`/`C`/`D`, and projection.
+pub trait LtiSystem {
+    /// Number of states.
+    fn nstates(&self) -> usize;
+    /// Number of inputs.
+    fn ninputs(&self) -> usize;
+    /// Number of outputs.
+    fn noutputs(&self) -> usize;
+    /// Input matrix `B` (`n × p`).
+    fn input_matrix(&self) -> &DMat;
+    /// Output matrix `C` (`q × n`).
+    fn output_matrix(&self) -> &DMat;
+    /// Feedthrough `D` (`q × p`).
+    fn feedthrough(&self) -> &DMat;
+
+    /// Solves `(s·E − A)·Z = R` (with `E = I` for plain state space).
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::Singular`] if `s` is a (generalized) eigenvalue.
+    fn solve_shifted(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError>;
+
+    /// Solves `(s·E − A)ᵀ·Z = R`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::Singular`] if `s` is a (generalized) eigenvalue.
+    fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError>;
+
+    /// Projects onto bases `(w, v)`, producing a reduced dense model.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors; for descriptor systems also a singular reduced `E`.
+    fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError>;
+
+    /// Transfer function `H(s) = C·(sE − A)⁻¹·B + D`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LtiSystem::solve_shifted`] errors.
+    fn transfer_function(&self, s: c64) -> Result<ZMat, NumError> {
+        let z = self.solve_shifted(s, &self.input_matrix().to_complex())?;
+        let h = self.output_matrix().to_complex().matmul(&z)?;
+        Ok(&h + &self.feedthrough().to_complex())
+    }
+}
+
+impl LtiSystem for StateSpace {
+    fn nstates(&self) -> usize {
+        StateSpace::nstates(self)
+    }
+    fn ninputs(&self) -> usize {
+        StateSpace::ninputs(self)
+    }
+    fn noutputs(&self) -> usize {
+        StateSpace::noutputs(self)
+    }
+    fn input_matrix(&self) -> &DMat {
+        &self.b
+    }
+    fn output_matrix(&self) -> &DMat {
+        &self.c
+    }
+    fn feedthrough(&self) -> &DMat {
+        &self.d
+    }
+    fn solve_shifted(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        StateSpace::solve_shifted(self, s, rhs)
+    }
+    fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        StateSpace::solve_shifted_transpose(self, s, rhs)
+    }
+    fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
+        StateSpace::project(self, w, v)
+    }
+}
+
+impl LtiSystem for Descriptor {
+    fn nstates(&self) -> usize {
+        Descriptor::nstates(self)
+    }
+    fn ninputs(&self) -> usize {
+        Descriptor::ninputs(self)
+    }
+    fn noutputs(&self) -> usize {
+        Descriptor::noutputs(self)
+    }
+    fn input_matrix(&self) -> &DMat {
+        &self.b
+    }
+    fn output_matrix(&self) -> &DMat {
+        &self.c
+    }
+    fn feedthrough(&self) -> &DMat {
+        &self.d
+    }
+    fn solve_shifted(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        Descriptor::solve_shifted(self, s, rhs)
+    }
+    fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        Descriptor::solve_shifted_transpose(self, s, rhs)
+    }
+    fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
+        Descriptor::project(self, w, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_transfer<S: LtiSystem>(sys: &S, s: c64) -> c64 {
+        sys.transfer_function(s).unwrap()[(0, 0)]
+    }
+
+    #[test]
+    fn trait_object_safe_and_generic_usable() {
+        let ss = StateSpace::new(
+            DMat::from_rows(&[&[-1.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            DMat::from_rows(&[&[1.0]]),
+            None,
+        )
+        .unwrap();
+        // Generic call.
+        let h = generic_transfer(&ss, c64::ZERO);
+        assert!((h.re - 1.0).abs() < 1e-12);
+        // Trait-object call (C-OBJECT).
+        let dyn_sys: &dyn LtiSystem = &ss;
+        assert_eq!(dyn_sys.nstates(), 1);
+        assert!((dyn_sys.transfer_function(c64::ZERO).unwrap()[(0, 0)].re - 1.0).abs() < 1e-12);
+    }
+}

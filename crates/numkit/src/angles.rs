@@ -1,0 +1,138 @@
+//! Principal angles between subspaces.
+//!
+//! Used to reproduce Fig. 6 of the PMTBR paper: the angle between the
+//! exact Gramian's second principal eigenvector and the leading PMTBR
+//! singular subspace, as a function of sample count.
+
+use crate::{svd, Mat, NumError, Qr, Scalar};
+
+/// Principal angles (radians, ascending) between the column spaces of `a`
+/// and `b`.
+///
+/// Both inputs are orthonormalized internally, so arbitrary bases are
+/// accepted. The number of angles returned is `min(rank-ish dims)` =
+/// `min(a.ncols(), b.ncols())`.
+///
+/// # Errors
+///
+/// - [`NumError::ShapeMismatch`] if `a` and `b` have different row counts.
+/// - Propagates QR/SVD failures for non-finite input.
+///
+/// # Examples
+///
+/// ```
+/// use numkit::{principal_angles, DMat};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let e1 = DMat::from_rows(&[&[1.0], &[0.0], &[0.0]]);
+/// let e2 = DMat::from_rows(&[&[0.0], &[1.0], &[0.0]]);
+/// let theta = principal_angles(&e1, &e2)?;
+/// assert!((theta[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn principal_angles<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Result<Vec<f64>, NumError> {
+    if a.nrows() != b.nrows() {
+        return Err(NumError::ShapeMismatch {
+            operation: "principal_angles",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let qa = Qr::new(a.clone())?.thin_q();
+    let qb = Qr::new(b.clone())?.thin_q();
+    let m = qa.adjoint().matmul(&qb)?;
+    let s = svd(&m)?.s;
+    // Singular values are the cosines of the principal angles; clamp for
+    // roundoff before acos.
+    Ok(s.iter().map(|&c| c.clamp(-1.0, 1.0).acos()).collect())
+}
+
+/// The *largest* principal angle — a scalar distance between subspaces
+/// (0 when one contains the other, π/2 when some direction is orthogonal).
+///
+/// # Errors
+///
+/// Same as [`principal_angles`].
+pub fn max_principal_angle<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Result<f64, NumError> {
+    Ok(principal_angles(a, b)?.last().copied().unwrap_or(0.0))
+}
+
+/// The angle between a single vector and the column space of `basis`
+/// (the smallest angle the vector makes with any vector in the subspace).
+///
+/// # Errors
+///
+/// Same as [`principal_angles`].
+pub fn vector_subspace_angle<T: Scalar>(v: &[T], basis: &Mat<T>) -> Result<f64, NumError> {
+    let vm = Mat::from_cols(&[v.to_vec()]);
+    // One angle is produced: the principal angle between span{v} and the
+    // basis, which is exactly the sought angle.
+    Ok(principal_angles(&vm, basis)?[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DMat;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn identical_subspaces_have_zero_angles() {
+        let a = DMat::from_fn(5, 2, |i, j| ((i + j * 3) % 4) as f64 + 1.0);
+        // Same span, different basis (column operations).
+        let mut b = a.clone();
+        for i in 0..5 {
+            let c0 = b[(i, 0)];
+            b[(i, 1)] += 2.0 * c0;
+            b[(i, 0)] *= 3.0;
+        }
+        let theta = principal_angles(&a, &b).unwrap();
+        for t in theta {
+            assert!(t < 1e-7, "angle {t} should be ~0");
+        }
+    }
+
+    #[test]
+    fn orthogonal_vectors_give_right_angle() {
+        let e1 = DMat::from_rows(&[&[1.0], &[0.0]]);
+        let e2 = DMat::from_rows(&[&[0.0], &[1.0]]);
+        assert!((max_principal_angle(&e1, &e2).unwrap() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_45_degrees() {
+        let a = DMat::from_rows(&[&[1.0], &[0.0]]);
+        let b = DMat::from_rows(&[&[1.0], &[1.0]]);
+        let t = principal_angles(&a, &b).unwrap()[0];
+        assert!((t - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_in_subspace_has_zero_angle() {
+        let basis = DMat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+        let v = [0.3, -0.7, 0.0];
+        assert!(vector_subspace_angle(&v, &basis).unwrap() < 1e-10);
+        let w = [0.0, 0.0, 2.0];
+        assert!((vector_subspace_angle(&w, &basis).unwrap() - FRAC_PI_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn containment_gives_zero_smallest_angle() {
+        // 1-dim subspace inside a 2-dim one: the single angle is 0.
+        let small = DMat::from_rows(&[&[1.0], &[1.0], &[0.0]]);
+        let big = DMat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+        let theta = principal_angles(&small, &big).unwrap();
+        assert_eq!(theta.len(), 1);
+        // acos amplifies roundoff near 1: acos(1-ε) ≈ √(2ε), so ~1e-8 is
+        // the best achievable for a numerically exact containment.
+        assert!(theta[0] < 1e-7);
+    }
+
+    #[test]
+    fn row_count_mismatch_is_error() {
+        let a = DMat::zeros(3, 1);
+        let b = DMat::zeros(4, 1);
+        assert!(principal_angles(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! General (nonsymmetric) eigendecomposition of real matrices.
+//!
+//! Eigenvalues come from the real Schur form; eigenvectors are recovered
+//! by inverse iteration on the shifted complex system. This is used for
+//! the compressed cross-Gramian eigenproblem of the PMTBR paper
+//! (Section V-D), where the matrix is small (reduced order) but
+//! nonsymmetric.
+
+use crate::{c64, schur, DMat, Lu, NumError, ZMat};
+
+/// An eigendecomposition `A·vᵢ = λᵢ·vᵢ` of a real square matrix.
+///
+/// Eigenvalues are sorted by decreasing modulus. Eigenvectors are unit
+/// 2-norm columns of `vectors`; complex-conjugate eigenvalues get
+/// conjugate eigenvectors.
+#[derive(Debug, Clone)]
+pub struct Eig {
+    /// Eigenvalues, sorted by decreasing `|λ|`.
+    pub values: Vec<c64>,
+    /// Unit-norm eigenvectors (columns), aligned with `values`.
+    pub vectors: ZMat,
+}
+
+/// Computes eigenvalues and eigenvectors of a real square matrix.
+///
+/// # Errors
+///
+/// Propagates [`schur`] errors, and [`NumError::Singular`] if inverse
+/// iteration cannot factor the shifted matrix even after perturbation
+/// (not observed in practice).
+///
+/// # Examples
+///
+/// ```
+/// use numkit::{eig, DMat};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let a = DMat::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]); // rotation: ±i
+/// let e = eig(&a)?;
+/// assert!((e.values[0].abs() - 1.0).abs() < 1e-10);
+/// assert!(e.values[0].im.abs() > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eig(a: &DMat) -> Result<Eig, NumError> {
+    let s = schur(a)?;
+    let mut values = s.eigenvalues();
+    // Sort by decreasing modulus (keep conjugate pairs adjacent by using a
+    // stable sort on modulus only).
+    values.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).expect("finite eigenvalues"));
+
+    let n = a.nrows();
+    let az = a.to_complex();
+    let mut vectors = ZMat::zeros(n, n);
+    let scale = a.norm_fro().max(1.0);
+    for (j, &lambda) in values.iter().enumerate() {
+        let v = inverse_iteration(&az, lambda, scale)?;
+        vectors.set_col(j, &v);
+    }
+    Ok(Eig { values, vectors })
+}
+
+/// One eigenvector by inverse iteration at (a tiny perturbation of) `lambda`.
+fn inverse_iteration(az: &ZMat, lambda: c64, scale: f64) -> Result<Vec<c64>, NumError> {
+    let n = az.nrows();
+    // Perturb the shift slightly off the exact eigenvalue so the shifted
+    // matrix is invertible; retry with larger perturbations if needed.
+    for attempt in 0..6 {
+        let eps = scale * 1e-12 * 10f64.powi(attempt);
+        let shift = lambda + c64::new(eps, eps / 3.0);
+        let mut m = az.clone();
+        for i in 0..n {
+            m[(i, i)] -= shift;
+        }
+        let lu = match Lu::new(m) {
+            Ok(lu) => lu,
+            Err(NumError::Singular { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        // Deterministic quasi-random start vector.
+        let mut v: Vec<c64> = (0..n)
+            .map(|i| c64::new(((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1, 0.3))
+            .collect();
+        normalize(&mut v);
+        let mut ok = true;
+        for _ in 0..3 {
+            v = lu.solve(&v)?;
+            let norm = vec_norm(&v);
+            if !norm.is_finite() || norm == 0.0 {
+                ok = false;
+                break;
+            }
+            for x in v.iter_mut() {
+                *x = x.scale(1.0 / norm);
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Fix the phase: make the largest component real positive, so
+        // results are deterministic and conjugate pairs come out conjugate.
+        let k = (0..n)
+            .max_by(|&i, &j| v[i].abs().partial_cmp(&v[j].abs()).expect("finite"))
+            .expect("nonempty");
+        let phase = v[k].phase().conj();
+        for x in v.iter_mut() {
+            *x = *x * phase;
+        }
+        return Ok(v);
+    }
+    Err(NumError::Singular { pivot: 0 })
+}
+
+fn vec_norm(v: &[c64]) -> f64 {
+    v.iter().map(|x| x.abs_sq()).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [c64]) {
+    let n = vec_norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x = x.scale(1.0 / n);
+        }
+    }
+}
+
+/// Residual `‖A·v − λ·v‖` for diagnostics/tests.
+pub fn eig_residual(a: &DMat, lambda: c64, v: &[c64]) -> f64 {
+    let az = a.to_complex();
+    let av = az.mul_vec(v);
+    let mut r = 0.0;
+    for (avi, &vi) in av.iter().zip(v) {
+        r += (*avi - lambda * vi).abs_sq();
+    }
+    r.sqrt()
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_eigenpairs() {
+        let a = DMat::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]); // eigs 5, 2
+        let e = eig(&a).unwrap();
+        assert!((e.values[0] - c64::from_real(5.0)).abs() < 1e-9);
+        assert!((e.values[1] - c64::from_real(2.0)).abs() < 1e-9);
+        for j in 0..2 {
+            let v = e.vectors.col(j);
+            assert!(eig_residual(&a, e.values[j], &v) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn complex_eigenpairs() {
+        let a = DMat::from_rows(&[&[1.0, -5.0], &[1.0, 1.0]]); // 1 ± i√5
+        let e = eig(&a).unwrap();
+        for j in 0..2 {
+            let v = e.vectors.col(j);
+            assert!(eig_residual(&a, e.values[j], &v) < 1e-8);
+            assert!((e.values[j].re - 1.0).abs() < 1e-9);
+            assert!((e.values[j].im.abs() - 5f64.sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sorted_by_modulus() {
+        let a = DMat::from_diag(&[1.0, -7.0, 3.0]);
+        let e = eig(&a).unwrap();
+        let mods: Vec<f64> = e.values.iter().map(|z| z.abs()).collect();
+        for w in mods.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bigger_nonsymmetric_matrix() {
+        let n = 10;
+        let a = DMat::from_fn(n, n, |i, j| {
+            (((i * 7 + j * 13) % 11) as f64 - 5.0) / 3.0 + if i == j { -4.0 } else { 0.0 }
+        });
+        let e = eig(&a).unwrap();
+        for j in 0..n {
+            let v = e.vectors.col(j);
+            let res = eig_residual(&a, e.values[j], &v);
+            assert!(res < 1e-6, "residual {res} too large for eig {j}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Symmetric eigendecomposition via the classical (two-sided) Jacobi method.
+//!
+//! Used for Gramian factorizations in the exact-TBR baseline: the Gramians
+//! of stable LTI systems are symmetric positive semidefinite but often
+//! numerically rank-deficient, and Jacobi's high relative accuracy keeps
+//! the tiny Hankel singular values meaningful.
+
+use crate::{DMat, NumError};
+
+const MAX_SWEEPS: usize = 64;
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a real symmetric matrix.
+///
+/// Eigenvalues are sorted in decreasing order; `vectors` columns are the
+/// corresponding orthonormal eigenvectors.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues, non-increasing.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors (columns).
+    pub vectors: DMat,
+}
+
+impl SymEig {
+    /// Reconstructs `V·diag(λ)·Vᵀ` (testing/diagnostics).
+    pub fn reconstruct(&self) -> DMat {
+        let n = self.values.len();
+        let vl = DMat::from_fn(n, n, |i, j| self.vectors[(i, j)] * self.values[j]);
+        &vl * &self.vectors.transpose()
+    }
+}
+
+/// Computes the eigendecomposition of a real symmetric matrix.
+///
+/// Only the lower triangle is read; the matrix is assumed symmetric.
+///
+/// # Errors
+///
+/// - [`NumError::NotSquare`] for rectangular input.
+/// - [`NumError::NotFinite`] if the input contains NaN/inf.
+/// - [`NumError::NotConverged`] if Jacobi sweeps fail (not observed in
+///   practice for finite symmetric input).
+///
+/// # Examples
+///
+/// ```
+/// use numkit::{eigh, DMat};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = eigh(&a)?;
+/// assert!((e.values[0] - 3.0).abs() < 1e-12);
+/// assert!((e.values[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigh(a: &DMat) -> Result<SymEig, NumError> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(NumError::NotSquare { rows: n, cols: m });
+    }
+    if !a.is_finite() {
+        return Err(NumError::NotFinite);
+    }
+    // Work on a symmetrized copy (reads only the lower triangle).
+    let mut w = DMat::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { a[(j, i)] });
+    let mut v = DMat::identity(n);
+    if n <= 1 {
+        return Ok(SymEig { values: w.diag(), vectors: v });
+    }
+
+    let mut converged = false;
+    for _ in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius norm for the stopping test.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += w[(i, j)] * w[(i, j)];
+            }
+        }
+        let diag_scale: f64 = (0..n).map(|i| w[(i, i)].abs()).fold(0.0, f64::max).max(1e-300);
+        if off.sqrt() <= 1e-15 * diag_scale * n as f64 {
+            converged = true;
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in (p + 1)..n {
+                let apq = w[(p, q)];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = w[(p, p)];
+                let aqq = w[(q, q)];
+                if apq.abs() <= 1e-18 * (app.abs() + aqq.abs()) {
+                    w[(p, q)] = 0.0;
+                    w[(q, p)] = 0.0;
+                    continue;
+                }
+                // Classical Jacobi rotation annihilating w[p][q].
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Update rows/columns p and q.
+                for k in 0..n {
+                    let wkp = w[(k, p)];
+                    let wkq = w[(k, q)];
+                    w[(k, p)] = c * wkp - s * wkq;
+                    w[(k, q)] = s * wkp + c * wkq;
+                }
+                for k in 0..n {
+                    let wpk = w[(p, k)];
+                    let wqk = w[(q, k)];
+                    w[(p, k)] = c * wpk - s * wqk;
+                    w[(q, k)] = s * wpk + c * wqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged {
+        return Err(NumError::NotConverged { algorithm: "jacobi-eigh", iterations: MAX_SWEEPS });
+    }
+
+    // Sort eigenpairs by decreasing eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag = w.diag();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = DMat::from_fn(n, n, |i, j| v[(i, order[j])]);
+    Ok(SymEig { values, vectors })
+}
+
+/// Computes `L` with `A ≈ L·Lᵀ` for a symmetric positive *semi*definite
+/// matrix, via eigendecomposition with negative eigenvalues clamped to
+/// zero. Columns of `L` are `√λᵢ·vᵢ` for eigenvalues above
+/// `tol·λ_max`, so `L` has as many columns as the numerical rank.
+///
+/// This is the Gramian "square root" used by square-root balanced
+/// truncation (exact-TBR baseline).
+///
+/// # Errors
+///
+/// Propagates [`eigh`] errors.
+pub fn psd_sqrt_factor(a: &DMat, tol: f64) -> Result<DMat, NumError> {
+    let e = eigh(a)?;
+    let n = e.values.len();
+    let lmax = e.values.first().copied().unwrap_or(0.0).max(0.0);
+    let keep: Vec<usize> =
+        (0..n).filter(|&i| e.values[i] > tol * lmax && e.values[i] > 0.0).collect();
+    let mut l = DMat::zeros(n, keep.len());
+    for (j, &idx) in keep.iter().enumerate() {
+        let s = e.values[idx].sqrt();
+        for i in 0..n {
+            l[(i, j)] = e.vectors[(i, idx)] * s;
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_eigh(a: &DMat, tol: f64) -> SymEig {
+        let e = eigh(a).unwrap();
+        let n = a.nrows();
+        // Orthonormal eigenvectors.
+        let g = &e.vectors.transpose() * &e.vectors;
+        assert!((&g - &DMat::identity(n)).norm_max() < tol);
+        // Reconstruction.
+        let rec = e.reconstruct();
+        assert!((&rec - a).norm_max() < tol * a.norm_max().max(1.0));
+        // Sorted.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-14);
+        }
+        e
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = DMat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = check_eigh(&a, 1e-12);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix() {
+        let a = DMat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let e = check_eigh(&a, 1e-12);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_reconstructs() {
+        let n = 12;
+        let mut a = DMat::from_fn(n, n, |i, j| (((i * 31 + j * 17) % 23) as f64 - 11.0) / 7.0);
+        a.symmetrize();
+        check_eigh(&a, 1e-11);
+    }
+
+    #[test]
+    fn diagonal_is_fixed_point() {
+        let a = DMat::from_diag(&[5.0, -2.0, 3.0]);
+        let e = check_eigh(&a, 1e-13);
+        assert_eq!(e.values, vec![5.0, 3.0, -2.0]);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut a = DMat::from_fn(8, 8, |i, j| ((i + j * j) % 5) as f64);
+        a.symmetrize();
+        let tr: f64 = a.diag().iter().sum();
+        let e = eigh(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((tr - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn psd_sqrt_factor_reconstructs_gramian() {
+        // Build an SPD matrix B·Bᵀ with rank 3 in a 5-dim space.
+        let b = DMat::from_fn(5, 3, |i, j| ((i * 3 + j + 1) % 7) as f64 - 3.0);
+        let g = &b * &b.transpose();
+        let l = psd_sqrt_factor(&g, 1e-12).unwrap();
+        assert_eq!(l.ncols(), 3, "numerical rank should be 3");
+        let rec = &l * &l.transpose();
+        assert!((&rec - &g).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(eigh(&DMat::zeros(2, 3)).is_err());
+    }
+}

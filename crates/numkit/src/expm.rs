@@ -1,0 +1,155 @@
+//! Matrix exponential by scaling-and-squaring with Padé(13)
+//! approximation (Higham 2005).
+//!
+//! Used to validate time-domain integrators against the exact state
+//! transition `x(t+h) = e^{Ah}·x(t)` and for time-domain Gramian
+//! cross-checks.
+
+use crate::{DMat, Lu, NumError};
+
+/// Padé(13) numerator coefficients.
+const B13: [f64; 14] = [
+    64764752532480000.0,
+    32382376266240000.0,
+    7771770303897600.0,
+    1187353796428800.0,
+    129060195264000.0,
+    10559470521600.0,
+    670442572800.0,
+    33522128640.0,
+    1323241920.0,
+    40840800.0,
+    960960.0,
+    16380.0,
+    182.0,
+    1.0,
+];
+
+/// 1-norm (maximum column sum) of a dense matrix.
+fn norm_one(a: &DMat) -> f64 {
+    let (m, n) = a.shape();
+    (0..n)
+        .map(|j| (0..m).map(|i| a[(i, j)].abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Computes `e^A` for a square real matrix.
+///
+/// # Errors
+///
+/// - [`NumError::NotSquare`] for rectangular input.
+/// - [`NumError::NotFinite`] for NaN/inf entries.
+/// - [`NumError::Singular`] if the Padé denominator is singular (does
+///   not occur after scaling).
+///
+/// # Examples
+///
+/// ```
+/// use numkit::{expm, DMat};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// // exp of a diagonal matrix is the diagonal of exponentials.
+/// let a = DMat::from_diag(&[0.0, (2.0f64).ln()]);
+/// let e = expm(&a)?;
+/// assert!((e[(0, 0)] - 1.0).abs() < 1e-14);
+/// assert!((e[(1, 1)] - 2.0).abs() < 1e-13);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &DMat) -> Result<DMat, NumError> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(NumError::NotSquare { rows: n, cols: m });
+    }
+    if !a.is_finite() {
+        return Err(NumError::NotFinite);
+    }
+    // Scaling: bring ‖A/2^s‖₁ under the Padé(13) threshold θ₁₃ ≈ 5.37.
+    let theta13 = 5.371920351148152;
+    let nrm = norm_one(a);
+    let s = if nrm > theta13 { (nrm / theta13).log2().ceil() as i32 } else { 0 };
+    let a_scaled = a.scale(0.5f64.powi(s));
+
+    // Padé(13): U = A·(b13·A⁶·A⁶ + ... ), V = even part.
+    let a2 = &a_scaled * &a_scaled;
+    let a4 = &a2 * &a2;
+    let a6 = &a2 * &a4;
+    let ident = DMat::identity(n);
+
+    // u_odd = A·(A6·(b13·A6 + b11·A4 + b9·A2) + b7·A6 + b5·A4 + b3·A2 + b1·I)
+    let w1 = &(&a6.scale(B13[13]) + &a4.scale(B13[11])) + &a2.scale(B13[9]);
+    let w2 = &(&(&a6.scale(B13[7]) + &a4.scale(B13[5])) + &a2.scale(B13[3])) + &ident.scale(B13[1]);
+    let u = &a_scaled * &(&(&a6 * &w1) + &w2);
+    // v_even = A6·(b12·A6 + b10·A4 + b8·A2) + b6·A6 + b4·A4 + b2·A2 + b0·I
+    let z1 = &(&a6.scale(B13[12]) + &a4.scale(B13[10])) + &a2.scale(B13[8]);
+    let z2 = &(&(&a6.scale(B13[6]) + &a4.scale(B13[4])) + &a2.scale(B13[2])) + &ident.scale(B13[0]);
+    let v = &(&a6 * &z1) + &z2;
+
+    // Solve (V − U)·E = (V + U).
+    let lhs = &v - &u;
+    let rhs = &v + &u;
+    let mut e = Lu::new(lhs)?.solve_mat(&rhs)?;
+    // Undo the scaling: square s times.
+    for _ in 0..s {
+        e = &e * &e;
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_zero_is_identity() {
+        let e = expm(&DMat::zeros(3, 3)).unwrap();
+        assert!((&e - &DMat::identity(3)).norm_max() < 1e-15);
+    }
+
+    #[test]
+    fn exp_of_nilpotent() {
+        // N = [[0,1],[0,0]]: e^N = I + N exactly.
+        let n = DMat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let e = expm(&n).unwrap();
+        assert!((e[(0, 1)] - 1.0).abs() < 1e-15);
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-15);
+        assert!((e[(1, 1)] - 1.0).abs() < 1e-15);
+        assert!(e[(1, 0)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn rotation_generator() {
+        // exp(θ·[[0,-1],[1,0]]) is a rotation by θ.
+        let th: f64 = 1.2;
+        let a = DMat::from_rows(&[&[0.0, -th], &[th, 0.0]]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - th.cos()).abs() < 1e-13);
+        assert!((e[(1, 0)] - th.sin()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn large_norm_triggers_scaling() {
+        let a = DMat::from_diag(&[-50.0, 3.0]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - (-50.0f64).exp()).abs() < 1e-20);
+        assert!((e[(1, 1)] - 3.0f64.exp()).abs() < 1e-10 * 3.0f64.exp());
+    }
+
+    #[test]
+    fn group_property() {
+        // e^{A}·e^{A} = e^{2A}.
+        let a = DMat::from_fn(4, 4, |i, j| (((i * 3 + j) % 5) as f64 - 2.0) / 4.0);
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scale(2.0)).unwrap();
+        let sq = &e1 * &e1;
+        assert!((&sq - &e2).norm_max() < 1e-12 * e2.norm_max());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(expm(&DMat::zeros(2, 3)).is_err());
+        let mut a = DMat::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(expm(&a).is_err());
+    }
+}

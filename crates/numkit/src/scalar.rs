@@ -1,0 +1,190 @@
+//! The [`Scalar`] abstraction over `f64` and [`c64`].
+//!
+//! All dense and sparse kernels in the workspace are generic over this
+//! trait so that real MNA matrices and complex shifted systems
+//! `(sE − A)` share one LU/QR/SVD implementation.
+
+use crate::c64;
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A field element usable in `numkit`'s factorizations: `f64` or [`c64`].
+///
+/// The trait is sealed by convention (implementing it for other types is
+/// not supported) and deliberately small: only what LU, QR, SVD and the
+/// iterative eigen/Schur algorithms need.
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + PartialEq
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Complex conjugate (identity for `f64`).
+    fn conj(self) -> Self;
+    /// Modulus `|x|` as a real number.
+    fn abs(self) -> f64;
+    /// Squared modulus `|x|²`.
+    fn abs_sq(self) -> f64;
+    /// Embeds a real number.
+    fn from_f64(x: f64) -> Self;
+    /// Real part.
+    fn re(self) -> f64;
+    /// Imaginary part (0 for `f64`).
+    fn im(self) -> f64;
+    /// Principal square root. For `f64` callers must ensure `self >= 0`.
+    fn sqrt(self) -> Self;
+    /// `true` if the value is finite.
+    fn is_finite(self) -> bool;
+    /// Multiplication by a real factor.
+    fn scale(self, k: f64) -> Self;
+    /// Whether this scalar type has an imaginary component.
+    const IS_COMPLEX: bool;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline]
+    fn abs_sq(self) -> f64 {
+        self * self
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn re(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn im(self) -> f64 {
+        0.0
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn scale(self, k: f64) -> Self {
+        self * k
+    }
+    const IS_COMPLEX: bool = false;
+}
+
+impl Scalar for c64 {
+    #[inline]
+    fn zero() -> Self {
+        c64::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        c64::ONE
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        c64::conj(self)
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        c64::abs(self)
+    }
+    #[inline]
+    fn abs_sq(self) -> f64 {
+        c64::abs_sq(self)
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        c64::from_real(x)
+    }
+    #[inline]
+    fn re(self) -> f64 {
+        self.re
+    }
+    #[inline]
+    fn im(self) -> f64 {
+        self.im
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        c64::sqrt(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        c64::is_finite(self)
+    }
+    #[inline]
+    fn scale(self, k: f64) -> Self {
+        c64::scale(self, k)
+    }
+    const IS_COMPLEX: bool = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_axioms<T: Scalar>(a: T, b: T) {
+        assert_eq!(a + T::zero(), a);
+        assert_eq!(a * T::one(), a);
+        let ab = a * b;
+        let ba = b * a;
+        assert!((ab - ba).abs() < 1e-12 * (1.0 + ab.abs()));
+        assert!((a.conj().conj() - a).abs() < 1e-15);
+        assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-12 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn axioms_hold_for_both_scalar_types() {
+        field_axioms(2.5f64, -1.25f64);
+        field_axioms(c64::new(1.0, 2.0), c64::new(-0.5, 3.0));
+    }
+
+    #[test]
+    fn abs_sq_matches_abs() {
+        let z = c64::new(3.0, 4.0);
+        assert!((Scalar::abs(z) * Scalar::abs(z) - z.abs_sq()).abs() < 1e-12);
+        assert_eq!(Scalar::abs(-2.0f64), 2.0);
+    }
+
+    #[test]
+    fn is_complex_flag() {
+        assert!(!<f64 as Scalar>::IS_COMPLEX);
+        assert!(<c64 as Scalar>::IS_COMPLEX);
+    }
+}

@@ -1,0 +1,526 @@
+//! Real Schur decomposition: Hessenberg reduction followed by the Francis
+//! implicit double-shift QR iteration.
+//!
+//! `A = Q·T·Qᵀ` with `Q` orthogonal and `T` quasi-upper-triangular (1×1
+//! blocks for real eigenvalues, standardized 2×2 blocks for complex
+//! pairs). This backs the Bartels–Stewart Lyapunov/Sylvester solvers used
+//! by the exact-TBR baseline, and general eigenvalue computation.
+
+use crate::{c64, DMat, NumError};
+
+const MAX_ITERS_PER_EIG: usize = 40;
+
+/// A real Schur decomposition `A = Q·T·Qᵀ`.
+#[derive(Debug, Clone)]
+pub struct Schur {
+    /// Quasi-upper-triangular factor.
+    pub t: DMat,
+    /// Orthogonal factor (columns are Schur vectors).
+    pub q: DMat,
+}
+
+impl Schur {
+    /// Eigenvalues read off the quasi-triangular diagonal.
+    pub fn eigenvalues(&self) -> Vec<c64> {
+        quasi_triangular_eigenvalues(&self.t)
+    }
+
+    /// Reconstructs `Q·T·Qᵀ` (testing/diagnostics).
+    pub fn reconstruct(&self) -> DMat {
+        &(&self.q * &self.t) * &self.q.transpose()
+    }
+}
+
+/// Computes the real Schur decomposition of `a`.
+///
+/// # Errors
+///
+/// - [`NumError::NotSquare`] for rectangular input.
+/// - [`NumError::NotFinite`] if `a` contains NaN/inf.
+/// - [`NumError::NotConverged`] if the QR iteration stalls (extremely
+///   rare for finite input).
+///
+/// # Examples
+///
+/// ```
+/// use numkit::{schur, DMat};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let a = DMat::from_rows(&[&[0.0, 1.0], &[-2.0, -3.0]]);
+/// let s = schur(&a)?;
+/// let mut eigs: Vec<f64> = s.eigenvalues().iter().map(|z| z.re).collect();
+/// eigs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// assert!((eigs[0] + 2.0).abs() < 1e-10 && (eigs[1] + 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn schur(a: &DMat) -> Result<Schur, NumError> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(NumError::NotSquare { rows: n, cols: m });
+    }
+    if !a.is_finite() {
+        return Err(NumError::NotFinite);
+    }
+    let (mut h, mut q) = hessenberg(a);
+    francis_qr(&mut h, &mut q)?;
+    standardize_blocks(&mut h, &mut q);
+    Ok(Schur { t: h, q })
+}
+
+/// Reduces `a` to upper Hessenberg form `H = Qᵀ·A·Q`, returning `(H, Q)`.
+fn hessenberg(a: &DMat) -> (DMat, DMat) {
+    let n = a.nrows();
+    let mut h = a.clone();
+    let mut q = DMat::identity(n);
+    if n < 3 {
+        return (h, q);
+    }
+    for k in 0..n - 2 {
+        // Householder vector from h[k+1.., k].
+        let mut norm_sq = 0.0;
+        for i in (k + 1)..n {
+            norm_sq += h[(i, k)] * h[(i, k)];
+        }
+        let norm = norm_sq.sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        let alpha = h[(k + 1, k)];
+        let beta = if alpha >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; n - k - 1];
+        v[0] = alpha - beta;
+        for i in (k + 2)..n {
+            v[i - k - 1] = h[(i, k)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv == 0.0 {
+            continue;
+        }
+        let tau = 2.0 / vtv;
+        // Left: H ← P·H, rows k+1..n.
+        for j in 0..n {
+            let mut w = 0.0;
+            for i in (k + 1)..n {
+                w += v[i - k - 1] * h[(i, j)];
+            }
+            let tw = tau * w;
+            for i in (k + 1)..n {
+                h[(i, j)] -= tw * v[i - k - 1];
+            }
+        }
+        // Right: H ← H·P, columns k+1..n.
+        for i in 0..n {
+            let mut w = 0.0;
+            for j in (k + 1)..n {
+                w += h[(i, j)] * v[j - k - 1];
+            }
+            let tw = tau * w;
+            for j in (k + 1)..n {
+                h[(i, j)] -= tw * v[j - k - 1];
+            }
+        }
+        // Accumulate Q ← Q·P.
+        for i in 0..n {
+            let mut w = 0.0;
+            for j in (k + 1)..n {
+                w += q[(i, j)] * v[j - k - 1];
+            }
+            let tw = tau * w;
+            for j in (k + 1)..n {
+                q[(i, j)] -= tw * v[j - k - 1];
+            }
+        }
+        // Clean below the subdiagonal explicitly.
+        h[(k + 1, k)] = beta;
+        for i in (k + 2)..n {
+            h[(i, k)] = 0.0;
+        }
+    }
+    (h, q)
+}
+
+/// Francis implicit double-shift QR with deflation, in place on the
+/// Hessenberg matrix `h`, accumulating transformations into `q`.
+fn francis_qr(h: &mut DMat, q: &mut DMat) -> Result<(), NumError> {
+    let n = h.nrows();
+    if n <= 2 {
+        return Ok(());
+    }
+    // Deflation tolerance: a small multiple of machine epsilon relative
+    // to the local diagonal scale. The slack above 1·eps matters for
+    // matrices with high-multiplicity eigenvalues (e.g. symmetric binary
+    // trees), whose subdiagonals settle at a few ulps of the local scale
+    // and would otherwise cycle forever.
+    let eps = 64.0 * f64::EPSILON;
+    let hnorm = h.norm_fro().max(f64::MIN_POSITIVE);
+    let mut p = n - 1;
+    let mut iters = 0usize;
+    let max_total = MAX_ITERS_PER_EIG * n;
+    let mut total = 0usize;
+    while p > 0 {
+        total += 1;
+        if total > max_total {
+            return Err(NumError::NotConverged { algorithm: "francis-qr", iterations: total });
+        }
+        // Deflation scan: find the top `l` of the active block.
+        let mut l = p;
+        while l > 0 {
+            let s = h[(l - 1, l - 1)].abs() + h[(l, l)].abs();
+            let s = if s == 0.0 { hnorm } else { s };
+            if h[(l, l - 1)].abs() <= eps * s {
+                h[(l, l - 1)] = 0.0;
+                break;
+            }
+            l -= 1;
+        }
+        if l == p {
+            // 1×1 block converged.
+            p -= 1;
+            iters = 0;
+            continue;
+        }
+        if l + 1 == p {
+            // 2×2 block converged (standardized later).
+            if p >= 2 {
+                p -= 2;
+            } else {
+                break;
+            }
+            iters = 0;
+            continue;
+        }
+        iters += 1;
+        // Double-shift parameters from the trailing 2×2 (with occasional
+        // exceptional shifts to break rare cycling).
+        let (s, t) = if iters % 11 == 10 {
+            let w = h[(p, p - 1)].abs() + h[(p - 1, p - 2)].abs();
+            (1.5 * w, w * w)
+        } else {
+            (
+                h[(p - 1, p - 1)] + h[(p, p)],
+                h[(p - 1, p - 1)] * h[(p, p)] - h[(p - 1, p)] * h[(p, p - 1)],
+            )
+        };
+        // First column of (H − aI)(H − bI) restricted to the active block.
+        let x = h[(l, l)] * h[(l, l)] + h[(l, l + 1)] * h[(l + 1, l)] - s * h[(l, l)] + t;
+        let y = h[(l + 1, l)] * (h[(l, l)] + h[(l + 1, l + 1)] - s);
+        let z = h[(l + 2, l + 1)] * h[(l + 1, l)];
+
+        // Bulge chase.
+        for k in l..p {
+            let last = k + 2 > p;
+            let (vx, vy, vz) = if k == l {
+                (x, y, z)
+            } else {
+                (
+                    h[(k, k - 1)],
+                    h[(k + 1, k - 1)],
+                    if last { 0.0 } else { h[(k + 2, k - 1)] },
+                )
+            };
+            let scale = vx.abs() + vy.abs() + vz.abs();
+            if scale == 0.0 {
+                continue;
+            }
+            let (vx, vy, vz) = (vx / scale, vy / scale, vz / scale);
+            let norm = (vx * vx + vy * vy + vz * vz).sqrt();
+            let norm = if vx >= 0.0 { norm } else { -norm };
+            if norm == 0.0 {
+                continue;
+            }
+            let u = [vx + norm, vy, vz];
+            let utu = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+            if utu == 0.0 {
+                continue;
+            }
+            let tau = 2.0 / utu;
+            let rows = if last { 2 } else { 3 };
+            // Left application: rows k..k+rows, all columns.
+            for j in 0..h.ncols() {
+                let mut w = 0.0;
+                for r in 0..rows {
+                    w += u[r] * h[(k + r, j)];
+                }
+                let tw = tau * w;
+                for r in 0..rows {
+                    h[(k + r, j)] -= tw * u[r];
+                }
+            }
+            // Right application: columns k..k+rows, all rows.
+            for i in 0..h.nrows() {
+                let mut w = 0.0;
+                for r in 0..rows {
+                    w += h[(i, k + r)] * u[r];
+                }
+                let tw = tau * w;
+                for r in 0..rows {
+                    h[(i, k + r)] -= tw * u[r];
+                }
+            }
+            // Accumulate Q.
+            for i in 0..q.nrows() {
+                let mut w = 0.0;
+                for r in 0..rows {
+                    w += q[(i, k + r)] * u[r];
+                }
+                let tw = tau * w;
+                for r in 0..rows {
+                    q[(i, k + r)] -= tw * u[r];
+                }
+            }
+            // Clean the entries the chase is supposed to zero.
+            if k > l {
+                h[(k + 1, k - 1)] = 0.0;
+                if !last {
+                    h[(k + 2, k - 1)] = 0.0;
+                }
+            }
+        }
+        // Zero out sub-Hessenberg debris in the active block.
+        for i in (l + 2)..=p {
+            for j in l..(i - 1) {
+                h[(i, j)] = 0.0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rotates every 2×2 diagonal block with *real* eigenvalues into upper
+/// triangular form, so the quasi-triangular `T` has 2×2 blocks only for
+/// genuine complex-conjugate pairs.
+fn standardize_blocks(t: &mut DMat, q: &mut DMat) {
+    let n = t.nrows();
+    let mut i = 0;
+    while i + 1 < n {
+        if t[(i + 1, i)] == 0.0 {
+            i += 1;
+            continue;
+        }
+        let a = t[(i, i)];
+        let b = t[(i, i + 1)];
+        let c = t[(i + 1, i)];
+        let d = t[(i + 1, i + 1)];
+        let half = (a - d) / 2.0;
+        let disc = half * half + b * c;
+        if disc < 0.0 {
+            // Complex pair: keep the 2×2 block.
+            i += 2;
+            continue;
+        }
+        // Real eigenvalues: Givens rotation aligning an eigenvector with e1.
+        let mean = (a + d) / 2.0;
+        let root = disc.sqrt();
+        let l1 = mean + root;
+        // Eigenvector of [[a,b],[c,d]] for l1: (b, l1 - a) or (l1 - d, c).
+        let (v1, v2) = if b.abs() + (l1 - a).abs() >= (l1 - d).abs() + c.abs() {
+            (b, l1 - a)
+        } else {
+            (l1 - d, c)
+        };
+        let r = (v1 * v1 + v2 * v2).sqrt();
+        if r == 0.0 {
+            i += 2;
+            continue;
+        }
+        let cs = v1 / r;
+        let sn = v2 / r;
+        // Apply G = [[cs, -sn], [sn, cs]]: T ← Gᵀ T G on rows/cols i, i+1.
+        for j in 0..n {
+            let t1 = t[(i, j)];
+            let t2 = t[(i + 1, j)];
+            t[(i, j)] = cs * t1 + sn * t2;
+            t[(i + 1, j)] = -sn * t1 + cs * t2;
+        }
+        for r_ in 0..n {
+            let t1 = t[(r_, i)];
+            let t2 = t[(r_, i + 1)];
+            t[(r_, i)] = cs * t1 + sn * t2;
+            t[(r_, i + 1)] = -sn * t1 + cs * t2;
+        }
+        for r_ in 0..n {
+            let q1 = q[(r_, i)];
+            let q2 = q[(r_, i + 1)];
+            q[(r_, i)] = cs * q1 + sn * q2;
+            q[(r_, i + 1)] = -sn * q1 + cs * q2;
+        }
+        t[(i + 1, i)] = 0.0;
+        i += 2;
+    }
+}
+
+/// Eigenvalues of a quasi-upper-triangular matrix (1×1 and 2×2 blocks).
+pub fn quasi_triangular_eigenvalues(t: &DMat) -> Vec<c64> {
+    let n = t.nrows();
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        if i + 1 < n && t[(i + 1, i)] != 0.0 {
+            let a = t[(i, i)];
+            let b = t[(i, i + 1)];
+            let c = t[(i + 1, i)];
+            let d = t[(i + 1, i + 1)];
+            let mean = (a + d) / 2.0;
+            let half = (a - d) / 2.0;
+            let disc = half * half + b * c;
+            if disc >= 0.0 {
+                let root = disc.sqrt();
+                out.push(c64::from_real(mean + root));
+                out.push(c64::from_real(mean - root));
+            } else {
+                let im = (-disc).sqrt();
+                out.push(c64::new(mean, im));
+                out.push(c64::new(mean, -im));
+            }
+            i += 2;
+        } else {
+            out.push(c64::from_real(t[(i, i)]));
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_schur(a: &DMat, tol: f64) -> Schur {
+        let s = schur(a).unwrap();
+        let n = a.nrows();
+        // Q orthogonal.
+        let g = &s.q.transpose() * &s.q;
+        assert!((&g - &DMat::identity(n)).norm_max() < tol, "Q not orthogonal");
+        // Reconstruction.
+        let rec = s.reconstruct();
+        assert!(
+            (&rec - a).norm_max() < tol * a.norm_max().max(1.0),
+            "reconstruction error: {}",
+            (&rec - a).norm_max()
+        );
+        // T quasi-triangular with no adjacent subdiagonals.
+        let mut prev_sub = false;
+        for i in 1..n {
+            let sub = s.t[(i, i - 1)] != 0.0;
+            assert!(!(sub && prev_sub), "adjacent 2x2 blocks overlap");
+            prev_sub = sub;
+            for j in 0..i.saturating_sub(1) {
+                assert!(
+                    s.t[(i, j)].abs() < tol * a.norm_max().max(1.0),
+                    "entry below quasi-triangle"
+                );
+            }
+        }
+        s
+    }
+
+    fn sorted_real(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn real_distinct_eigenvalues() {
+        // Companion-like matrix with eigenvalues -1, -2, -3.
+        let a = DMat::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[-6.0, -11.0, -6.0]]);
+        let s = check_schur(&a, 1e-10);
+        let eigs = s.eigenvalues();
+        assert!(eigs.iter().all(|z| z.im.abs() < 1e-10));
+        let re = sorted_real(eigs.iter().map(|z| z.re).collect());
+        for (got, want) in re.iter().zip(&[-3.0, -2.0, -1.0]) {
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn complex_pair_eigenvalues() {
+        // Rotation-like: eigenvalues 1 ± 2i and 3.
+        let a = DMat::from_rows(&[&[1.0, -2.0, 0.0], &[2.0, 1.0, 0.0], &[0.0, 0.0, 3.0]]);
+        let s = check_schur(&a, 1e-10);
+        let mut eigs = s.eigenvalues();
+        eigs.sort_by(|x, y| x.im.partial_cmp(&y.im).unwrap());
+        assert!((eigs[0] - c64::new(1.0, -2.0)).abs() < 1e-9);
+        assert!((eigs[2] - c64::new(1.0, 2.0)).abs() < 1e-9);
+        assert!((eigs[1] - c64::from_real(3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_matrix_gives_real_triangular() {
+        let mut a = DMat::from_fn(6, 6, |i, j| ((i * 5 + j * 3) % 7) as f64);
+        a.symmetrize();
+        let s = check_schur(&a, 1e-9);
+        // All eigenvalues real → strictly triangular T.
+        for i in 1..6 {
+            assert_eq!(s.t[(i, i - 1)], 0.0, "symmetric matrix must deflate to 1x1 blocks");
+        }
+    }
+
+    #[test]
+    fn stable_circuit_like_matrix() {
+        // -tridiagonal SPD: a discretized RC line Jacobian. All eigenvalues
+        // real negative.
+        let n = 20;
+        let a = DMat::from_fn(n, n, |i, j| {
+            if i == j {
+                -2.0
+            } else if i.abs_diff(j) == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let s = check_schur(&a, 1e-9);
+        for z in s.eigenvalues() {
+            assert!(z.re < 0.0 && z.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_dense_matrix_reconstructs() {
+        let n = 15;
+        let a = DMat::from_fn(n, n, |i, j| (((i * 37 + j * 61) % 41) as f64 - 20.0) / 10.0);
+        let s = check_schur(&a, 1e-8);
+        // Trace preserved (sum of eigenvalues).
+        let tr: f64 = a.diag().iter().sum();
+        let sum: f64 = s.eigenvalues().iter().map(|z| z.re).sum();
+        assert!((tr - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn already_triangular() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let s = check_schur(&a, 1e-12);
+        let re = sorted_real(s.eigenvalues().iter().map(|z| z.re).collect());
+        assert_eq!(re, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = DMat::from_rows(&[&[7.0]]);
+        let s = schur(&a).unwrap();
+        assert_eq!(s.eigenvalues(), vec![c64::from_real(7.0)]);
+    }
+
+    #[test]
+    fn defective_matrix_jordan_block() {
+        // Jordan block: double eigenvalue 2, defective. Schur still works.
+        let a = DMat::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]);
+        let s = check_schur(&a, 1e-10);
+        for z in s.eigenvalues() {
+            assert!((z.re - 2.0).abs() < 1e-7 && z.im.abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn two_by_two_real_eigs_standardized() {
+        // [[0, 2], [3, 0]] has real eigenvalues ±√6 but starts with a
+        // nonzero subdiagonal — standardization must triangularize it.
+        let a = DMat::from_rows(&[&[0.0, 2.0], &[3.0, 0.0]]);
+        let s = check_schur(&a, 1e-10);
+        assert_eq!(s.t[(1, 0)], 0.0);
+        let re = sorted_real(s.eigenvalues().iter().map(|z| z.re).collect());
+        let r6 = 6.0f64.sqrt();
+        assert!((re[0] + r6).abs() < 1e-10 && (re[1] - r6).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,101 @@
+//! Free functions on slices treated as dense vectors.
+//!
+//! These are the level-1 kernels used throughout the workspace. They are
+//! deliberately plain functions (not a vector newtype) so that callers can
+//! keep their data in `Vec<T>` and slices.
+
+use crate::Scalar;
+
+/// Inner product `xᴴ y` (conjugating the first argument).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = T::zero();
+    for (&a, &b) in x.iter().zip(y) {
+        acc += a.conj() * b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`, computed via the squared moduli.
+pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.abs_sq()).sum::<f64>().sqrt()
+}
+
+/// `y ← y + a·x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+pub fn scale_in_place<T: Scalar>(a: T, x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Largest modulus of any entry (`‖x‖_∞`). Returns 0 for an empty slice.
+pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.abs()).fold(0.0, f64::max)
+}
+
+/// Index of the entry with the largest modulus, or `None` for empty input.
+pub fn argmax_abs<T: Scalar>(x: &[T]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_val = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        let m = v.abs();
+        if m > best_val {
+            best = i;
+            best_val = m;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+
+    #[test]
+    fn dot_conjugates_first_argument() {
+        let x = [c64::new(0.0, 1.0)];
+        let y = [c64::new(0.0, 1.0)];
+        // <i, i> = conj(i)*i = 1, not -1.
+        assert_eq!(dot(&x, &y), c64::ONE);
+    }
+
+    #[test]
+    fn norm2_pythagorean() {
+        assert!((norm2(&[3.0f64, 4.0]) - 5.0).abs() < 1e-15);
+        assert!((norm2(&[c64::new(3.0, 4.0)]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [10.0f64, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn argmax_abs_picks_largest_modulus() {
+        assert_eq!(argmax_abs(&[1.0f64, -5.0, 2.0]), Some(1));
+        assert_eq!(argmax_abs::<f64>(&[]), None);
+    }
+}

@@ -1,0 +1,227 @@
+//! Adaptive frequency-point selection by interval bisection.
+//!
+//! The paper (Sections V-B/V-C) suggests adaptive schemes — bisection of
+//! frequency intervals — when resonance locations are unknown. This
+//! implementation greedily adds the candidate frequency whose sample is
+//! *least representable* in the current basis (largest relative
+//! residual), bisecting the surrounding interval, until the residual
+//! falls below `tol` or the sample budget runs out.
+
+use lti::{realify_columns, LtiSystem, StateSpace};
+use numkit::{c64, svd, DMat, NumError};
+
+use crate::PmtbrModel;
+
+/// Result of adaptive sampling: the reduced model plus the frequency
+/// points that were actually selected.
+#[derive(Debug, Clone)]
+pub struct AdaptiveModel {
+    /// The reduced model and spectra (as in plain PMTBR).
+    pub model: PmtbrModel,
+    /// The adaptively chosen angular frequencies, in selection order.
+    pub chosen_omegas: Vec<f64>,
+}
+
+/// Runs adaptive PMTBR over the band `[omega_lo, omega_hi]`.
+///
+/// Starts from the band edges and midpoint, then repeatedly bisects the
+/// interval whose midpoint sample has the largest residual against the
+/// current basis. Stops when the worst residual (relative to the sample
+/// norm) drops below `tol` or `max_samples` is reached.
+///
+/// # Errors
+///
+/// - [`NumError::InvalidArgument`] for a degenerate band or
+///   `max_samples < 3`.
+/// - Propagates solve/SVD/projection errors.
+///
+/// # Examples
+///
+/// ```
+/// use circuits::rc_mesh;
+/// use pmtbr::adaptive_pmtbr;
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = rc_mesh(3, 3, &[0], 1.0, 1.0, 2.0)?;
+/// let m = adaptive_pmtbr(&sys, 0.01, 10.0, 1e-6, 20, Some(6))?;
+/// assert!(m.chosen_omegas.len() <= 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn adaptive_pmtbr<S: LtiSystem + ?Sized>(
+    sys: &S,
+    omega_lo: f64,
+    omega_hi: f64,
+    tol: f64,
+    max_samples: usize,
+    max_order: Option<usize>,
+) -> Result<AdaptiveModel, NumError> {
+    if !(omega_hi > omega_lo) || omega_lo < 0.0 {
+        return Err(NumError::InvalidArgument("band must satisfy 0 <= lo < hi"));
+    }
+    if max_samples < 3 {
+        return Err(NumError::InvalidArgument("adaptive sampling needs at least 3 samples"));
+    }
+    let b = sys.input_matrix().to_complex();
+
+    // Orthonormal basis columns and raw (weighted) sample columns.
+    let mut qbasis: Vec<Vec<f64>> = Vec::new();
+    let mut raw_cols: Vec<Vec<f64>> = Vec::new();
+    let mut chosen: Vec<f64> = Vec::new();
+
+    let take = |w: f64,
+                    qbasis: &mut Vec<Vec<f64>>,
+                    raw_cols: &mut Vec<Vec<f64>>,
+                    chosen: &mut Vec<f64>|
+     -> Result<f64, NumError> {
+        // Guard against sampling exactly at a dc pole.
+        let s = c64::new(0.0, w.max((omega_hi - omega_lo) * 1e-9));
+        let z = sys.solve_shifted(s, &b)?;
+        let real = realify_columns(&z, 1e-13);
+        let mut worst: f64 = 0.0;
+        for j in 0..real.ncols() {
+            let col = real.col(j);
+            let norm0: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
+            raw_cols.push(col.clone());
+            let mut v = col;
+            for _ in 0..2 {
+                for bvec in qbasis.iter() {
+                    let proj: f64 = bvec.iter().zip(&v).map(|(x, y)| x * y).sum();
+                    for (vi, bi) in v.iter_mut().zip(bvec) {
+                        *vi -= proj * bi;
+                    }
+                }
+            }
+            let res: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm0 > 0.0 {
+                worst = worst.max(res / norm0);
+                if res > 1e-13 * norm0 {
+                    for vi in v.iter_mut() {
+                        *vi /= res;
+                    }
+                    qbasis.push(v);
+                }
+            }
+        }
+        chosen.push(w);
+        Ok(worst)
+    };
+
+    // Seed with the band edges and midpoint.
+    let mid0 = (omega_lo + omega_hi) / 2.0;
+    take(omega_lo, &mut qbasis, &mut raw_cols, &mut chosen)?;
+    take(omega_hi, &mut qbasis, &mut raw_cols, &mut chosen)?;
+    take(mid0, &mut qbasis, &mut raw_cols, &mut chosen)?;
+
+    // Interval queue: candidate midpoints between already-sampled points.
+    while chosen.len() < max_samples {
+        let mut sorted = chosen.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Probe each interval midpoint's residual; take the worst.
+        let mut best: Option<(f64, f64)> = None; // (residual, omega)
+        for pair in sorted.windows(2) {
+            let mid = (pair[0] + pair[1]) / 2.0;
+            if (pair[1] - pair[0]) < (omega_hi - omega_lo) * 1e-6 {
+                continue;
+            }
+            let s = c64::new(0.0, mid.max((omega_hi - omega_lo) * 1e-9));
+            let z = sys.solve_shifted(s, &b)?;
+            let real = realify_columns(&z, 1e-13);
+            let mut worst: f64 = 0.0;
+            for j in 0..real.ncols() {
+                let col = real.col(j);
+                let norm0: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm0 == 0.0 {
+                    continue;
+                }
+                let mut v = col;
+                for bvec in qbasis.iter() {
+                    let proj: f64 = bvec.iter().zip(&v).map(|(x, y)| x * y).sum();
+                    for (vi, bi) in v.iter_mut().zip(bvec) {
+                        *vi -= proj * bi;
+                    }
+                }
+                let res: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                worst = worst.max(res / norm0);
+            }
+            if best.map_or(true, |(r, _)| worst > r) {
+                best = Some((worst, mid));
+            }
+        }
+        match best {
+            Some((res, _)) if res < tol => break,
+            Some((_, w)) => {
+                take(w, &mut qbasis, &mut raw_cols, &mut chosen)?;
+            }
+            None => break,
+        }
+    }
+
+    // Final compression: SVD of the collected raw samples (uniform
+    // weights — the adaptive density itself encodes the weighting).
+    let zmat = DMat::from_cols(&raw_cols);
+    let f = svd(&zmat)?;
+    if f.s.is_empty() || f.s[0] == 0.0 {
+        return Err(NumError::InvalidArgument("adaptive sampling collected no energy"));
+    }
+    let by_tol = f.s.iter().take_while(|&&x| x > 1e-12 * f.s[0]).count().max(1);
+    let order = max_order.map_or(by_tol, |cap| by_tol.min(cap)).min(f.s.len());
+    let v = f.u.leading_cols(order);
+    let reduced: StateSpace = sys.project(&v, &v)?;
+    Ok(AdaptiveModel {
+        model: PmtbrModel {
+            reduced,
+            v,
+            singular_values: f.s.clone(),
+            order,
+            error_estimate: f.s.iter().skip(order).sum(),
+        },
+        chosen_omegas: chosen,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::{peec_resonator, rc_mesh, PeecParams};
+    use lti::{frequency_response, linspace, max_rel_error};
+
+    #[test]
+    fn smooth_system_needs_few_points() {
+        let sys = rc_mesh(3, 3, &[0], 1.0, 1.0, 2.0).unwrap();
+        let m = adaptive_pmtbr(&sys, 0.01, 10.0, 1e-8, 30, None).unwrap();
+        assert!(
+            m.chosen_omegas.len() < 12,
+            "RC mesh is smooth; {} points is too many",
+            m.chosen_omegas.len()
+        );
+    }
+
+    #[test]
+    fn resonant_system_concentrates_points_near_peaks() {
+        let sys = peec_resonator(&PeecParams::default()).unwrap();
+        let w_hi = 2.0 * std::f64::consts::PI * 20e9;
+        let m = adaptive_pmtbr(&sys, w_hi * 1e-3, w_hi, 1e-7, 40, None).unwrap();
+        // Model must be accurate across the band despite sharp features.
+        let grid = linspace(w_hi * 0.01, w_hi * 0.99, 60);
+        let h = frequency_response(&sys, &grid).unwrap();
+        let hr = frequency_response(&m.model.reduced, &grid).unwrap();
+        let err = max_rel_error(&h, &hr);
+        assert!(err < 0.05, "adaptive model in-band error {err:.3}");
+    }
+
+    #[test]
+    fn respects_sample_budget() {
+        let sys = peec_resonator(&PeecParams::default()).unwrap();
+        let w_hi = 2.0 * std::f64::consts::PI * 20e9;
+        let m = adaptive_pmtbr(&sys, w_hi * 1e-3, w_hi, 1e-12, 8, None).unwrap();
+        assert!(m.chosen_omegas.len() <= 8);
+    }
+
+    #[test]
+    fn validation() {
+        let sys = rc_mesh(2, 2, &[0], 1.0, 1.0, 2.0).unwrap();
+        assert!(adaptive_pmtbr(&sys, 5.0, 1.0, 1e-6, 10, None).is_err());
+        assert!(adaptive_pmtbr(&sys, 0.0, 1.0, 1e-6, 2, None).is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! Algorithm 1: the core PMTBR procedure.
+//!
+//! Sample `z_k = (s_k·E − A)⁻¹·B` at quadrature nodes, weight by `√w_k`,
+//! realify, and take the SVD of the stacked sample matrix `ZW`. Its left
+//! singular vectors approximate the dominant eigenvectors of the
+//! (weighted) controllability Gramian, its singular values approximate
+//! the Hankel singular values, and the trailing-value sum drives order
+//! and error control.
+
+use lti::{realify_columns, LtiSystem, StateSpace};
+use numkit::{svd, DMat, NumError, Svd};
+
+use crate::{SamplePoint, Sampling};
+
+/// Configuration for a PMTBR run.
+///
+/// Build with [`PmtbrOptions::new`] and the `with_*` methods
+/// (builder style):
+///
+/// ```
+/// use pmtbr::{PmtbrOptions, Sampling};
+///
+/// let opts = PmtbrOptions::new(Sampling::Linear { omega_max: 10.0, n: 20 })
+///     .with_tolerance(1e-8)
+///     .with_max_order(12);
+/// assert_eq!(opts.max_order(), Some(12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmtbrOptions {
+    sampling: Sampling,
+    tolerance: f64,
+    max_order: Option<usize>,
+}
+
+impl PmtbrOptions {
+    /// Creates options with the given sampling scheme, relative singular
+    /// value tolerance `1e-10`, and no order cap.
+    pub fn new(sampling: Sampling) -> Self {
+        PmtbrOptions { sampling, tolerance: 1e-10, max_order: None }
+    }
+
+    /// Sets the relative truncation tolerance: directions with
+    /// `σᵢ ≤ tol·σ₀` are dropped.
+    #[must_use]
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Caps the reduced order.
+    #[must_use]
+    pub fn with_max_order(mut self, order: usize) -> Self {
+        self.max_order = Some(order);
+        self
+    }
+
+    /// The sampling scheme.
+    pub fn sampling(&self) -> &Sampling {
+        &self.sampling
+    }
+
+    /// The relative truncation tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The order cap, if any.
+    pub fn max_order(&self) -> Option<usize> {
+        self.max_order
+    }
+}
+
+/// The factored sample matrix `ZW` — PMTBR's intermediate product.
+///
+/// Exposed separately (C-INTERMEDIATE) because the experiments consume
+/// it directly: Fig. 5 plots its singular values against exact Hankel
+/// values, Fig. 6 measures subspace angles of its leading vectors, and
+/// Fig. 8 tracks singular-value convergence as samples accumulate.
+#[derive(Debug, Clone)]
+pub struct SampleBasis {
+    /// Thin SVD of the realified, weighted sample matrix.
+    pub svd: Svd<f64>,
+    /// The quadrature nodes that produced it.
+    pub points: Vec<SamplePoint>,
+}
+
+impl SampleBasis {
+    /// Singular values of `ZW` (squared, these estimate Gramian
+    /// eigenvalues; directly, they estimate Hankel singular values in
+    /// the symmetric case).
+    pub fn singular_values(&self) -> &[f64] {
+        &self.svd.s
+    }
+
+    /// Error estimate for each order `q`: the trailing sum
+    /// `Σ_{i≥q} σᵢ` (index 0 = estimate for the order-0 model).
+    pub fn error_estimates(&self) -> Vec<f64> {
+        let s = &self.svd.s;
+        let mut tails = vec![0.0; s.len() + 1];
+        for i in (0..s.len()).rev() {
+            tails[i] = tails[i + 1] + s[i];
+        }
+        tails
+    }
+
+    /// Smallest order whose trailing singular-value sum drops below
+    /// `tol` (absolute), per the paper's Section V-B criterion.
+    pub fn suggest_order(&self, tol: f64) -> usize {
+        let tails = self.error_estimates();
+        tails.iter().position(|&t| t < tol).unwrap_or(self.svd.s.len())
+    }
+
+    /// The projection basis spanned by the `order` dominant directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` exceeds the number of computed directions.
+    pub fn basis(&self, order: usize) -> DMat {
+        self.svd.u.leading_cols(order)
+    }
+}
+
+/// Computes the PMTBR sample basis for a system under a sampling scheme.
+///
+/// # Errors
+///
+/// - Propagates sampling validation and shifted-solve errors.
+/// - [`NumError::InvalidArgument`] if every weighted sample vanished.
+pub fn sample_basis<S: LtiSystem + ?Sized>(
+    sys: &S,
+    sampling: &Sampling,
+) -> Result<SampleBasis, NumError> {
+    let points = sampling.points()?;
+    let b = sys.input_matrix().to_complex();
+    let mut blocks: Vec<DMat> = Vec::with_capacity(points.len());
+    let mut total_cols = 0usize;
+    for pt in &points {
+        let z = sys.solve_shifted(pt.s, &b)?;
+        let zw = z.scale(pt.weight.sqrt());
+        let real = realify_columns(&zw, 1e-13);
+        total_cols += real.ncols();
+        blocks.push(real);
+    }
+    if total_cols == 0 {
+        return Err(NumError::InvalidArgument("all weighted samples vanished"));
+    }
+    let n = sys.nstates();
+    let mut zmat = DMat::zeros(n, total_cols);
+    let mut col = 0;
+    for blk in &blocks {
+        for j in 0..blk.ncols() {
+            for i in 0..n {
+                zmat[(i, col)] = blk[(i, j)];
+            }
+            col += 1;
+        }
+    }
+    Ok(SampleBasis { svd: svd(&zmat)?, points })
+}
+
+/// A reduced model produced by any PMTBR variant.
+#[derive(Debug, Clone)]
+pub struct PmtbrModel {
+    /// The reduced model (congruence-projected: `W = V`).
+    pub reduced: StateSpace,
+    /// The projection basis (`n × order`).
+    pub v: DMat,
+    /// All singular values of the sample matrix (before truncation).
+    pub singular_values: Vec<f64>,
+    /// The realized order.
+    pub order: usize,
+    /// Trailing singular-value sum at the realized order — the PMTBR
+    /// error estimate (not a strict bound; see paper Section V-B).
+    pub error_estimate: f64,
+}
+
+/// Runs PMTBR (Algorithm 1) end to end.
+///
+/// # Errors
+///
+/// Propagates [`sample_basis`] and projection errors.
+///
+/// # Examples
+///
+/// ```
+/// use circuits::rc_mesh;
+/// use pmtbr::{pmtbr, PmtbrOptions, Sampling};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = rc_mesh(4, 4, &[0, 15], 1.0, 1.0, 2.0)?;
+/// let opts = PmtbrOptions::new(Sampling::Linear { omega_max: 10.0, n: 15 })
+///     .with_max_order(6);
+/// let model = pmtbr(&sys, &opts)?;
+/// assert!(model.order <= 6);
+/// assert!(model.reduced.is_stable()?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pmtbr<S: LtiSystem + ?Sized>(sys: &S, opts: &PmtbrOptions) -> Result<PmtbrModel, NumError> {
+    let basis = sample_basis(sys, opts.sampling())?;
+    reduce_with_basis(sys, &basis, opts)
+}
+
+/// Projects a system onto a precomputed [`SampleBasis`] under the given
+/// truncation options — the second half of Algorithm 1, split out so
+/// multiple orders can be extracted from one (expensive) sampling pass.
+///
+/// # Errors
+///
+/// Propagates projection errors (e.g. a singular reduced descriptor).
+pub fn reduce_with_basis<S: LtiSystem + ?Sized>(
+    sys: &S,
+    basis: &SampleBasis,
+    opts: &PmtbrOptions,
+) -> Result<PmtbrModel, NumError> {
+    let s = basis.singular_values();
+    if s.is_empty() || s[0] == 0.0 {
+        return Err(NumError::InvalidArgument("sample basis is empty"));
+    }
+    let by_tol = s.iter().take_while(|&&x| x > opts.tolerance() * s[0]).count().max(1);
+    let order = opts.max_order().map_or(by_tol, |cap| by_tol.min(cap)).min(s.len());
+    let v = basis.basis(order);
+    let reduced = sys.project(&v, &v)?;
+    Ok(PmtbrModel {
+        reduced,
+        v,
+        singular_values: s.to_vec(),
+        order,
+        error_estimate: s.iter().skip(order).sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::{clock_tree, rc_mesh};
+    use numkit::c64;
+
+    #[test]
+    fn options_builder() {
+        let opts = PmtbrOptions::new(Sampling::Linear { omega_max: 1.0, n: 2 })
+            .with_tolerance(1e-6)
+            .with_max_order(3);
+        assert_eq!(opts.tolerance(), 1e-6);
+        assert_eq!(opts.max_order(), Some(3));
+    }
+
+    #[test]
+    fn pmtbr_reduces_rc_mesh_accurately() {
+        let sys = rc_mesh(4, 4, &[0, 15], 1.0, 1.0, 2.0).unwrap();
+        let opts =
+            PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 25 }).with_max_order(8);
+        let m = pmtbr(&sys, &opts).unwrap();
+        assert!(m.order <= 8);
+        for &w in &[0.0f64, 0.3, 1.0, 5.0] {
+            let s = c64::new(0.0, w);
+            let h = sys.transfer_function(s).unwrap();
+            let hr = m.reduced.transfer_function(s).unwrap();
+            let err = (&h - &hr).norm_max();
+            assert!(err < 1e-3 * h.norm_max().max(1e-12), "w={w}: error {err}");
+        }
+    }
+
+    #[test]
+    fn singular_values_decay_for_low_order_system() {
+        let sys = clock_tree(4, 1.0, 1.0, 0.5, 2.0).unwrap();
+        let basis =
+            sample_basis(&sys, &Sampling::Linear { omega_max: 10.0, n: 30 }).unwrap();
+        let s = basis.singular_values();
+        assert!(s[10] < 1e-8 * s[0], "clock tree must be intrinsically low order");
+        // Error estimates are non-increasing tail sums.
+        let est = basis.error_estimates();
+        for w in est.windows(2) {
+            assert!(w[0] >= w[1] - 1e-15);
+        }
+    }
+
+    #[test]
+    fn suggest_order_matches_tail_definition() {
+        let sys = clock_tree(3, 1.0, 1.0, 0.5, 2.0).unwrap();
+        let basis =
+            sample_basis(&sys, &Sampling::Linear { omega_max: 10.0, n: 20 }).unwrap();
+        let q = basis.suggest_order(1e-6);
+        let tail: f64 = basis.singular_values().iter().skip(q).sum();
+        assert!(tail < 1e-6);
+        if q > 0 {
+            let tail_prev: f64 = basis.singular_values().iter().skip(q - 1).sum();
+            assert!(tail_prev >= 1e-6);
+        }
+    }
+
+    #[test]
+    fn tolerance_controls_order() {
+        let sys = rc_mesh(4, 4, &[0], 1.0, 1.0, 2.0).unwrap();
+        let sampling = Sampling::Linear { omega_max: 20.0, n: 20 };
+        let loose = pmtbr(&sys, &PmtbrOptions::new(sampling.clone()).with_tolerance(1e-2))
+            .unwrap();
+        let tight = pmtbr(&sys, &PmtbrOptions::new(sampling).with_tolerance(1e-12)).unwrap();
+        assert!(loose.order < tight.order, "{} !< {}", loose.order, tight.order);
+    }
+
+    #[test]
+    fn projection_basis_is_orthonormal() {
+        let sys = rc_mesh(3, 3, &[0, 8], 1.0, 1.0, 2.0).unwrap();
+        let m = pmtbr(
+            &sys,
+            &PmtbrOptions::new(Sampling::Linear { omega_max: 10.0, n: 10 }).with_max_order(5),
+        )
+        .unwrap();
+        let g = &m.v.transpose() * &m.v;
+        assert!((&g - &DMat::identity(m.order)).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn log_sampling_works_on_wide_dynamics() {
+        let sys = clock_tree(4, 1.0, 1.0, 0.5, 2.0).unwrap();
+        let m = pmtbr(
+            &sys,
+            &PmtbrOptions::new(Sampling::Log { omega_min: 1e-3, omega_max: 1e3, n: 25 })
+                .with_max_order(8),
+        )
+        .unwrap();
+        let s = c64::new(0.0, 0.1);
+        let h = sys.transfer_function(s).unwrap()[(0, 0)];
+        let hr = m.reduced.transfer_function(s).unwrap()[(0, 0)];
+        assert!((h - hr).abs() < 1e-4 * h.abs());
+    }
+}

@@ -1,0 +1,212 @@
+//! Sampled cross-Gramian PMTBR (paper Section V-D).
+//!
+//! For nonsymmetric systems both Gramians matter. Rather than balancing
+//! two sampled Gramians, the cross-Gramian variant samples
+//! controllability vectors `z_R = (sE − A)⁻¹·B` *and* observability
+//! vectors `z_L = (sE − A)⁻ᵀ·Cᵀ`, compresses the (never formed)
+//! `Z_L·Z_Rᵀ` eigenproblem through a joint orthonormal basis `Q`, and
+//! projects onto the dominant eigenspace — a two-sided (Petrov–Galerkin)
+//! reduction whose trailing-eigenvalue sum bounds the Hankel tail.
+
+use lti::{realify_columns, LtiSystem, StateSpace};
+use numkit::{eig, svd, DMat, Lu, NumError};
+
+use crate::{PmtbrModel, Sampling};
+
+/// Runs cross-Gramian PMTBR, producing an order-`order` two-sided model.
+///
+/// # Errors
+///
+/// - [`NumError::InvalidArgument`] if `order == 0` or the samples span
+///   too small a space for the requested order.
+/// - Propagates solve/eigen/projection errors.
+///
+/// # Examples
+///
+/// ```
+/// use circuits::rc_mesh;
+/// use pmtbr::{cross_gramian_pmtbr, Sampling};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = rc_mesh(3, 3, &[0], 1.0, 1.0, 2.0)?;
+/// let m = cross_gramian_pmtbr(&sys, &Sampling::Linear { omega_max: 10.0, n: 8 }, 4)?;
+/// assert_eq!(m.order, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_gramian_pmtbr<S: LtiSystem + ?Sized>(
+    sys: &S,
+    sampling: &Sampling,
+    order: usize,
+) -> Result<PmtbrModel, NumError> {
+    if order == 0 {
+        return Err(NumError::InvalidArgument("reduction order must be at least 1"));
+    }
+    let points = sampling.points()?;
+    let b = sys.input_matrix().to_complex();
+    let ct = sys.output_matrix().adjoint().to_complex();
+    let n = sys.nstates();
+
+    // Collect controllability (Z_R) and observability (Z_L) samples.
+    let mut zr_cols: Vec<DMat> = Vec::new();
+    let mut zl_cols: Vec<DMat> = Vec::new();
+    for pt in &points {
+        let zr = sys.solve_shifted(pt.s, &b)?.scale(pt.weight.sqrt());
+        let zl = sys.solve_shifted_transpose(pt.s, &ct)?.scale(pt.weight.sqrt());
+        zr_cols.push(realify_columns(&zr, 1e-13));
+        zl_cols.push(realify_columns(&zl, 1e-13));
+    }
+    let zr = hstack_blocks(n, &zr_cols)?;
+    let zl = hstack_blocks(n, &zl_cols)?;
+
+    // Joint orthonormal basis Q of [Z_R | Z_L]. The stack is often wider
+    // than tall, so use an SVD with rank truncation rather than QR.
+    let joint = zr.hstack(&zl)?;
+    if joint.ncols() == 0 {
+        return Err(NumError::InvalidArgument("no samples collected"));
+    }
+    let jf = svd(&joint)?;
+    let rank = jf.rank(1e-12).max(1);
+    let q = jf.u.leading_cols(rank);
+    let k = q.ncols();
+    if order > k {
+        return Err(NumError::InvalidArgument("requested order exceeds sampled subspace"));
+    }
+    // Compressed eigenproblem: M = (Qᵀ·Z_R)·(Qᵀ·Z_L)ᵀ, size k × k.
+    let rr = &q.transpose() * &zr;
+    let rl = &q.transpose() * &zl;
+    let m = &rr * &rl.transpose();
+    let e = eig(&m)?;
+
+    // Realified dominant eigenbasis (conjugate pairs → [Re, Im]).
+    let mut t = DMat::zeros(k, k);
+    let mut moduli = Vec::with_capacity(k);
+    let mut j = 0;
+    let mut col = 0;
+    while j < k {
+        let lam = e.values[j];
+        let v = e.vectors.col(j);
+        if lam.im.abs() > 1e-12 * lam.abs().max(1e-300) && j + 1 < k {
+            for i in 0..k {
+                t[(i, col)] = v[i].re;
+                t[(i, col + 1)] = v[i].im;
+            }
+            moduli.push(lam.abs());
+            moduli.push(lam.abs());
+            col += 2;
+            j += 2;
+        } else {
+            for i in 0..k {
+                t[(i, col)] = v[i].re;
+            }
+            moduli.push(lam.abs());
+            col += 1;
+            j += 1;
+        }
+    }
+    // Don't split a conjugate pair at the boundary.
+    let mut q_ord = order.min(k);
+    if q_ord < k && (moduli[q_ord - 1] - moduli[q_ord]).abs() < 1e-12 * moduli[0].max(1e-300) {
+        q_ord += 1;
+    }
+    let rs = t.leading_cols(q_ord);
+    // Two-sided projection: V = Q·R_S, W = Q·(R_S⁻ᵀ columns), so WᵀV = I.
+    let tinv = Lu::new(t.clone())?.inverse()?;
+    let ws = tinv.transpose().leading_cols(q_ord);
+    let v = &q * &rs;
+    let w = &q * &ws;
+    let reduced: StateSpace = sys.project(&w, &v)?;
+    Ok(PmtbrModel {
+        reduced,
+        v,
+        singular_values: moduli.clone(),
+        order: q_ord,
+        error_estimate: moduli.iter().skip(q_ord).sum(),
+    })
+}
+
+fn hstack_blocks(n: usize, blocks: &[DMat]) -> Result<DMat, NumError> {
+    let total: usize = blocks.iter().map(|b| b.ncols()).sum();
+    let mut out = DMat::zeros(n, total);
+    let mut col = 0;
+    for blk in blocks {
+        for j in 0..blk.ncols() {
+            for i in 0..n {
+                out[(i, col)] = blk[(i, j)];
+            }
+            col += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::{connector, rc_mesh, ConnectorParams};
+    use numkit::c64;
+
+    #[test]
+    fn matches_symmetric_pmtbr_quality() {
+        // On a symmetric RC system the cross-Gramian coincides with the
+        // controllability picture: the reduction should be as accurate
+        // as plain PMTBR.
+        let sys = rc_mesh(3, 3, &[0], 1.0, 1.0, 2.0).unwrap();
+        let sampling = Sampling::Linear { omega_max: 10.0, n: 10 };
+        let mcg = cross_gramian_pmtbr(&sys, &sampling, 4).unwrap();
+        let mpm = crate::pmtbr(
+            &sys,
+            &crate::PmtbrOptions::new(sampling).with_max_order(4),
+        )
+        .unwrap();
+        for &w in &[0.0, 0.5, 2.0] {
+            let s = c64::new(0.0, w);
+            let h = sys.transfer_function(s).unwrap()[(0, 0)];
+            let e_cg = (mcg.reduced.transfer_function(s).unwrap()[(0, 0)] - h).abs();
+            let e_pm = (mpm.reduced.transfer_function(s).unwrap()[(0, 0)] - h).abs();
+            // For symmetric systems the two variants coincide.
+            assert!(e_cg <= 2.0 * e_pm + 1e-12, "w = {w}: cg {e_cg:.2e} vs pmtbr {e_pm:.2e}");
+        }
+    }
+
+    #[test]
+    fn works_on_nonsymmetric_rlc() {
+        // The connector is RLC (nonsymmetric state matrix): the two-sided
+        // variant should still produce a usable model in-band.
+        let sys = connector(&ConnectorParams { pins: 3, ..Default::default() }).unwrap();
+        let wmax = 2.0 * std::f64::consts::PI * 8e9;
+        let m =
+            cross_gramian_pmtbr(&sys, &Sampling::Linear { omega_max: wmax, n: 15 }, 12).unwrap();
+        let s = c64::new(0.0, wmax / 3.0);
+        let h = sys.transfer_function(s).unwrap();
+        let hr = m.reduced.transfer_function(s).unwrap();
+        let rel = (&h - &hr).norm_max() / h.norm_max();
+        assert!(rel < 0.05, "relative error {rel:.3}");
+    }
+
+    #[test]
+    fn biorthogonality_of_projectors() {
+        let sys = rc_mesh(3, 3, &[0, 8], 1.0, 1.0, 2.0).unwrap();
+        let m = cross_gramian_pmtbr(&sys, &Sampling::Linear { omega_max: 5.0, n: 8 }, 5)
+            .unwrap();
+        // Reduced system dimension matches and the model is finite.
+        assert_eq!(m.reduced.nstates(), m.order);
+        assert!(m.reduced.a.is_finite());
+    }
+
+    #[test]
+    fn zero_order_rejected() {
+        let sys = rc_mesh(2, 2, &[0], 1.0, 1.0, 2.0).unwrap();
+        assert!(
+            cross_gramian_pmtbr(&sys, &Sampling::Linear { omega_max: 1.0, n: 2 }, 0).is_err()
+        );
+    }
+
+    #[test]
+    fn excessive_order_rejected() {
+        let sys = rc_mesh(2, 2, &[0], 1.0, 1.0, 2.0).unwrap();
+        assert!(
+            cross_gramian_pmtbr(&sys, &Sampling::Linear { omega_max: 1.0, n: 1 }, 50).is_err()
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Compressed sparse row (CSR) matrices.
+
+use numkit::{Mat, Scalar};
+
+/// A compressed sparse row matrix.
+///
+/// Construction goes through [`Triplet`](crate::Triplet); CSR supports the
+/// operations simulation needs: matrix–vector products (plain and
+/// adjoint), row access, dense conversion, and scaled addition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Builds from entries sorted row-major with no duplicates.
+    ///
+    /// Intended for use by [`Triplet`](crate::Triplet); prefer that type
+    /// for general construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if entries are unsorted or out of bounds.
+    pub fn from_sorted_entries(
+        nrows: usize,
+        ncols: usize,
+        entries: Vec<(usize, usize, T)>,
+    ) -> Self {
+        let mut indptr = vec![0usize; nrows + 1];
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        for &(r, c, _) in &entries {
+            debug_assert!(r < nrows && c < ncols);
+            indptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        for (r, c, v) in entries {
+            debug_assert!(
+                indices.len() >= indptr[r] || r == 0,
+                "entries must be sorted row-major"
+            );
+            indices.push(c);
+            values.push(v);
+            debug_assert!(indices.len() <= indptr[r + 1]);
+        }
+        Csr { nrows, ncols, indptr, indices, values }
+    }
+
+    /// An `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![T::one(); n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    pub fn row(&self, i: usize) -> (&[usize], &[T]) {
+        assert!(i < self.nrows, "row index out of bounds");
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Entry at `(i, j)` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => T::zero(),
+        }
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.ncols, "mul_vec: length mismatch");
+        let mut y = vec![T::zero(); self.nrows];
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let mut acc = T::zero();
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// `y = Aᵀ·x` (plain transpose, no conjugation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn mul_vec_transpose(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.nrows, "mul_vec_transpose: length mismatch");
+        let mut y = vec![T::zero(); self.ncols];
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let xi = x[i];
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c] += v * xi;
+            }
+        }
+        y
+    }
+
+    /// Dense copy.
+    pub fn to_dense(&self) -> Mat<T> {
+        let mut m = Mat::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m[(i, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Iterator over stored entries `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&c, &v)| (i, c, v)).collect::<Vec<_>>()
+        })
+    }
+
+    /// Linear combination `alpha·self + beta·other` (entry-wise union).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_scaled(&self, alpha: T, other: &Csr<T>, beta: T) -> Csr<T> {
+        assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
+        let mut t = crate::Triplet::with_capacity(self.nrows, self.ncols, self.nnz() + other.nnz());
+        for (i, j, v) in self.iter() {
+            t.push(i, j, alpha * v);
+        }
+        for (i, j, v) in other.iter() {
+            t.push(i, j, beta * v);
+        }
+        t.to_csr()
+    }
+
+    /// Maps every stored value (structure-preserving).
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Csr<U> {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplet;
+
+    fn sample() -> Csr<f64> {
+        let mut t = Triplet::new(3, 4);
+        t.push(0, 0, 1.0);
+        t.push(0, 3, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, 4.0);
+        t.push(2, 2, 5.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn get_and_nnz() {
+        let a = sample();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 3), 2.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let a = sample();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = a.mul_vec(&x);
+        let yd = a.to_dense().mul_vec(&x);
+        assert_eq!(y, yd);
+    }
+
+    #[test]
+    fn transpose_mul_matches_dense() {
+        let a = sample();
+        let x = vec![1.0, -1.0, 2.0];
+        let y = a.mul_vec_transpose(&x);
+        let yd = a.to_dense().transpose().mul_vec(&x);
+        assert_eq!(y, yd);
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let i = Csr::<f64>::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn add_scaled_combines() {
+        let a = sample();
+        let c = a.add_scaled(2.0, &a, -1.0);
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(2, 2), 5.0);
+        let mut t = Triplet::new(3, 4);
+        t.push(0, 0, -1.0);
+        let d = a.add_scaled(1.0, &t.to_csr(), 1.0);
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.nnz(), 4, "cancelled entry must be dropped");
+    }
+
+    #[test]
+    fn map_to_complex() {
+        use numkit::c64;
+        let a = sample();
+        let z = a.map(|v| c64::new(0.0, v));
+        assert_eq!(z.get(2, 2), c64::new(0.0, 5.0));
+        assert_eq!(z.nnz(), a.nnz());
+    }
+}

@@ -1,0 +1,440 @@
+//! Sparse LU factorization: left-looking Gilbert–Peierls with partial
+//! pivoting, generic over real and complex scalars.
+//!
+//! This is the solver the PMTBR cost model assumes: each column is
+//! computed with a sparse triangular solve whose nonzero pattern is found
+//! by depth-first search, so the work is proportional to the fill-in
+//! rather than `n²`. It handles the complex shifted systems
+//! `(sE − A)x = b` directly — the "immature sparse complex solver"
+//! gap this reproduction had to close.
+
+use numkit::{NumError, Scalar};
+
+use crate::Csc;
+
+/// Marker for "row not yet pivotal".
+const UNSET: usize = usize::MAX;
+
+/// A sparse LU factorization `P·A = L·U` with partial pivoting.
+///
+/// # Examples
+///
+/// ```
+/// use sparsekit::{SparseLu, Triplet};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let mut t = Triplet::new(3, 3);
+/// t.push(0, 0, 4.0);
+/// t.push(1, 1, 2.0);
+/// t.push(2, 2, 1.0);
+/// t.push(0, 2, 1.0);
+/// let lu = SparseLu::new(&t.to_csc())?;
+/// let x = lu.solve(&[5.0, 2.0, 1.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// assert!((x[2] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu<T> {
+    n: usize,
+    /// L (unit lower, diagonal implicit), columns in pivot order, row
+    /// indices in pivot order.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<T>,
+    /// U (upper incl. diagonal stored last per column), columns/rows in
+    /// pivot order.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<T>,
+    /// `p[k]` = original row index pivotal at elimination step `k`.
+    p: Vec<usize>,
+}
+
+impl<T: Scalar> SparseLu<T> {
+    /// Factors the square CSC matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// - [`NumError::NotSquare`] for rectangular input.
+    /// - [`NumError::Singular`] if no usable pivot exists in some column
+    ///   (numerically or structurally singular).
+    pub fn new(a: &Csc<T>) -> Result<Self, NumError> {
+        let n = a.nrows();
+        if n != a.ncols() {
+            return Err(NumError::NotSquare { rows: n, cols: a.ncols() });
+        }
+        // pinv[orig_row] = pivot step, or UNSET.
+        let mut pinv = vec![UNSET; n];
+        let mut p = Vec::with_capacity(n);
+
+        // L columns during factorization carry ORIGINAL row indices; they
+        // are remapped to pivot order at the end.
+        let mut l_colptr = vec![0usize];
+        let mut l_rows: Vec<usize> = Vec::new();
+        let mut l_vals: Vec<T> = Vec::new();
+        let mut u_colptr = vec![0usize];
+        let mut u_rows: Vec<usize> = Vec::new();
+        let mut u_vals: Vec<T> = Vec::new();
+
+        // Scratch: dense accumulator, visited marks, DFS stacks.
+        let mut x = vec![T::zero(); n];
+        let mut mark = vec![false; n];
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+
+        for j in 0..n {
+            let (a_rows, a_vals) = a.col(j);
+
+            // --- Symbolic: reach of pattern(A[:,j]) through the L graph.
+            topo.clear();
+            for &start in a_rows {
+                if mark[start] {
+                    continue;
+                }
+                dfs_stack.push((start, 0));
+                mark[start] = true;
+                while let Some(&(node, child)) = dfs_stack.last() {
+                    let k = pinv[node];
+                    let children: &[usize] = if k == UNSET {
+                        &[]
+                    } else {
+                        &l_rows[l_colptr[k]..l_colptr[k + 1]]
+                    };
+                    if child < children.len() {
+                        let c = children[child];
+                        dfs_stack.last_mut().expect("nonempty stack").1 += 1;
+                        if !mark[c] {
+                            mark[c] = true;
+                            dfs_stack.push((c, 0));
+                        }
+                    } else {
+                        topo.push(node);
+                        dfs_stack.pop();
+                    }
+                }
+            }
+            // `topo` is a post-order: dependencies of a node appear AFTER
+            // it, so process in reverse for the triangular solve.
+
+            // --- Numeric: sparse solve x = L⁻¹ A[:,j].
+            for (&r, &v) in a_rows.iter().zip(a_vals) {
+                x[r] = v;
+            }
+            for &s in topo.iter().rev() {
+                let k = pinv[s];
+                if k == UNSET {
+                    continue;
+                }
+                let xs = x[s];
+                if xs == T::zero() {
+                    continue;
+                }
+                for idx in l_colptr[k]..l_colptr[k + 1] {
+                    let r = l_rows[idx];
+                    x[r] -= l_vals[idx] * xs;
+                }
+            }
+
+            // --- Pivot among non-pivotal rows of the pattern.
+            let mut piv_row = UNSET;
+            let mut piv_mag = 0.0;
+            for &s in &topo {
+                if pinv[s] == UNSET {
+                    let m = x[s].abs();
+                    if m > piv_mag {
+                        piv_mag = m;
+                        piv_row = s;
+                    }
+                }
+            }
+            if piv_row == UNSET || piv_mag == 0.0 {
+                // Clean scratch before erroring.
+                for &s in &topo {
+                    x[s] = T::zero();
+                    mark[s] = false;
+                }
+                return Err(NumError::Singular { pivot: j });
+            }
+            let ujj = x[piv_row];
+
+            // --- Store U column j (pivotal rows) and L column j.
+            for &s in &topo {
+                let k = pinv[s];
+                if k != UNSET && x[s] != T::zero() {
+                    u_rows.push(k);
+                    u_vals.push(x[s]);
+                }
+            }
+            u_rows.push(j);
+            u_vals.push(ujj);
+            u_colptr.push(u_rows.len());
+
+            for &s in &topo {
+                if pinv[s] == UNSET && s != piv_row && x[s] != T::zero() {
+                    l_rows.push(s); // original index; remapped below
+                    l_vals.push(x[s] / ujj);
+                }
+            }
+            l_colptr.push(l_rows.len());
+
+            pinv[piv_row] = j;
+            p.push(piv_row);
+
+            // --- Clear scratch.
+            for &s in &topo {
+                x[s] = T::zero();
+                mark[s] = false;
+            }
+        }
+
+        // Remap L row indices from original to pivot order.
+        for r in l_rows.iter_mut() {
+            *r = pinv[*r];
+        }
+        Ok(SparseLu { n, l_colptr, l_rows, l_vals, u_colptr, u_rows, u_vals, p })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries in `L` plus `U` (fill-in diagnostics).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_vals.len() + self.u_vals.len()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumError::ShapeMismatch {
+                operation: "sparse lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // y = P·b.
+        let mut y: Vec<T> = (0..n).map(|k| b[self.p[k]]).collect();
+        // Forward: L·z = y (unit diagonal), column-oriented.
+        for k in 0..n {
+            let yk = y[k];
+            if yk == T::zero() {
+                continue;
+            }
+            for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                let r = self.l_rows[idx];
+                y[r] -= self.l_vals[idx] * yk;
+            }
+        }
+        // Backward: U·x = z, column-oriented (diagonal stored last).
+        for k in (0..n).rev() {
+            let hi = self.u_colptr[k + 1];
+            let lo = self.u_colptr[k];
+            let diag = self.u_vals[hi - 1];
+            debug_assert_eq!(self.u_rows[hi - 1], k);
+            let xk = y[k] / diag;
+            y[k] = xk;
+            if xk == T::zero() {
+                continue;
+            }
+            for idx in lo..hi - 1 {
+                let r = self.u_rows[idx];
+                y[r] -= self.u_vals[idx] * xk;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Solves for several right-hand sides given as columns of a dense
+    /// matrix, returning the solutions as columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] on a row-count mismatch.
+    pub fn solve_mat(&self, b: &numkit::Mat<T>) -> Result<numkit::Mat<T>, NumError> {
+        if b.nrows() != self.n {
+            return Err(NumError::ShapeMismatch {
+                operation: "sparse lu solve_mat",
+                left: (self.n, self.n),
+                right: b.shape(),
+            });
+        }
+        let mut out = numkit::Mat::zeros(self.n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = self.solve(&b.col(j))?;
+            out.set_col(j, &col);
+        }
+        Ok(out)
+    }
+
+    /// Reciprocal condition estimate from the `U` diagonal magnitudes.
+    pub fn rcond_estimate(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for k in 0..self.n {
+            let d = self.u_vals[self.u_colptr[k + 1] - 1].abs();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        if hi == 0.0 {
+            0.0
+        } else {
+            lo / hi
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplet;
+    use numkit::{c64, DMat, Lu};
+
+    /// Deterministic pseudo-random sparse matrix with a dominant diagonal.
+    fn random_sparse(n: usize, fill: usize, seed: u64) -> Triplet<f64> {
+        let mut t = Triplet::new(n, n);
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            t.push(i, i, 10.0 + (next() % 100) as f64 / 10.0);
+            for _ in 0..fill {
+                let j = (next() as usize) % n;
+                let v = ((next() % 200) as f64 - 100.0) / 50.0;
+                t.push(i, j, v);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn solve_matches_dense_lu() {
+        let t = random_sparse(30, 3, 7);
+        let csc = t.to_csc();
+        let dense = csc.to_dense();
+        let b: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let xs = SparseLu::new(&csc).unwrap().solve(&b).unwrap();
+        let xd = Lu::new(dense).unwrap().solve(&b).unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-9, "sparse {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn complex_shifted_system() {
+        // (sI - A) x = b with s = j·w: the PMTBR kernel.
+        let t = random_sparse(20, 2, 3);
+        let a = t.to_csc();
+        let s = c64::new(0.0, 2.5);
+        let shifted = {
+            let mut tz = Triplet::<c64>::new(20, 20);
+            for j in 0..20 {
+                let (rows, vals) = a.col(j);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    tz.push(r, j, c64::from_real(-v));
+                }
+            }
+            for i in 0..20 {
+                tz.push(i, i, s);
+            }
+            tz.to_csc()
+        };
+        let b: Vec<c64> = (0..20).map(|i| c64::new(1.0, i as f64 / 10.0)).collect();
+        let x = SparseLu::new(&shifted).unwrap().solve(&b).unwrap();
+        // Residual check against the dense operator.
+        let dz = shifted.to_dense();
+        let ax = dz.mul_vec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((*axi - *bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permutation_matrix_roundtrip() {
+        // A pure permutation requires pivoting to factor at all.
+        let mut t = Triplet::new(4, 4);
+        t.push(0, 2, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(2, 3, 1.0);
+        t.push(3, 1, 1.0);
+        let lu = SparseLu::new(&t.to_csc()).unwrap();
+        let b = vec![10.0, 20.0, 30.0, 40.0];
+        let x = lu.solve(&b).unwrap();
+        let ax = t.to_csc().mul_vec(&x);
+        assert_eq!(ax, b);
+    }
+
+    #[test]
+    fn tridiagonal_has_no_fill() {
+        let n = 50;
+        let mut t = Triplet::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+                t.push(i - 1, i, -1.0);
+            }
+        }
+        let lu = SparseLu::new(&t.to_csc()).unwrap();
+        // L and U each have at most 2 entries per column for a
+        // diagonally dominant tridiagonal matrix (no pivoting needed).
+        assert!(lu.factor_nnz() <= 3 * n, "unexpected fill-in: {}", lu.factor_nnz());
+        let b = vec![1.0; n];
+        let x = lu.solve(&b).unwrap();
+        let ax = t.to_csc().mul_vec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn structurally_singular_detected() {
+        let mut t = Triplet::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        // Column 2 completely empty.
+        assert!(matches!(SparseLu::new(&t.to_csc()), Err(NumError::Singular { .. })));
+    }
+
+    #[test]
+    fn numerically_singular_detected() {
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 1, 4.0);
+        assert!(matches!(SparseLu::new(&t.to_csc()), Err(NumError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let t = random_sparse(10, 2, 11);
+        let lu = SparseLu::new(&t.to_csc()).unwrap();
+        let b = DMat::from_fn(10, 3, |i, j| (i * 3 + j) as f64);
+        let x = lu.solve_mat(&b).unwrap();
+        let ax = t.to_csc().to_dense().matmul(&x).unwrap();
+        assert!((&ax - &b).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn rcond_reasonable_for_identity() {
+        let mut t = Triplet::new(5, 5);
+        for i in 0..5 {
+            t.push(i, i, 1.0);
+        }
+        let lu = SparseLu::new(&t.to_csc()).unwrap();
+        assert!((lu.rcond_estimate() - 1.0).abs() < 1e-12);
+    }
+}

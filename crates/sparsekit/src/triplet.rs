@@ -1,0 +1,141 @@
+//! Coordinate-format (COO) sparse matrix builder.
+
+use numkit::Scalar;
+
+use crate::{Csc, Csr};
+
+/// A coordinate-format builder for sparse matrices.
+///
+/// Duplicated `(row, col)` entries are *accumulated* (summed) on
+/// conversion — exactly the semantics MNA circuit stamping needs.
+///
+/// # Examples
+///
+/// ```
+/// use sparsekit::Triplet;
+///
+/// let mut t = Triplet::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // accumulates with the previous entry
+/// t.push(1, 1, 5.0);
+/// let csr = t.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.get(1, 1), 5.0);
+/// assert_eq!(csr.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Triplet<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> Triplet<T> {
+    /// Creates an empty builder with the given dimensions.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Triplet { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// Creates an empty builder with capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Triplet { nrows, ncols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (pre-accumulation) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `value` at `(row, col)`, accumulating with any existing entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.nrows && col < self.ncols, "triplet entry out of bounds");
+        self.entries.push((row, col, value));
+    }
+
+    /// Raw entries (row, col, value), in insertion order.
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Converts to compressed sparse row format, accumulating duplicates
+    /// and dropping exact zeros produced by cancellation.
+    pub fn to_csr(&self) -> Csr<T> {
+        Csr::from_sorted_entries(self.nrows, self.ncols, self.sorted_rowmajor())
+    }
+
+    /// Converts to compressed sparse column format.
+    pub fn to_csc(&self) -> Csc<T> {
+        Csc::from_sorted_entries(self.nrows, self.ncols, self.sorted_colmajor())
+    }
+
+    fn sorted_rowmajor(&self) -> Vec<(usize, usize, T)> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|&(r, c, _)| (r, c));
+        accumulate(v)
+    }
+
+    fn sorted_colmajor(&self) -> Vec<(usize, usize, T)> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|&(r, c, _)| (c, r));
+        accumulate(v)
+    }
+}
+
+/// Merges adjacent duplicates of a sorted entry list, dropping exact zeros.
+fn accumulate<T: Scalar>(v: Vec<(usize, usize, T)>) -> Vec<(usize, usize, T)> {
+    let mut out: Vec<(usize, usize, T)> = Vec::with_capacity(v.len());
+    for (r, c, val) in v {
+        match out.last_mut() {
+            Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => *lv += val,
+            _ => out.push((r, c, val)),
+        }
+    }
+    out.retain(|&(_, _, val)| val != T::zero());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_merges_duplicates() {
+        let mut t = Triplet::new(3, 3);
+        t.push(1, 1, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, -1.0);
+        let csr = t.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.get(0, 2), -1.0);
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 1, 4.0);
+        t.push(0, 1, -4.0);
+        assert_eq!(t.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut t = Triplet::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: sparse operations must agree with their dense
+//! counterparts, and the sparse LU must solve to small residuals.
+
+use numkit::Lu;
+use proptest::prelude::*;
+use sparsekit::{SparseLu, Triplet};
+
+/// Strategy: a random sparse n×n pattern with a guaranteed dominant
+/// diagonal (so the matrix is invertible).
+fn sparse_system(n: usize) -> impl Strategy<Value = (Triplet<f64>, Vec<f64>)> {
+    let entries = proptest::collection::vec((0..n, 0..n, -2.0f64..2.0), 0..3 * n);
+    let rhs = proptest::collection::vec(-3.0f64..3.0, n);
+    (entries, rhs).prop_map(move |(es, b)| {
+        let mut t = Triplet::new(n, n);
+        let mut rowsum = vec![0.0f64; n];
+        for (i, j, v) in es {
+            t.push(i, j, v);
+            rowsum[i] += v.abs();
+        }
+        for i in 0..n {
+            t.push(i, i, rowsum[i] + 1.0);
+        }
+        (t, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparse_matvec_matches_dense((t, x) in sparse_system(12)) {
+        let csr = t.to_csr();
+        let csc = t.to_csc();
+        let dense = csr.to_dense();
+        prop_assert_eq!(csc.to_dense(), dense.clone());
+        let yr = csr.mul_vec(&x);
+        let yc = csc.mul_vec(&x);
+        let yd = dense.mul_vec(&x);
+        for i in 0..12 {
+            prop_assert!((yr[i] - yd[i]).abs() < 1e-12);
+            prop_assert!((yc[i] - yd[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_lu_matches_dense_lu((t, b) in sparse_system(12)) {
+        let csc = t.to_csc();
+        let xs = SparseLu::new(&csc).unwrap().solve(&b).unwrap();
+        let xd = Lu::new(csc.to_dense()).unwrap().solve(&b).unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            prop_assert!((s - d).abs() < 1e-8, "sparse {} vs dense {}", s, d);
+        }
+    }
+
+    #[test]
+    fn sparse_lu_residual_small((t, b) in sparse_system(16)) {
+        let csc = t.to_csc();
+        let x = SparseLu::new(&csc).unwrap().solve(&b).unwrap();
+        let ax = csc.mul_vec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            prop_assert!((axi - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_is_adjoint((t, x) in sparse_system(10), y in proptest::collection::vec(-1.0f64..1.0, 10)) {
+        // <A x, y> == <x, Aᵀ y>
+        let csr = t.to_csr();
+        let ax = csr.mul_vec(&x);
+        let aty = csr.mul_vec_transpose(&y);
+        let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+}

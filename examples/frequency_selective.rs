@@ -1,0 +1,49 @@
+//! Frequency-selective reduction of the 18-pin connector (paper Fig. 11
+//! scenario): a small in-band PMTBR model versus a larger global TBR
+//! model that wastes its budget on out-of-band resonances.
+//!
+//! Run with: `cargo run --release --example frequency_selective`
+
+use circuits::{connector, ConnectorParams};
+use lti::{frequency_response, linspace, max_rel_error, tbr};
+use pmtbr::frequency_selective_pmtbr;
+
+const GHZ: f64 = 2.0 * std::f64::consts::PI * 1e9;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = connector(&ConnectorParams::default())?;
+    println!("connector: {} states, {} ports", sys.nstates(), sys.ninputs());
+
+    // Band of interest: 0–8 GHz.
+    let band = (0.0, 8.0 * GHZ);
+    let fs = frequency_selective_pmtbr(&sys, &[band], 60, Some(18), 1e-12)?;
+    println!("frequency-selective PMTBR: order {}", fs.order);
+
+    // Global TBR at a *higher* order for comparison.
+    let ss = sys.to_state_space()?;
+    let global = tbr(&ss, 30)?;
+    println!("global TBR: order {}", global.reduced.nstates());
+
+    // Compare in-band accuracy.
+    let grid = linspace(0.05 * GHZ, 8.0 * GHZ, 80);
+    let h = frequency_response(&sys, &grid)?;
+    let h_fs = frequency_response(&fs.reduced, &grid)?;
+    let h_tbr = frequency_response(&global.reduced, &grid)?;
+    let e_fs = max_rel_error(&h, &h_fs);
+    let e_tbr = max_rel_error(&h, &h_tbr);
+    println!("in-band (0-8 GHz) max relative error:");
+    println!("  FS-PMTBR (order {:2}): {e_fs:.3e}", fs.order);
+    println!("  TBR      (order 30): {e_tbr:.3e}");
+    if e_fs < e_tbr {
+        println!("=> the order-{} in-band model beats the order-30 global model", fs.order);
+    }
+
+    // Show where the global model spends its accuracy: out of band.
+    let grid_out = linspace(10.0 * GHZ, 20.0 * GHZ, 60);
+    let h_out = frequency_response(&sys, &grid_out)?;
+    let e_fs_out = max_rel_error(&h_out, &frequency_response(&fs.reduced, &grid_out)?);
+    let e_tbr_out = max_rel_error(&h_out, &frequency_response(&global.reduced, &grid_out)?);
+    println!("out-of-band (10-20 GHz) max relative error:");
+    println!("  FS-PMTBR: {e_fs_out:.3e}   TBR: {e_tbr_out:.3e}");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+* Two coupled lumped lines, 3 sections each.
+R1 1 11 0.3
+L1 11 2 1n
+C1 2 0 0.2p
+R2 2 12 0.3
+L2 12 3 1n
+C2 3 0 0.2p
+R3 3 0 75
+R4 4 13 0.3
+L3 13 5 1n
+C3 5 0 0.2p
+R5 5 14 0.3
+L4 14 6 1n
+C4 6 0 0.2p
+R6 6 0 75
+K1 L1 L3 0.4
+K2 L2 L4 0.4
+C5 2 5 50f
+PORT 1
+PORT 4
+.end

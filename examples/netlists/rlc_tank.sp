@@ -1,0 +1,8 @@
+* Parallel RLC tank driven through a source resistor.
+R1 1 2 50
+L1 2 0 10n
+C1 2 0 1p
+R2 2 0 2k     ; tank loss
+PORT 1
+PROBE 2
+.end

@@ -1,0 +1,54 @@
+//! Quickstart: reduce an RC interconnect mesh with PMTBR and check the
+//! result against the full model and the classical TBR error bound.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use circuits::rc_mesh;
+use lti::{frequency_response, hankel_singular_values, linspace, max_rel_error, tbr};
+use pmtbr::{pmtbr, PmtbrOptions, Sampling};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a 10×10 RC mesh with 4 ports (current in, voltage out).
+    let sys = rc_mesh(10, 10, &[0, 9, 90, 99], 1.0, 1.0, 2.0)?;
+    println!("full model: {} states, {} ports", sys.nstates(), sys.ninputs());
+
+    // 2. Run PMTBR: 30 uniform frequency samples on [0, 20] rad/s,
+    //    truncating at a 1e-8 relative singular-value tolerance.
+    let opts = PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 30 })
+        .with_tolerance(1e-8)
+        .with_max_order(20);
+    let model = pmtbr(&sys, &opts)?;
+    println!(
+        "pmtbr: order {} (error estimate {:.2e})",
+        model.order, model.error_estimate
+    );
+    println!("leading singular values of ZW:");
+    for (i, s) in model.singular_values.iter().take(8).enumerate() {
+        println!("  sigma_{i} = {s:.3e}");
+    }
+
+    // 3. Validate over a frequency sweep.
+    let grid = linspace(0.0, 15.0, 60);
+    let h_full = frequency_response(&sys, &grid)?;
+    let h_red = frequency_response(&model.reduced, &grid)?;
+    println!("max relative error over sweep: {:.2e}", max_rel_error(&h_full, &h_red));
+
+    // 4. Compare with exact TBR at the same order (needs dense Gramians).
+    let ss = sys.to_state_space()?;
+    let exact = tbr(&ss, model.order)?;
+    let h_tbr = frequency_response(&exact.reduced, &grid)?;
+    println!(
+        "exact TBR at order {}: max rel error {:.2e} (bound {:.2e})",
+        model.order,
+        max_rel_error(&h_full, &h_tbr),
+        exact.error_bound
+    );
+
+    // 5. The PMTBR singular values approximate the Hankel singular values.
+    let hsv = hankel_singular_values(&ss)?;
+    println!("hankel vs pmtbr singular values (first 5):");
+    for i in 0..5 {
+        println!("  {:.3e}  vs  {:.3e}", hsv[i], model.singular_values[i]);
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the PMTBR reproduction workspace.
+//!
+//! This crate exists to host the workspace-level runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`. The
+//! actual functionality lives in the member crates, re-exported here for
+//! convenience:
+//!
+//! - [`numkit`] — dense real/complex linear algebra kernels
+//! - [`sparsekit`] — sparse matrices and a sparse LU solver
+//! - [`lti`] — LTI systems, Gramians, exact TBR, simulation
+//! - [`circuits`] — netlists, MNA, and the paper's benchmark circuits
+//! - [`krylov`] — PRIMA and multipoint-projection baselines
+//! - [`pmtbr`] — the Poor Man's TBR algorithms (the paper's contribution)
+
+pub use circuits;
+pub use krylov;
+pub use lti;
+pub use numkit;
+pub use pmtbr;
+pub use sparsekit;

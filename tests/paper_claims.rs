@@ -1,0 +1,219 @@
+//! Integration tests pinning the *shape* of each of the paper's
+//! experimental claims, scaled down so the suite stays fast. The full
+//! experiments live in the `repro` binary.
+
+use circuits::{
+    connector, peec_resonator, rc_mesh, spread_ports, ConnectorParams, PeecParams,
+};
+use krylov::{mpproj, prima};
+use lti::{
+    dithered_square_inputs, frequency_response, hankel_singular_values, linspace,
+    max_rel_error, max_transient_error, random_phase_square_inputs, simulate_descriptor,
+    simulate_ss, tbr, tbr_error_bounds,
+};
+use numkit::c64;
+use pmtbr::{
+    frequency_selective_pmtbr, input_correlated_pmtbr, pmtbr, InputCorrelatedOptions,
+    PmtbrOptions, Sampling,
+};
+
+const GHZ: f64 = 2.0 * std::f64::consts::PI * 1e9;
+
+/// Fig. 3 claim: the order needed for a fixed normalized error bound
+/// grows monotonically with the number of input ports.
+#[test]
+fn fig3_required_order_grows_with_ports() {
+    let mut orders = Vec::new();
+    for &p in &[1usize, 4, 16] {
+        let ports = spread_ports(8, 8, p);
+        let sys = rc_mesh(8, 8, &ports, 1.0, 1.0, 2.0).expect("mesh");
+        let hsv = hankel_singular_values(&sys.to_state_space().expect("ss")).expect("hsv");
+        let bounds = tbr_error_bounds(&hsv);
+        let norm = bounds[0];
+        let q = bounds.iter().position(|&b| b / norm < 0.2).expect("bound reaches 20%");
+        orders.push(q);
+    }
+    assert!(
+        orders[0] < orders[1] && orders[1] < orders[2],
+        "orders must grow with ports: {orders:?}"
+    );
+}
+
+/// Fig. 7 claim: PMTBR is at least as accurate as PRIMA at equal order
+/// on the frequency-dependent-resistance problem.
+#[test]
+fn fig7_pmtbr_beats_prima_at_equal_order() {
+    let sys = circuits::spiral_inductor(&circuits::SpiralParams::default()).expect("spiral");
+    let omega_max = 2.0 * std::f64::consts::PI * 5e9;
+    let omegas: Vec<f64> = linspace(omega_max * 0.02, omega_max, 25);
+    let r_exact = circuits::spiral_resistance(&sys, &omegas).expect("exact R");
+    let err = |model: &lti::StateSpace| -> f64 {
+        omegas
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| {
+                let z = model.transfer_function(c64::new(0.0, w)).expect("tf")[(0, 0)].re;
+                (z - r_exact[k]).abs() / r_exact[k].abs().max(1e-12)
+            })
+            .fold(0.0, f64::max)
+    };
+    for order in [6usize, 8, 10] {
+        let e_prima = err(&prima(&sys, order, GHZ).expect("prima").reduced);
+        let m = pmtbr(
+            &sys,
+            &PmtbrOptions::new(Sampling::Linear { omega_max, n: 30 }).with_max_order(order),
+        )
+        .expect("pmtbr");
+        let e_pm = err(&m.reduced);
+        assert!(
+            e_pm <= e_prima * 1.1 + 1e-12,
+            "order {order}: pmtbr {e_pm:.2e} must not lose to prima {e_prima:.2e}"
+        );
+    }
+}
+
+/// Fig. 10 claim: at high order PMTBR prunes redundancy that multipoint
+/// projection keeps, winning by orders of magnitude.
+#[test]
+fn fig10_pmtbr_prunes_redundancy_at_high_accuracy() {
+    let sys = peec_resonator(&PeecParams::default()).expect("peec");
+    let omega_max = 2.0 * std::f64::consts::PI * 20e9;
+    let sampling = Sampling::Linear { omega_max, n: 40 };
+    let points: Vec<c64> = sampling.points().expect("points").iter().map(|p| p.s).collect();
+    let order = 24usize;
+    let grid: Vec<f64> = linspace(omega_max * 0.01, omega_max * 0.99, 80);
+    let h = frequency_response(&sys, &grid).expect("full");
+
+    let e_mp = {
+        let m = mpproj(&sys, &points, order).expect("mpproj");
+        max_rel_error(&h, &frequency_response(&m.reduced, &grid).expect("sweep"))
+    };
+    let e_pm = {
+        let m = pmtbr(&sys, &PmtbrOptions::new(sampling).with_max_order(order)).expect("pmtbr");
+        max_rel_error(&h, &frequency_response(&m.reduced, &grid).expect("sweep"))
+    };
+    assert!(
+        e_pm * 100.0 < e_mp,
+        "at order {order} pmtbr ({e_pm:.2e}) must beat mpproj ({e_mp:.2e}) by >100x"
+    );
+}
+
+/// Fig. 11 claim: a *smaller* frequency-selective PMTBR model beats a
+/// *larger* global TBR model inside the band of interest.
+#[test]
+fn fig11_frequency_selective_beats_larger_global_tbr_in_band() {
+    let sys = connector(&ConnectorParams { pins: 6, ..Default::default() }).expect("connector");
+    let fs = frequency_selective_pmtbr(&sys, &[(0.0, 8.0 * GHZ)], 40, Some(14), 1e-12)
+        .expect("fs-pmtbr");
+    let global = tbr(&sys.to_state_space().expect("ss"), 22).expect("tbr");
+    let grid: Vec<f64> = linspace(0.05 * GHZ, 8.0 * GHZ, 50);
+    let h = frequency_response(&sys, &grid).expect("full");
+    let e_fs = max_rel_error(&h, &frequency_response(&fs.reduced, &grid).expect("sweep"));
+    let e_tbr = max_rel_error(&h, &frequency_response(&global.reduced, &grid).expect("sweep"));
+    assert!(
+        e_fs < e_tbr,
+        "order-{} FS-PMTBR ({e_fs:.2e}) must beat order-22 TBR ({e_tbr:.2e}) in band",
+        fs.order
+    );
+}
+
+/// Figs. 13–14 claim: with correlated inputs, IC-PMTBR beats same-order
+/// TBR; with re-randomized phases the advantage disappears.
+#[test]
+fn fig13_14_correlation_advantage_and_breakdown() {
+    let ports = spread_ports(8, 8, 16);
+    let sys = rc_mesh(8, 8, &ports, 1.0, 1.0, 2.0).expect("mesh");
+    let h = 0.05;
+    let nt = 300;
+    let period = 4.0;
+    let order = 8usize;
+    let u_train = dithered_square_inputs(16, nt, h, period, 0.1, 1);
+    let mut opts = InputCorrelatedOptions::new(Sampling::Linear { omega_max: 12.0, n: 12 });
+    opts.n_draws = 60;
+    opts.max_order = Some(order);
+    let ic = input_correlated_pmtbr(&sys, &u_train, &opts).expect("ic-pmtbr");
+    let tb = tbr(&sys.to_state_space().expect("ss"), order).expect("tbr");
+
+    let rel_err = |u: &numkit::DMat, model: &lti::StateSpace| -> f64 {
+        let full = simulate_descriptor(&sys, u, h).expect("full sim");
+        let red = simulate_ss(model, u, h).expect("reduced sim");
+        max_transient_error(&full, &red) / full.y.norm_max()
+    };
+    // In-class (the training waveforms, per the paper's methodology).
+    let e_ic_in = rel_err(&u_train, &ic.reduced);
+    let e_tbr_in = rel_err(&u_train, &tb.reduced);
+    assert!(
+        e_ic_in < e_tbr_in,
+        "in-class: ic {e_ic_in:.3e} must beat tbr {e_tbr_in:.3e}"
+    );
+    // Out-of-class.
+    let u_out = random_phase_square_inputs(16, nt, h, period, 5);
+    let e_ic_out = rel_err(&u_out, &ic.reduced);
+    assert!(
+        e_ic_out > 2.0 * e_ic_in,
+        "out-of-class must degrade: {e_ic_out:.3e} vs {e_ic_in:.3e}"
+    );
+}
+
+/// Section V-A claim: PMTBR handles singular-E descriptor systems that
+/// classical TBR cannot even start on.
+#[test]
+fn singular_e_handled_by_pmtbr_not_tbr() {
+    let sys = peec_resonator(&PeecParams::default()).expect("peec");
+    assert!(sys.to_state_space().is_err(), "E must be singular for this test");
+    let omega_max = 2.0 * std::f64::consts::PI * 20e9;
+    let m = pmtbr(
+        &sys,
+        &PmtbrOptions::new(Sampling::Linear { omega_max, n: 30 }).with_max_order(24),
+    )
+    .expect("pmtbr on singular-E system");
+    let s = c64::new(0.0, omega_max / 5.0);
+    let h = sys.transfer_function(s).expect("full");
+    let hr = m.reduced.transfer_function(s).expect("reduced");
+    assert!((&h - &hr).norm_max() < 0.05 * h.norm_max());
+}
+
+/// Section V-E claim: the congruence (one-sided) projection used by
+/// PMTBR preserves passivity for suitably formulated RC networks.
+#[test]
+fn congruence_projection_preserves_passivity() {
+    let ports = spread_ports(5, 5, 3);
+    let sys = rc_mesh(5, 5, &ports, 1.0, 1.0, 2.0).expect("mesh");
+    let omegas: Vec<f64> = linspace(0.0, 30.0, 40);
+    assert!(lti::is_passive_sampled(&sys, &omegas, 1e-9).expect("full sweep"));
+    let m = pmtbr(
+        &sys,
+        &PmtbrOptions::new(Sampling::Linear { omega_max: 30.0, n: 15 }).with_max_order(6),
+    )
+    .expect("pmtbr");
+    assert!(
+        lti::is_passive_sampled(&m.reduced, &omegas, 1e-9).expect("reduced sweep"),
+        "congruence-projected RC model must remain passive"
+    );
+}
+
+/// The exact frequency-limited (Gawronski–Juang) TBR — the paper's
+/// "proper" weighted alternative — agrees with FS-PMTBR about where the
+/// accuracy goes: both beat global TBR in band at equal order.
+#[test]
+fn frequency_limited_exact_and_sampled_agree_in_band() {
+    let sys = connector(&ConnectorParams { pins: 5, ..Default::default() }).expect("connector");
+    let ss = sys.to_state_space().expect("ss");
+    let band = 8.0 * GHZ;
+    let order = 14;
+    let grid: Vec<f64> = linspace(0.05 * GHZ, band, 50);
+    let h = frequency_response(&sys, &grid).expect("full");
+
+    let e_of = |m: &lti::StateSpace| {
+        max_rel_error(&h, &frequency_response(m, &grid).expect("sweep"))
+    };
+    let e_fl = e_of(&lti::frequency_limited_tbr(&ss, band, order).expect("fltbr").reduced);
+    let e_fs = e_of(
+        &frequency_selective_pmtbr(&sys, &[(0.0, band)], 40, Some(order), 1e-12)
+            .expect("fs")
+            .reduced,
+    );
+    let e_gl = e_of(&tbr(&ss, order).expect("tbr").reduced);
+    assert!(e_fl < e_gl, "exact band-limited TBR must beat global in band");
+    assert!(e_fs < e_gl, "FS-PMTBR must beat global TBR in band");
+}
