@@ -9,9 +9,7 @@
 //! radius, plus backplane conductance and contact capacitance.
 
 use lti::Descriptor;
-use numkit::{DMat, NumError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use numkit::{DMat, NumError, SplitMix64};
 use sparsekit::Triplet;
 
 /// Parameters of the synthetic substrate network.
@@ -72,8 +70,8 @@ pub fn substrate_network(p: &SubstrateParams) -> Result<Descriptor, NumError> {
         return Err(NumError::InvalidArgument("substrate needs at least one contact"));
     }
     let n = p.ports;
-    let mut rng = StdRng::seed_from_u64(p.seed);
-    let jit = move |base: f64, rng: &mut StdRng| base * (1.0 + p.jitter * (rng.gen::<f64>() - 0.5));
+    let mut rng = SplitMix64::new(p.seed);
+    let jit = move |base: f64, rng: &mut SplitMix64| base * (1.0 + p.jitter * (rng.next_f64() - 0.5));
 
     // Contacts on a near-square grid.
     let cols = (n as f64).sqrt().ceil() as usize;

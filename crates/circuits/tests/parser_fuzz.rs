@@ -1,45 +1,59 @@
 //! Robustness: the netlist parser must never panic, only return errors,
 //! whatever bytes it is fed — and valid netlists must always build into
 //! well-posed systems.
+//!
+//! Random inputs come from the in-tree [`SplitMix64`] generator (the
+//! workspace builds with zero external crates, so no proptest).
 
 use circuits::parse_netlist;
-use proptest::prelude::*;
+use numkit::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arbitrary printable text never panics the parser.
-    #[test]
-    fn arbitrary_text_never_panics(text in "[ -~\n]{0,200}") {
+/// Arbitrary printable text never panics the parser.
+#[test]
+fn arbitrary_text_never_panics() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.next_usize(201);
+        let text: String = (0..len)
+            .map(|_| {
+                // Printable ASCII (0x20..=0x7e) plus newline.
+                let k = rng.next_usize(96);
+                if k == 95 {
+                    '\n'
+                } else {
+                    (0x20u8 + k as u8) as char
+                }
+            })
+            .collect();
         let _ = parse_netlist(&text);
     }
+}
 
-    /// Token soup built from netlist-ish vocabulary never panics either
-    /// (exercises deeper code paths than fully random text).
-    #[test]
-    fn netlistish_soup_never_panics(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("R1"), Just("C2"), Just("L3"), Just("K1"), Just("PORT"),
-                Just("PROBE"), Just("1"), Just("2"), Just("0"), Just("gnd"),
-                Just("1k"), Just("-3p"), Just("0.5"), Just("meg"), Just("*"),
-                Just(".end"), Just("\n"), Just("L9"),
-            ],
-            0..40,
-        )
-    ) {
-        let text = tokens.join(" ");
-        let _ = parse_netlist(&text);
+/// Token soup built from netlist-ish vocabulary never panics either
+/// (exercises deeper code paths than fully random text).
+#[test]
+fn netlistish_soup_never_panics() {
+    const VOCAB: &[&str] = &[
+        "R1", "C2", "L3", "K1", "PORT", "PROBE", "1", "2", "0", "gnd", "1k", "-3p", "0.5",
+        "meg", "*", ".end", "\n", "L9",
+    ];
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let ntokens = rng.next_usize(40);
+        let tokens: Vec<&str> = (0..ntokens).map(|_| VOCAB[rng.next_usize(VOCAB.len())]).collect();
+        let _ = parse_netlist(&tokens.join(" "));
     }
+}
 
-    /// Structured random RC ladders always parse and build, and the
-    /// resulting descriptor has the right dimensions.
-    #[test]
-    fn random_rc_ladders_build(
-        n in 2usize..8,
-        rs in proptest::collection::vec(1.0f64..1000.0, 7),
-        cs in proptest::collection::vec(0.1f64..10.0, 7),
-    ) {
+/// Structured random RC ladders always parse and build, and the resulting
+/// descriptor has the right dimensions.
+#[test]
+fn random_rc_ladders_build() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 2 + rng.next_usize(6);
+        let rs: Vec<f64> = (0..7).map(|_| rng.next_range(1.0, 1000.0)).collect();
+        let cs: Vec<f64> = (0..7).map(|_| rng.next_range(0.1, 10.0)).collect();
         let mut text = String::new();
         for k in 1..n {
             text.push_str(&format!("R{k} {k} {} {:.3}\n", k + 1, rs[k - 1]));
@@ -49,9 +63,9 @@ proptest! {
         text.push_str(&format!("C{n} {n} 0 {:.3}p\n", cs[n - 1]));
         text.push_str("PORT 1\n");
         let sys = parse_netlist(&text).unwrap().build().unwrap();
-        prop_assert_eq!(sys.nstates(), n);
+        assert_eq!(sys.nstates(), n, "seed {seed}");
         // Well-posed: dc impedance is finite and positive.
         let z = sys.transfer_function(numkit::c64::ZERO).unwrap();
-        prop_assert!(z[(0, 0)].re > 0.0);
+        assert!(z[(0, 0)].re > 0.0, "seed {seed}");
     }
 }

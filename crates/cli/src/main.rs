@@ -14,6 +14,10 @@
 //! state-space form); `reduce` builds a reduced model, reports its
 //! spectra and error estimate, and optionally cross-checks it against
 //! the full model over the band.
+//!
+//! Every command accepts `--threads N` to pin the sampling engine's
+//! worker count (equivalent to setting `PMTBR_THREADS=N`); results are
+//! identical at every thread count.
 
 use std::process::ExitCode;
 
@@ -282,7 +286,7 @@ fn cmd_transient(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--samples N] [--method pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr] [--check N]"
+    "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--samples N] [--method pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr] [--check N]\nglobal flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)"
 }
 
 fn main() -> ExitCode {
@@ -292,6 +296,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let args = Args::parse(rest);
+    if let Some(t) = args.flag_value("threads") {
+        match t.parse::<usize>() {
+            Ok(n) if n > 0 => std::env::set_var("PMTBR_THREADS", n.to_string()),
+            _ => {
+                eprintln!("error: --threads: expected a positive integer, got `{t}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let result = match cmd.as_str() {
         "sweep" => cmd_sweep(&args),
         "hsv" => cmd_hsv(&args),

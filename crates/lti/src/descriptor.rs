@@ -6,7 +6,7 @@
 //! selling points (Section V-A).
 
 use numkit::{c64, DMat, NumError, ZMat};
-use sparsekit::{Csr, SparseLu, Triplet};
+use sparsekit::{Csc, Csr, SparseLu, Triplet};
 
 use crate::StateSpace;
 
@@ -163,6 +163,17 @@ impl Descriptor {
         StateSpace::new(ea, eb, self.c.clone(), Some(self.d.clone()))
     }
 
+    /// Builds a [`ShiftedPencilAssembler`] for this system's pencil
+    /// `s·E − A` — the fast path for multipoint sweeps.
+    pub fn pencil_assembler(&self) -> ShiftedPencilAssembler {
+        ShiftedPencilAssembler::new(&self.e, &self.a)
+    }
+
+    /// Builds the assembler for the transposed pencil `(s·E − A)ᵀ`.
+    pub fn pencil_assembler_transpose(&self) -> ShiftedPencilAssembler {
+        ShiftedPencilAssembler::new_transposed(&self.e, &self.a)
+    }
+
     /// Petrov–Galerkin projection onto bases `w`, `v`, returning the small
     /// dense descriptor `(WᵀEV, WᵀAV, WᵀB, CV, D)` converted to a
     /// state-space model (the reduced `WᵀEV` must be invertible).
@@ -193,6 +204,103 @@ impl Descriptor {
         let br = wt.matmul(&self.b)?;
         let cr = self.c.matmul(v)?;
         reduce_pencil(er, ar, br, cr, self.d.clone(), k)
+    }
+}
+
+/// Precomputed merged sparsity of a pencil `s·E − A`.
+///
+/// Multipoint sampling solves `(sₖ·E − A)·Z = R` at many shifts `sₖ`; the
+/// pencil's sparsity structure is the SAME at every shift, so building a
+/// fresh triplet list and re-sorting it per shift (what
+/// [`Descriptor::factor_shifted`] does) is pure overhead. This assembler
+/// merges the patterns of `E` and `A` into one CSC skeleton ONCE, storing
+/// the pair `(e, a)` of coefficients at each structural position; forming
+/// the pencil at a shift is then a single scaled element-wise combine
+/// `s·e − a` into a value array — no sorting, no allocation beyond the
+/// output values.
+///
+/// Positions where `s·e − a` cancels numerically stay structurally
+/// present, which is exactly what [`sparsekit::SymbolicLu`] reuse needs:
+/// every assembled matrix has the identical structure.
+#[derive(Debug, Clone)]
+pub struct ShiftedPencilAssembler {
+    n: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    /// `(e, a)` coefficients per structural position, column-major.
+    coeffs: Vec<(f64, f64)>,
+}
+
+impl ShiftedPencilAssembler {
+    /// Merges the patterns of `e` and `a` (which must be square and of
+    /// equal shape) into the assembler for `s·E − A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch (the [`Descriptor`] constructor has
+    /// already validated shapes on the public path).
+    pub fn new(e: &Csr<f64>, a: &Csr<f64>) -> Self {
+        Self::build(e, a, false)
+    }
+
+    /// Assembler for the transposed pencil `(s·E − A)ᵀ = s·Eᵀ − Aᵀ`.
+    pub fn new_transposed(e: &Csr<f64>, a: &Csr<f64>) -> Self {
+        Self::build(e, a, true)
+    }
+
+    fn build(e: &Csr<f64>, a: &Csr<f64>, transpose: bool) -> Self {
+        assert_eq!(e.shape(), a.shape(), "pencil assembler: shape mismatch");
+        assert_eq!(e.nrows(), e.ncols(), "pencil assembler: not square");
+        let n = e.nrows();
+        // Column-major entry list (col, row, e, a), merged by sorting.
+        let mut entries: Vec<(usize, usize, f64, f64)> =
+            Vec::with_capacity(e.nnz() + a.nnz());
+        for (i, j, v) in e.iter() {
+            let (r, c) = if transpose { (j, i) } else { (i, j) };
+            entries.push((c, r, v, 0.0));
+        }
+        for (i, j, v) in a.iter() {
+            let (r, c) = if transpose { (j, i) } else { (i, j) };
+            entries.push((c, r, 0.0, v));
+        }
+        entries.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        let mut colptr = vec![0usize; n + 1];
+        let mut rowidx: Vec<usize> = Vec::with_capacity(entries.len());
+        let mut coeffs: Vec<(f64, f64)> = Vec::with_capacity(entries.len());
+        let mut last_key: Option<(usize, usize)> = None;
+        for (c, r, ev, av) in entries {
+            if last_key == Some((c, r)) {
+                let last = coeffs.last_mut().expect("duplicate follows an entry");
+                last.0 += ev;
+                last.1 += av;
+            } else {
+                colptr[c + 1] += 1;
+                rowidx.push(r);
+                coeffs.push((ev, av));
+                last_key = Some((c, r));
+            }
+        }
+        for j in 0..n {
+            colptr[j + 1] += colptr[j];
+        }
+        ShiftedPencilAssembler { n, colptr, rowidx, coeffs }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Structural entries in the merged pattern.
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Forms `s·E − A` as a CSC matrix on the precomputed pattern.
+    pub fn assemble(&self, s: c64) -> Csc<c64> {
+        let values: Vec<c64> =
+            self.coeffs.iter().map(|&(ev, av)| s.scale(ev) - c64::from_real(av)).collect();
+        Csc::from_raw_parts(self.n, self.n, self.colptr.clone(), self.rowidx.clone(), values)
     }
 }
 

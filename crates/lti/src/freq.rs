@@ -52,6 +52,12 @@ impl FreqResponse {
 
 /// Evaluates `H(jω)` over a frequency grid.
 ///
+/// The sweep runs through [`LtiSystem::solve_shifted_many`], so sparse
+/// descriptor systems pay for assembly and symbolic LU analysis once and
+/// the grid points fan out across threads (see `numkit::par`); the result
+/// is identical to evaluating [`LtiSystem::transfer_function`] point by
+/// point.
+///
 /// # Errors
 ///
 /// Propagates shifted-solve failures (a sample exactly on a pole).
@@ -59,9 +65,13 @@ pub fn frequency_response<S: LtiSystem + ?Sized>(
     sys: &S,
     omega: &[f64],
 ) -> Result<FreqResponse, NumError> {
+    let shifts: Vec<c64> = omega.iter().map(|&w| c64::new(0.0, w)).collect();
+    let zs = sys.solve_shifted_many(&shifts, &sys.input_matrix().to_complex())?;
+    let c = sys.output_matrix().to_complex();
+    let d = sys.feedthrough().to_complex();
     let mut h = Vec::with_capacity(omega.len());
-    for &w in omega {
-        h.push(sys.transfer_function(c64::new(0.0, w))?);
+    for z in &zs {
+        h.push(&c.matmul(z)? + &d);
     }
     Ok(FreqResponse { omega: omega.to_vec(), h })
 }

@@ -51,6 +51,7 @@ mod freqlim;
 mod lyap;
 mod passivity;
 mod realify;
+mod shift_engine;
 mod signal;
 mod snapshots;
 mod ss;
@@ -59,7 +60,7 @@ mod tbr;
 mod transient;
 mod weighted;
 
-pub use descriptor::Descriptor;
+pub use descriptor::{Descriptor, ShiftedPencilAssembler};
 pub use discretize::{c2d_tustin, c2d_zoh, DiscreteStateSpace};
 pub use freq::{
     frequency_response, hinf_estimate, linspace, logspace, max_abs_error, max_rel_error,
@@ -68,7 +69,8 @@ pub use freq::{
 pub use freqlim::{band_controllability_gramian, band_observability_gramian, frequency_limited_tbr};
 pub use lyap::{lyap, lyap_residual, sylvester};
 pub use passivity::{hermitian_part_eigenvalues, is_passive_sampled, passivity_margin};
-pub use realify::realify_columns;
+pub use realify::{realified_ncols, realify_columns, realify_columns_into};
+pub use shift_engine::{solve_shifted_sweep, ShiftSolveEngine};
 pub use signal::{
     correlation_rank, dithered_square_inputs, input_correlation_svd, latent_mixture_inputs,
     random_phase_square_inputs, SquareWave,

@@ -16,25 +16,71 @@ use numkit::{DMat, ZMat};
 /// contribute one real column, matching Algorithm 1's case split).
 pub fn realify_columns(z_cols: &ZMat, drop_tol: f64) -> DMat {
     let n = z_cols.nrows();
-    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(2 * z_cols.ncols());
+    let total = realified_ncols(z_cols, drop_tol);
+    let mut out = DMat::zeros(n, total);
+    let written = realify_columns_into(z_cols, drop_tol, &mut out, 0);
+    debug_assert_eq!(written, total);
+    out
+}
+
+/// Number of real columns [`realify_columns`] would produce for `z_cols`
+/// at the given `drop_tol` — used to preallocate the destination before
+/// writing with [`realify_columns_into`].
+pub fn realified_ncols(z_cols: &ZMat, drop_tol: f64) -> usize {
+    let mut count = 0;
     for j in 0..z_cols.ncols() {
-        let col = z_cols.col(j);
-        let re: Vec<f64> = col.iter().map(|v| v.re).collect();
-        let im: Vec<f64> = col.iter().map(|v| v.im).collect();
-        let total: f64 = col.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
-        let re_norm: f64 = re.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let im_norm: f64 = im.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if re_norm > drop_tol * total {
-            cols.push(re);
+        let (keep_re, keep_im) = column_split(z_cols, j, drop_tol);
+        count += usize::from(keep_re) + usize::from(keep_im);
+    }
+    count
+}
+
+/// Writes the realified columns of `z_cols` directly into `dest` starting
+/// at column `col0`, returning the number of columns written. This is the
+/// allocation-free path used by the sampling engine: sample blocks land
+/// straight in the preallocated sample matrix, with no intermediate
+/// per-block matrix and no copy.
+///
+/// # Panics
+///
+/// Panics if `dest` has too few rows or columns for the output.
+pub fn realify_columns_into(z_cols: &ZMat, drop_tol: f64, dest: &mut DMat, col0: usize) -> usize {
+    let n = z_cols.nrows();
+    assert!(dest.nrows() >= n, "realify_columns_into: destination too short");
+    let mut at = col0;
+    for j in 0..z_cols.ncols() {
+        let (keep_re, keep_im) = column_split(z_cols, j, drop_tol);
+        if keep_re {
+            assert!(at < dest.ncols(), "realify_columns_into: destination too narrow");
+            for i in 0..n {
+                dest[(i, at)] = z_cols[(i, j)].re;
+            }
+            at += 1;
         }
-        if im_norm > drop_tol * total {
-            cols.push(im);
+        if keep_im {
+            assert!(at < dest.ncols(), "realify_columns_into: destination too narrow");
+            for i in 0..n {
+                dest[(i, at)] = z_cols[(i, j)].im;
+            }
+            at += 1;
         }
     }
-    if cols.is_empty() {
-        return DMat::zeros(n, 0);
+    at - col0
+}
+
+/// Decides which of (Re, Im) of column `j` survive the drop tolerance.
+fn column_split(z_cols: &ZMat, j: usize, drop_tol: f64) -> (bool, bool) {
+    let mut total_sq = 0.0f64;
+    let mut re_sq = 0.0f64;
+    let mut im_sq = 0.0f64;
+    for i in 0..z_cols.nrows() {
+        let v = z_cols[(i, j)];
+        total_sq += v.abs_sq();
+        re_sq += v.re * v.re;
+        im_sq += v.im * v.im;
     }
-    DMat::from_cols(&cols)
+    let thresh = drop_tol * total_sq.sqrt();
+    (re_sq.sqrt() > thresh, im_sq.sqrt() > thresh)
 }
 
 #[cfg(test)]

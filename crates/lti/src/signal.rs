@@ -9,9 +9,7 @@
 //! correlation analysis (SVD of the sample matrix) Algorithm 3 starts
 //! from.
 
-use numkit::{svd, DMat, NumError, Svd};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use numkit::{svd, DMat, NumError, SplitMix64, Svd};
 
 /// A square wave with smoothed (finite rise-time) edges.
 ///
@@ -73,10 +71,10 @@ pub fn dithered_square_inputs(
     dither: f64,
     seed: u64,
 ) -> DMat {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut u = DMat::zeros(p, nt);
     for i in 0..p {
-        let phase = (rng.gen::<f64>() - 0.5) * dither * period;
+        let phase = (rng.next_f64() - 0.5) * dither * period;
         let w = SquareWave { phase, ..SquareWave::new(period) };
         for (k, v) in w.sample(nt, h).into_iter().enumerate() {
             u[(i, k)] = v;
@@ -95,10 +93,10 @@ pub fn random_phase_square_inputs(
     period: f64,
     seed: u64,
 ) -> DMat {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut u = DMat::zeros(p, nt);
     for i in 0..p {
-        let phase = rng.gen::<f64>() * period;
+        let phase = rng.next_f64() * period;
         let w = SquareWave { phase, ..SquareWave::new(period) };
         for (k, v) in w.sample(nt, h).into_iter().enumerate() {
             u[(i, k)] = v;
@@ -122,13 +120,13 @@ pub fn latent_mixture_inputs(
     noise: f64,
     seed: u64,
 ) -> DMat {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // Latent processes: square waves at different periods and phases.
     let mut latents = DMat::zeros(rank, nt);
     for r in 0..rank {
-        let period = 1e-9 * (1.0 + r as f64 * 0.7 + rng.gen::<f64>() * 0.3);
+        let period = 1e-9 * (1.0 + r as f64 * 0.7 + rng.next_f64() * 0.3);
         let w = SquareWave {
-            phase: rng.gen::<f64>() * period,
+            phase: rng.next_f64() * period,
             amplitude: 1.0,
             ..SquareWave::new(period)
         };
@@ -137,13 +135,13 @@ pub fn latent_mixture_inputs(
             latents[(r, k)] = 2.0 * v - 1.0;
         }
     }
-    let mix = DMat::from_fn(p, rank, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
+    let mix = DMat::from_fn(p, rank, |_, _| rng.next_f64() * 2.0 - 1.0);
     let mut u = mix.matmul(&latents).expect("shape by construction");
     if noise > 0.0 {
         let scale = u.norm_max() * noise;
         for i in 0..p {
             for k in 0..nt {
-                u[(i, k)] += (rng.gen::<f64>() * 2.0 - 1.0) * scale;
+                u[(i, k)] += (rng.next_f64() * 2.0 - 1.0) * scale;
             }
         }
     }

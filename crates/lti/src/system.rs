@@ -43,6 +43,41 @@ pub trait LtiSystem {
     /// [`NumError::Singular`] if `s` is a (generalized) eigenvalue.
     fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError>;
 
+    /// Solves `(sₖ·E − A)·Zₖ = R` at every shift against one shared
+    /// right-hand side, returning the solutions in shift order.
+    ///
+    /// The default is a sequential loop over [`solve_shifted`]
+    /// (`LtiSystem::solve_shifted`); implementations override this with
+    /// the multipoint engine (factorization reuse + thread fan-out). Every
+    /// implementation MUST return results identical to the sequential
+    /// default's index order, and identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// The first per-shift failure, in index order.
+    fn solve_shifted_many(&self, shifts: &[c64], rhs: &ZMat) -> Result<Vec<ZMat>, NumError> {
+        shifts.iter().map(|&s| self.solve_shifted(s, rhs)).collect()
+    }
+
+    /// Solves `(sₖ·E − A)·Zₖ = Rₖ` with a per-shift right-hand side
+    /// (`rhss[k]` pairs with `shifts[k]`). Same ordering and determinism
+    /// contract as [`LtiSystem::solve_shifted_many`].
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::ShapeMismatch`] on a length mismatch; else the first
+    /// per-shift failure in index order.
+    fn solve_shifted_pairs(&self, shifts: &[c64], rhss: &[ZMat]) -> Result<Vec<ZMat>, NumError> {
+        if shifts.len() != rhss.len() {
+            return Err(NumError::ShapeMismatch {
+                operation: "solve_shifted_pairs",
+                left: (shifts.len(), 1),
+                right: (rhss.len(), 1),
+            });
+        }
+        shifts.iter().zip(rhss).map(|(&s, r)| self.solve_shifted(s, r)).collect()
+    }
+
     /// Projects onto bases `(w, v)`, producing a reduced dense model.
     ///
     /// # Errors
@@ -90,6 +125,27 @@ impl LtiSystem for StateSpace {
     fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
         StateSpace::project(self, w, v)
     }
+    /// Dense systems have no factorization to share across shifts, but
+    /// the shifts are still independent: fan them across threads.
+    fn solve_shifted_many(&self, shifts: &[c64], rhs: &ZMat) -> Result<Vec<ZMat>, NumError> {
+        numkit::par::par_map(shifts.len(), |i| StateSpace::solve_shifted(self, shifts[i], rhs))
+            .into_iter()
+            .collect()
+    }
+    fn solve_shifted_pairs(&self, shifts: &[c64], rhss: &[ZMat]) -> Result<Vec<ZMat>, NumError> {
+        if shifts.len() != rhss.len() {
+            return Err(NumError::ShapeMismatch {
+                operation: "solve_shifted_pairs",
+                left: (shifts.len(), 1),
+                right: (rhss.len(), 1),
+            });
+        }
+        numkit::par::par_map(shifts.len(), |i| {
+            StateSpace::solve_shifted(self, shifts[i], &rhss[i])
+        })
+        .into_iter()
+        .collect()
+    }
 }
 
 impl LtiSystem for Descriptor {
@@ -119,6 +175,14 @@ impl LtiSystem for Descriptor {
     }
     fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
         Descriptor::project(self, w, v)
+    }
+    /// Sparse pencil: one merged assembly, one symbolic analysis, and
+    /// numeric-only refactorizations fanned across threads.
+    fn solve_shifted_many(&self, shifts: &[c64], rhs: &ZMat) -> Result<Vec<ZMat>, NumError> {
+        crate::ShiftSolveEngine::new(self).solve_many(shifts, rhs, numkit::par::num_threads())
+    }
+    fn solve_shifted_pairs(&self, shifts: &[c64], rhss: &[ZMat]) -> Result<Vec<ZMat>, NumError> {
+        crate::ShiftSolveEngine::new(self).solve_pairs(shifts, rhss, numkit::par::num_threads())
     }
 }
 

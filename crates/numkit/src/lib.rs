@@ -47,7 +47,9 @@ mod error;
 mod expm;
 mod lu;
 mod mat;
+pub mod par;
 mod qr;
+mod rng;
 mod scalar;
 mod schur;
 mod svd;
@@ -63,6 +65,7 @@ pub use expm::expm;
 pub use lu::Lu;
 pub use mat::{DMat, Mat, ZMat};
 pub use qr::{PivotedQr, Qr};
+pub use rng::SplitMix64;
 pub use scalar::Scalar;
 pub use schur::{quasi_triangular_eigenvalues, schur, Schur};
 pub use svd::{singular_values, svd, Svd};

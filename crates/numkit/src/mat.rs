@@ -204,6 +204,13 @@ impl<T: Scalar> Mat<T> {
 
     /// Matrix product `self · rhs`.
     ///
+    /// Cache-blocked ikj loop over the row-major layout: `rhs` is
+    /// consumed in `KB × JB` tiles that stay resident across the rows of
+    /// `self`, while the inner loop streams contiguous row segments of
+    /// `rhs` and `out`. For each output entry the `k`-summation order is
+    /// ascending regardless of tiling, so the result is bit-for-bit
+    /// identical to the naive triple loop.
+    ///
     /// # Errors
     ///
     /// Returns [`NumError::ShapeMismatch`] if inner dimensions differ.
@@ -215,18 +222,29 @@ impl<T: Scalar> Mat<T> {
                 right: rhs.shape(),
             });
         }
-        let mut out = Mat::zeros(self.nrows, rhs.ncols);
-        // ikj loop order: stream through contiguous rows of rhs and out.
-        for i in 0..self.nrows {
-            for k in 0..self.ncols {
-                let aik = self[(i, k)];
-                if aik == T::zero() {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.ncols..(k + 1) * rhs.ncols];
-                let orow = &mut out.data[i * rhs.ncols..(i + 1) * rhs.ncols];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += aik * r;
+        // Tile sizes: KB·JB·sizeof(T) ≈ 64 KiB for f64 tiles (half that
+        // budget in L1/L2 for c64), plus the matching out-row segments.
+        const KB: usize = 64;
+        const JB: usize = 128;
+        let (m, kk, n) = (self.nrows, self.ncols, rhs.ncols);
+        let mut out = Mat::zeros(m, n);
+        for j0 in (0..n).step_by(JB) {
+            let j1 = (j0 + JB).min(n);
+            for k0 in (0..kk).step_by(KB) {
+                let k1 = (k0 + KB).min(kk);
+                for i in 0..m {
+                    let arow = &self.data[i * kk..(i + 1) * kk];
+                    let orow = &mut out.data[i * n + j0..i * n + j1];
+                    for k in k0..k1 {
+                        let aik = arow[k];
+                        if aik == T::zero() {
+                            continue;
+                        }
+                        let rrow = &rhs.data[k * n + j0..k * n + j1];
+                        for (o, &r) in orow.iter_mut().zip(rrow) {
+                            *o += aik * r;
+                        }
+                    }
                 }
             }
         }
@@ -560,5 +578,54 @@ mod tests {
         let z = a.to_complex();
         assert_eq!(z.real(), a);
         assert_eq!(z.imag(), DMat::zeros(1, 2));
+    }
+
+    /// Naive ijk product — the reference the tiled kernel must match
+    /// exactly (same ascending-k accumulation order per output entry).
+    fn naive_matmul<T: crate::Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+        let mut out = Mat::zeros(a.nrows(), b.ncols());
+        for i in 0..a.nrows() {
+            for j in 0..b.ncols() {
+                let mut acc = T::zero();
+                for k in 0..a.ncols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_matmul_bitwise_matches_naive_rectangular() {
+        // Dimensions straddle the tile sizes (64/128) in every direction.
+        let mut rng = crate::SplitMix64::new(99);
+        for &(m, k, n) in &[(3, 5, 2), (65, 130, 7), (70, 63, 129), (1, 200, 1)] {
+            let a = DMat::from_fn(m, k, |_, _| rng.next_range(-1.0, 1.0));
+            let b = DMat::from_fn(k, n, |_, _| rng.next_range(-1.0, 1.0));
+            let tiled = a.matmul(&b).unwrap();
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(tiled, naive, "({m},{k},{n}) not bitwise equal");
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_bitwise_matches_naive_complex() {
+        let mut rng = crate::SplitMix64::new(17);
+        let a = ZMat::from_fn(40, 90, |_, _| {
+            c64::new(rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0))
+        });
+        let b = ZMat::from_fn(90, 33, |_, _| {
+            c64::new(rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0))
+        });
+        assert_eq!(a.matmul(&b).unwrap(), naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn tiled_matmul_shape_error_and_identity() {
+        let a = DMat::from_fn(130, 150, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let id = DMat::identity(150);
+        assert_eq!(a.matmul(&id).unwrap(), a);
+        assert!(a.matmul(&DMat::zeros(3, 3)).is_err());
     }
 }

@@ -1,0 +1,138 @@
+//! A std-only fork–join helper for embarrassingly parallel index maps.
+//!
+//! The multipoint sweeps at the heart of PMTBR — one shifted solve per
+//! sample point, one frequency-response evaluation per grid point — are
+//! independent across indices, so they parallelize with nothing fancier
+//! than [`std::thread::scope`]. This module provides that fan-out with
+//! two hard guarantees:
+//!
+//! 1. **Determinism**: results are returned in index order and each
+//!    index is computed by exactly one worker, so the output is
+//!    bit-for-bit identical for every thread count (including 1).
+//! 2. **Zero dependencies**: plain `std`, no rayon / crossbeam.
+//!
+//! Work is distributed dynamically through an atomic cursor, which keeps
+//! the workers balanced when per-index cost varies (e.g. shifted solves
+//! whose fill-in differs across frequencies).
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! and can be overridden with the `PMTBR_THREADS` environment variable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count used by [`par_map`]: the `PMTBR_THREADS` environment
+/// variable if set to a positive integer, otherwise the machine's
+/// available parallelism (1 if that cannot be determined).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("PMTBR_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |t| t.get())
+}
+
+/// Maps `f` over `0..n` with the default worker count, returning results
+/// in index order. See [`par_map_with`].
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_with(n, num_threads(), f)
+}
+
+/// Maps `f` over `0..n` using at most `threads` workers, returning
+/// results in index order.
+///
+/// With `threads <= 1` (or a single item) this is a plain sequential
+/// loop on the calling thread — no threads are spawned. The parallel
+/// path produces exactly the same values: each index is evaluated once,
+/// by one worker, with no shared mutable state visible to `f`.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_map_with<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    let fref = &f;
+    let cref = &cursor;
+    // Each worker claims indices through the shared cursor and collects
+    // (index, value) pairs locally; the pairs are then scattered into an
+    // index-ordered output, so scheduling cannot affect the result.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cref.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, fref(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
+    });
+    for (i, v) in collected.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} computed twice");
+        slots[i] = Some(v);
+    }
+    slots.into_iter().map(|s| s.expect("par_map missed an index")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_for_every_thread_count() {
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 17] {
+            let got = par_map_with(100, threads, |i| i * i);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(par_map_with(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_with(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map_with(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn results_are_index_ordered_not_completion_ordered() {
+        // Earlier indices sleep longer, so completion order is reversed;
+        // output order must still be by index.
+        let got = par_map_with(6, 6, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((6 - i as u64) * 3));
+            i
+        });
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

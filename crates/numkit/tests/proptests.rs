@@ -1,181 +1,209 @@
-//! Property-based tests for numkit's decompositions.
+//! Randomized property tests for numkit's decompositions.
 //!
-//! Random well-conditioned matrices are generated via proptest; each
-//! factorization is validated against its defining algebraic identities.
+//! Random well-conditioned matrices are generated with the in-tree
+//! [`SplitMix64`] generator (the workspace builds with zero external
+//! crates, so no proptest); each factorization is validated against its
+//! defining algebraic identities across a battery of seeds.
 
-use numkit::{eig, eig_residual, eigh, schur, svd, DMat, Lu, Mat, PivotedQr, Qr};
-use proptest::prelude::*;
+use numkit::{
+    eig, eig_residual, eigh, schur, svd, DMat, Lu, Mat, PivotedQr, Qr, SplitMix64,
+};
 
-/// Strategy: a dense n×m matrix with entries in [-5, 5].
-fn mat_strategy(n: usize, m: usize) -> impl Strategy<Value = DMat> {
-    proptest::collection::vec(-5.0f64..5.0, n * m)
-        .prop_map(move |data| DMat::from_row_major(n, m, data))
+const SEEDS: u64 = 32;
+
+/// A dense n×m matrix with entries in [-5, 5].
+fn random_mat(n: usize, m: usize, rng: &mut SplitMix64) -> DMat {
+    DMat::from_fn(n, m, |_, _| rng.next_range(-5.0, 5.0))
 }
 
-/// Strategy: a diagonally dominant (hence invertible) n×n matrix.
-fn dd_matrix(n: usize) -> impl Strategy<Value = DMat> {
-    mat_strategy(n, n).prop_map(move |mut a| {
-        for i in 0..n {
-            let rowsum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
-            a[(i, i)] += rowsum + 1.0;
-        }
-        a
-    })
+/// A diagonally dominant (hence invertible) n×n matrix.
+fn dd_matrix(n: usize, rng: &mut SplitMix64) -> DMat {
+    let mut a = random_mat(n, n, rng);
+    for i in 0..n {
+        let rowsum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
+        a[(i, i)] += rowsum + 1.0;
+    }
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_vec(n: usize, lo: f64, hi: f64, rng: &mut SplitMix64) -> Vec<f64> {
+    (0..n).map(|_| rng.next_range(lo, hi)).collect()
+}
 
-    #[test]
-    fn lu_solve_residual_is_small(a in dd_matrix(6), b in proptest::collection::vec(-3.0f64..3.0, 6)) {
-        let lu = Lu::new(a.clone()).unwrap();
-        let x = lu.solve(&b).unwrap();
+#[test]
+fn lu_solve_residual_is_small() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let a = dd_matrix(6, &mut rng);
+        let b = random_vec(6, -3.0, 3.0, &mut rng);
+        let x = Lu::new(a.clone()).unwrap().solve(&b).unwrap();
         let ax = a.mul_vec(&x);
         for (axi, bi) in ax.iter().zip(&b) {
-            prop_assert!((axi - bi).abs() < 1e-9);
+            assert!((axi - bi).abs() < 1e-9, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn lu_det_matches_permutation_free_cases(d in proptest::collection::vec(0.5f64..4.0, 5)) {
-        // Triangular matrix: determinant is the product of the diagonal.
+#[test]
+fn lu_det_matches_permutation_free_cases() {
+    // Triangular matrix: determinant is the product of the diagonal.
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let d = random_vec(5, 0.5, 4.0, &mut rng);
         let n = d.len();
-        let a = Mat::from_fn(n, n, |i, j| {
-            if i == j { d[i] } else if j > i { 0.25 } else { 0.0 }
-        });
+        let a = Mat::from_fn(n, n, |i, j| if i == j { d[i] } else if j > i { 0.25 } else { 0.0 });
         let det = Lu::new(a).unwrap().det();
         let expect: f64 = d.iter().product();
-        prop_assert!((det - expect).abs() < 1e-9 * expect.abs());
+        assert!((det - expect).abs() < 1e-9 * expect.abs(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn qr_reconstructs_and_q_orthonormal(a in mat_strategy(7, 4)) {
+#[test]
+fn qr_reconstructs_and_q_orthonormal() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_mat(7, 4, &mut rng);
         let f = Qr::new(a.clone()).unwrap();
         let q = f.thin_q();
         let gram = &q.adjoint() * &q;
-        prop_assert!((&gram - &DMat::identity(4)).norm_max() < 1e-10);
+        assert!((&gram - &DMat::identity(4)).norm_max() < 1e-10, "seed {seed}");
         let rec = &q * &f.r();
-        prop_assert!((&rec - &a).norm_max() < 1e-10);
+        assert!((&rec - &a).norm_max() < 1e-10, "seed {seed}");
     }
+}
 
-    #[test]
-    fn pivoted_qr_diag_dominates_tail(a in mat_strategy(8, 5)) {
+#[test]
+fn pivoted_qr_diag_dominates_tail() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_mat(8, 5, &mut rng);
         let f = PivotedQr::new(a).unwrap();
         let d = f.r_diag_abs();
         for w in d.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-12);
-        }
-    }
-
-    #[test]
-    fn svd_identities(a in mat_strategy(6, 4)) {
-        let f = svd(&a).unwrap();
-        // Non-increasing, non-negative.
-        for w in f.s.windows(2) { prop_assert!(w[0] >= w[1] - 1e-12); }
-        prop_assert!(f.s.iter().all(|&s| s >= 0.0));
-        // Frobenius norm is the l2 norm of the singular values.
-        let snorm: f64 = f.s.iter().map(|s| s * s).sum::<f64>().sqrt();
-        prop_assert!((snorm - a.norm_fro()).abs() < 1e-9 * (1.0 + a.norm_fro()));
-        // Reconstruction.
-        let rec = f.reconstruct();
-        prop_assert!((&rec - &a).norm_fro() < 1e-9 * (1.0 + a.norm_fro()));
-    }
-
-    #[test]
-    fn svd_largest_singular_value_is_operator_norm_lower_bound(
-        a in mat_strategy(5, 5),
-        x in proptest::collection::vec(-1.0f64..1.0, 5),
-    ) {
-        let xnorm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
-        prop_assume!(xnorm > 1e-6);
-        let ax = a.mul_vec(&x);
-        let axnorm: f64 = ax.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let s = svd(&a).unwrap().s;
-        prop_assert!(axnorm / xnorm <= s[0] * (1.0 + 1e-9) + 1e-12);
-    }
-
-    #[test]
-    fn eigh_identities(raw in mat_strategy(6, 6)) {
-        let mut a = raw;
-        a.symmetrize();
-        let e = eigh(&a).unwrap();
-        let g = &e.vectors.transpose() * &e.vectors;
-        prop_assert!((&g - &DMat::identity(6)).norm_max() < 1e-10);
-        let rec = e.reconstruct();
-        prop_assert!((&rec - &a).norm_max() < 1e-9 * (1.0 + a.norm_max()));
-        // Trace = eigenvalue sum.
-        let tr: f64 = a.diag().iter().sum();
-        let es: f64 = e.values.iter().sum();
-        prop_assert!((tr - es).abs() < 1e-9 * (1.0 + tr.abs()));
-    }
-
-    #[test]
-    fn schur_similarity(a in mat_strategy(6, 6)) {
-        let s = schur(&a).unwrap();
-        let rec = s.reconstruct();
-        prop_assert!((&rec - &a).norm_max() < 1e-8 * (1.0 + a.norm_max()));
-        let g = &s.q.transpose() * &s.q;
-        prop_assert!((&g - &DMat::identity(6)).norm_max() < 1e-10);
-        // Eigenvalue sum equals the trace.
-        let tr: f64 = a.diag().iter().sum();
-        let es: f64 = s.eigenvalues().iter().map(|z| z.re).sum();
-        prop_assert!((tr - es).abs() < 1e-7 * (1.0 + tr.abs()));
-        let im: f64 = s.eigenvalues().iter().map(|z| z.im).sum();
-        prop_assert!(im.abs() < 1e-9, "conjugate pairs must cancel");
-    }
-
-    #[test]
-    fn eig_residuals_small(a in dd_matrix(5)) {
-        let e = eig(&a).unwrap();
-        for j in 0..5 {
-            let v = e.vectors.col(j);
-            prop_assert!(eig_residual(&a, e.values[j], &v) < 1e-6);
+            assert!(w[0] >= w[1] - 1e-12, "seed {seed}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn svd_identities() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_mat(6, 4, &mut rng);
+        let f = svd(&a).unwrap();
+        // Non-increasing, non-negative.
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "seed {seed}");
+        }
+        assert!(f.s.iter().all(|&s| s >= 0.0), "seed {seed}");
+        // Frobenius norm is the l2 norm of the singular values.
+        let snorm: f64 = f.s.iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((snorm - a.norm_fro()).abs() < 1e-9 * (1.0 + a.norm_fro()), "seed {seed}");
+        // Reconstruction.
+        let rec = f.reconstruct();
+        assert!((&rec - &a).norm_fro() < 1e-9 * (1.0 + a.norm_fro()), "seed {seed}");
+    }
+}
 
-    /// exp(A)·exp(−A) = I for any (moderate) matrix.
-    #[test]
-    fn expm_inverse_identity(a in mat_strategy(5, 5)) {
-        let a = {
-            // Scale down to keep conditioning friendly.
-            let mut m = a;
-            for v in 0..5 {
-                for w in 0..5 {
-                    m[(v, w)] *= 0.3;
-                }
-            }
-            m
-        };
+#[test]
+fn svd_largest_singular_value_is_operator_norm_lower_bound() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_mat(5, 5, &mut rng);
+        let x = random_vec(5, -1.0, 1.0, &mut rng);
+        let xnorm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if xnorm <= 1e-6 {
+            continue;
+        }
+        let ax = a.mul_vec(&x);
+        let axnorm: f64 = ax.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let s = svd(&a).unwrap().s;
+        assert!(axnorm / xnorm <= s[0] * (1.0 + 1e-9) + 1e-12, "seed {seed}");
+    }
+}
+
+#[test]
+fn eigh_identities() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let mut a = random_mat(6, 6, &mut rng);
+        a.symmetrize();
+        let e = eigh(&a).unwrap();
+        let g = &e.vectors.transpose() * &e.vectors;
+        assert!((&g - &DMat::identity(6)).norm_max() < 1e-10, "seed {seed}");
+        let rec = e.reconstruct();
+        assert!((&rec - &a).norm_max() < 1e-9 * (1.0 + a.norm_max()), "seed {seed}");
+        // Trace = eigenvalue sum.
+        let tr: f64 = a.diag().iter().sum();
+        let es: f64 = e.values.iter().sum();
+        assert!((tr - es).abs() < 1e-9 * (1.0 + tr.abs()), "seed {seed}");
+    }
+}
+
+#[test]
+fn schur_similarity() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_mat(6, 6, &mut rng);
+        let s = schur(&a).unwrap();
+        let rec = s.reconstruct();
+        assert!((&rec - &a).norm_max() < 1e-8 * (1.0 + a.norm_max()), "seed {seed}");
+        let g = &s.q.transpose() * &s.q;
+        assert!((&g - &DMat::identity(6)).norm_max() < 1e-10, "seed {seed}");
+        // Eigenvalue sum equals the trace.
+        let tr: f64 = a.diag().iter().sum();
+        let es: f64 = s.eigenvalues().iter().map(|z| z.re).sum();
+        assert!((tr - es).abs() < 1e-7 * (1.0 + tr.abs()), "seed {seed}");
+        let im: f64 = s.eigenvalues().iter().map(|z| z.im).sum();
+        assert!(im.abs() < 1e-9, "seed {seed}: conjugate pairs must cancel");
+    }
+}
+
+#[test]
+fn eig_residuals_small() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let a = dd_matrix(5, &mut rng);
+        let e = eig(&a).unwrap();
+        for j in 0..5 {
+            let v = e.vectors.col(j);
+            assert!(eig_residual(&a, e.values[j], &v) < 1e-6, "seed {seed}");
+        }
+    }
+}
+
+/// exp(A)·exp(−A) = I for any (moderate) matrix.
+#[test]
+fn expm_inverse_identity() {
+    for seed in 0..24 {
+        let mut rng = SplitMix64::new(seed);
+        let a = random_mat(5, 5, &mut rng).scale(0.3);
         let e = numkit::expm(&a).unwrap();
         let eneg = numkit::expm(&(-&a)).unwrap();
         let prod = &e * &eneg;
-        prop_assert!((&prod - &DMat::identity(5)).norm_max() < 1e-9);
+        assert!((&prod - &DMat::identity(5)).norm_max() < 1e-9, "seed {seed}");
     }
+}
 
-    /// det(exp(A)) = exp(trace(A)).
-    #[test]
-    fn expm_determinant_is_exp_trace(a in mat_strategy(4, 4)) {
-        let mut m = a;
-        for v in 0..4 {
-            for w in 0..4 {
-                m[(v, w)] *= 0.4;
-            }
-        }
+/// det(exp(A)) = exp(trace(A)).
+#[test]
+fn expm_determinant_is_exp_trace() {
+    for seed in 0..24 {
+        let mut rng = SplitMix64::new(seed);
+        let m = random_mat(4, 4, &mut rng).scale(0.4);
         let tr: f64 = m.diag().iter().sum();
         let det = Lu::new(numkit::expm(&m).unwrap()).unwrap().det();
-        prop_assert!((det - tr.exp()).abs() < 1e-8 * (1.0 + tr.exp()));
+        assert!((det - tr.exp()).abs() < 1e-8 * (1.0 + tr.exp()), "seed {seed}");
     }
+}
 
-    /// Cholesky solve agrees with LU solve on random SPD systems.
-    #[test]
-    fn cholesky_matches_lu(
-        raw in mat_strategy(6, 8),
-        b in proptest::collection::vec(-2.0f64..2.0, 6),
-    ) {
+/// Cholesky solve agrees with LU solve on random SPD systems.
+#[test]
+fn cholesky_matches_lu() {
+    for seed in 0..24 {
+        let mut rng = SplitMix64::new(seed);
+        let raw = random_mat(6, 8, &mut rng);
+        let b = random_vec(6, -2.0, 2.0, &mut rng);
         let mut spd = &raw * &raw.transpose();
         for i in 0..6 {
             spd[(i, i)] += 1.0;
@@ -183,17 +211,21 @@ proptest! {
         let xc = numkit::Cholesky::new(&spd).unwrap().solve(&b).unwrap();
         let xl = Lu::new(spd).unwrap().solve(&b).unwrap();
         for (c, l) in xc.iter().zip(&xl) {
-            prop_assert!((c - l).abs() < 1e-8);
+            assert!((c - l).abs() < 1e-8, "seed {seed}");
         }
     }
+}
 
-    /// Pivoted QR rank equals SVD rank on randomly rank-deficient input.
-    #[test]
-    fn pivoted_qr_rank_matches_svd(base in mat_strategy(7, 3)) {
+/// Pivoted QR rank equals SVD rank on randomly rank-deficient input.
+#[test]
+fn pivoted_qr_rank_matches_svd() {
+    for seed in 0..24 {
+        let mut rng = SplitMix64::new(seed);
+        let base = random_mat(7, 3, &mut rng);
         // Build a 7×5 matrix of rank ≤ 3 by duplicating columns.
         let a = DMat::from_fn(7, 5, |i, j| base[(i, j % 3)]);
         let r_qr = PivotedQr::new(a.clone()).unwrap().rank(1e-10);
         let r_svd = svd(&a).unwrap().rank(1e-10);
-        prop_assert_eq!(r_qr, r_svd);
+        assert_eq!(r_qr, r_svd, "seed {seed}");
     }
 }

@@ -7,7 +7,7 @@
 //! the Hankel singular values, and the trailing-value sum drives order
 //! and error control.
 
-use lti::{realify_columns, LtiSystem, StateSpace};
+use lti::{realified_ncols, realify_columns_into, LtiSystem, StateSpace};
 use numkit::{svd, DMat, NumError, Svd};
 
 use crate::{SamplePoint, Sampling};
@@ -122,6 +122,14 @@ impl SampleBasis {
 
 /// Computes the PMTBR sample basis for a system under a sampling scheme.
 ///
+/// The shifted solves run through the multipoint engine
+/// ([`crate::par::solve_sample_points`]): sparse descriptor systems reuse
+/// one symbolic LU analysis across all sample points and fan the numeric
+/// work across threads (`PMTBR_THREADS` overrides the count). Results are
+/// identical for every thread count, and the weighted, realified sample
+/// columns are written directly into the preallocated sample matrix — no
+/// per-point intermediate blocks.
+///
 /// # Errors
 ///
 /// - Propagates sampling validation and shifted-solve errors.
@@ -132,29 +140,20 @@ pub fn sample_basis<S: LtiSystem + ?Sized>(
 ) -> Result<SampleBasis, NumError> {
     let points = sampling.points()?;
     let b = sys.input_matrix().to_complex();
-    let mut blocks: Vec<DMat> = Vec::with_capacity(points.len());
-    let mut total_cols = 0usize;
-    for pt in &points {
-        let z = sys.solve_shifted(pt.s, &b)?;
-        let zw = z.scale(pt.weight.sqrt());
-        let real = realify_columns(&zw, 1e-13);
-        total_cols += real.ncols();
-        blocks.push(real);
-    }
+    let zs = crate::par::solve_sample_points(sys, &points, &b)?;
+    let weighted: Vec<numkit::ZMat> =
+        zs.iter().zip(&points).map(|(z, pt)| z.scale(pt.weight.sqrt())).collect();
+    let total_cols: usize = weighted.iter().map(|zw| realified_ncols(zw, 1e-13)).sum();
     if total_cols == 0 {
         return Err(NumError::InvalidArgument("all weighted samples vanished"));
     }
     let n = sys.nstates();
     let mut zmat = DMat::zeros(n, total_cols);
     let mut col = 0;
-    for blk in &blocks {
-        for j in 0..blk.ncols() {
-            for i in 0..n {
-                zmat[(i, col)] = blk[(i, j)];
-            }
-            col += 1;
-        }
+    for zw in &weighted {
+        col += realify_columns_into(zw, 1e-13, &mut zmat, col);
     }
+    debug_assert_eq!(col, total_cols);
     Ok(SampleBasis { svd: svd(&zmat)?, points })
 }
 

@@ -14,12 +14,10 @@
 //! the *left* factor `V_K` (p × p). We implement `B·V_K·r`,
 //! `r ~ N(0, diag(S_K²/N))`. See DESIGN.md.
 
-use lti::{input_correlation_svd, realify_columns, LtiSystem, StateSpace};
-use numkit::{svd, DMat, NumError, ZMat};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lti::{input_correlation_svd, realified_ncols, realify_columns_into, LtiSystem, StateSpace};
+use numkit::{svd, DMat, NumError, SplitMix64, ZMat};
 
-use crate::{PmtbrModel, Sampling};
+use crate::{PmtbrModel, SamplePoint, Sampling};
 
 /// Configuration for input-correlated PMTBR.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,7 +109,7 @@ pub fn input_correlated_pmtbr<S: LtiSystem + ?Sized>(
     if points.is_empty() {
         return Err(NumError::InvalidArgument("sampling produced no points"));
     }
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = SplitMix64::new(opts.seed);
     let n = sys.nstates();
     let bmat = sys.input_matrix();
 
@@ -124,18 +122,15 @@ pub fn input_correlated_pmtbr<S: LtiSystem + ?Sized>(
         // r ~ N(0, diag(σ²)) via Box–Muller.
         let dir: Vec<f64> = (0..k_dirs)
             .map(|i| {
-                let u1: f64 = rng.gen::<f64>().max(1e-12);
-                let u2: f64 = rng.gen();
-                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                g * sigmas[i]
+rng.next_gaussian() * sigmas[i]
             })
             .collect();
         // rhs = B·(V_K·r), one column per draw.
         let vkr = vk.mul_vec(&dir);
         rhs_cols.push(bmat.mul_vec(&vkr));
     }
-    let mut blocks: Vec<DMat> = Vec::with_capacity(points.len());
-    let mut total_cols = 0usize;
+    let mut active: Vec<SamplePoint> = Vec::with_capacity(points.len());
+    let mut rhss: Vec<ZMat> = Vec::with_capacity(points.len());
     for (k, pt) in points.iter().enumerate() {
         let mine: Vec<usize> =
             (0..opts.n_draws).filter(|d| d % points.len() == k).collect();
@@ -145,25 +140,24 @@ pub fn input_correlated_pmtbr<S: LtiSystem + ?Sized>(
         let rhs = ZMat::from_fn(n, mine.len(), |i, j| {
             numkit::c64::from_real(rhs_cols[mine[j]][i])
         });
-        let z = sys.solve_shifted(pt.s, &rhs)?;
-        let zw = z.scale(pt.weight.sqrt());
-        let real = realify_columns(&zw, 1e-13);
-        total_cols += real.ncols();
-        blocks.push(real);
+        active.push(pt.clone());
+        rhss.push(rhs);
     }
+    // All frequencies solve through the multipoint engine: one symbolic
+    // analysis, per-point right-hand sides, thread fan-out.
+    let zs = crate::par::solve_sample_points_pairs(sys, &active, &rhss)?;
+    let weighted: Vec<ZMat> =
+        zs.iter().zip(&active).map(|(z, pt)| z.scale(pt.weight.sqrt())).collect();
+    let total_cols: usize = weighted.iter().map(|zw| realified_ncols(zw, 1e-13)).sum();
     if total_cols == 0 {
         return Err(NumError::InvalidArgument("all correlated samples vanished"));
     }
     let mut zmat = DMat::zeros(n, total_cols);
     let mut col = 0;
-    for blk in &blocks {
-        for j in 0..blk.ncols() {
-            for i in 0..n {
-                zmat[(i, col)] = blk[(i, j)];
-            }
-            col += 1;
-        }
+    for zw in &weighted {
+        col += realify_columns_into(zw, 1e-13, &mut zmat, col);
     }
+    debug_assert_eq!(col, total_cols);
 
     // Steps 7–8: SVD compression and projection.
     let f = svd(&zmat)?;

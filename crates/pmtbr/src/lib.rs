@@ -58,6 +58,7 @@ mod cross_gramian;
 mod frequency_selective;
 mod input_correlated;
 mod order_control;
+pub mod par;
 mod pod;
 mod sampling;
 

@@ -1,0 +1,127 @@
+//! Determinism of the parallel sampling engine.
+//!
+//! The contract: `PMTBR_THREADS` (and the machine's core count) must
+//! never change any numeric result. These tests pin that down by running
+//! the same reductions at thread counts {1, 2, 8} and demanding
+//! bit-identical outputs, and by checking the engine path against the
+//! plain sequential per-point formulation.
+
+use lti::{Descriptor, ShiftSolveEngine};
+use numkit::{c64, DMat, ZMat};
+use pmtbr::{sample_basis, SampleBasis, Sampling};
+
+fn test_system() -> Descriptor {
+    let ports = circuits::spread_ports(4, 6, 8);
+    circuits::rc_mesh(4, 6, &ports, 1.0, 1.0, 2.0).unwrap()
+}
+
+/// Runs `f` with `PMTBR_THREADS` set to `threads`, restoring the prior
+/// value afterwards.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let prior = std::env::var("PMTBR_THREADS").ok();
+    std::env::set_var("PMTBR_THREADS", threads.to_string());
+    let out = f();
+    match prior {
+        Some(v) => std::env::set_var("PMTBR_THREADS", v),
+        None => std::env::remove_var("PMTBR_THREADS"),
+    }
+    out
+}
+
+#[test]
+fn sample_basis_bit_identical_across_thread_counts() {
+    let sys = test_system();
+    let sampling = Sampling::Linear { omega_max: 10.0, n: 17 };
+    let runs: Vec<SampleBasis> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| with_threads(t, || sample_basis(&sys, &sampling).unwrap()))
+        .collect();
+    for (k, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(run.svd.s, runs[0].svd.s, "threads run {k}: singular values differ");
+        assert_eq!(run.svd.u, runs[0].svd.u, "threads run {k}: left vectors differ");
+        assert_eq!(run.svd.v, runs[0].svd.v, "threads run {k}: right vectors differ");
+    }
+}
+
+#[test]
+fn engine_sample_basis_matches_sequential_seed_path() {
+    // The pre-engine formulation: one fresh factorization per point,
+    // sequential. The engine (symbolic reuse, fan-out) must agree to
+    // far better than 1e-12 on every singular value.
+    let sys = test_system();
+    let sampling = Sampling::Linear { omega_max: 10.0, n: 13 };
+    let basis = with_threads(2, || sample_basis(&sys, &sampling).unwrap());
+
+    let points = sampling.points().unwrap();
+    let b = sys.b.to_complex();
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for pt in &points {
+        let z = sys.solve_shifted(pt.s, &b).unwrap();
+        let zw = z.scale(pt.weight.sqrt());
+        let real = lti::realify_columns(&zw, 1e-13);
+        for j in 0..real.ncols() {
+            cols.push((0..real.nrows()).map(|i| real[(i, j)]).collect());
+        }
+    }
+    let zmat = DMat::from_cols(&cols);
+    let reference = numkit::svd(&zmat).unwrap();
+
+    assert_eq!(basis.svd.s.len(), reference.s.len(), "column counts diverged");
+    let s0 = reference.s[0];
+    for (a, r) in basis.svd.s.iter().zip(&reference.s) {
+        assert!((a - r).abs() <= 1e-12 * s0, "engine {a} vs seed path {r}");
+    }
+}
+
+#[test]
+fn input_correlated_identical_across_thread_counts() {
+    let sys = test_system();
+    let u = lti::dithered_square_inputs(8, 150, 0.05, 4.0, 0.1, 1);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut opts = pmtbr::InputCorrelatedOptions::new(Sampling::Linear {
+                omega_max: 6.0,
+                n: 7,
+            });
+            opts.n_draws = 20;
+            opts.max_order = Some(5);
+            pmtbr::input_correlated_pmtbr(&sys, &u, &opts).unwrap()
+        })
+    };
+    let base = run(1);
+    for threads in [2usize, 8] {
+        let m = run(threads);
+        assert_eq!(m.singular_values, base.singular_values, "threads {threads}");
+        assert_eq!(m.v, base.v, "threads {threads}: projection basis differs");
+    }
+}
+
+#[test]
+fn frequency_selective_identical_across_thread_counts() {
+    let sys = test_system();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            pmtbr::frequency_selective_pmtbr(&sys, &[(0.0, 4.0)], 11, Some(6), 1e-12).unwrap()
+        })
+    };
+    let base = run(1);
+    for threads in [2usize, 8] {
+        let m = run(threads);
+        assert_eq!(m.singular_values, base.singular_values, "threads {threads}");
+        assert_eq!(m.v, base.v, "threads {threads}");
+    }
+}
+
+#[test]
+fn engine_solutions_bitwise_equal_across_thread_counts() {
+    let sys = test_system();
+    let rhs: ZMat = sys.b.to_complex();
+    let shifts: Vec<c64> = (0..12).map(|k| c64::new(0.0, 0.8 * k as f64)).collect();
+    let baseline = ShiftSolveEngine::new(&sys).solve_many(&shifts, &rhs, 1).unwrap();
+    for threads in [2usize, 8] {
+        let zs = ShiftSolveEngine::new(&sys).solve_many(&shifts, &rhs, threads).unwrap();
+        for (k, (z, b)) in zs.iter().zip(&baseline).enumerate() {
+            assert_eq!(z, b, "threads {threads} shift {k}");
+        }
+    }
+}

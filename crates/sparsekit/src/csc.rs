@@ -40,6 +40,30 @@ impl<T: Scalar> Csc<T> {
         Csc { nrows, ncols, colptr, rowidx, values }
     }
 
+    /// Builds directly from compressed parts: `colptr` of length
+    /// `ncols + 1`, and per-column row indices sorted ascending with no
+    /// duplicates. This is the fast path for callers that assemble many
+    /// matrices sharing one precomputed sparsity pattern (e.g. shifted
+    /// pencils `s·E − A`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are structurally inconsistent.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        assert_eq!(colptr.len(), ncols + 1, "colptr length");
+        assert_eq!(*colptr.last().expect("nonempty colptr"), rowidx.len(), "colptr tail");
+        assert_eq!(rowidx.len(), values.len(), "rowidx/values length");
+        debug_assert!(colptr.windows(2).all(|w| w[0] <= w[1]), "colptr monotone");
+        debug_assert!(rowidx.iter().all(|&r| r < nrows), "row index bound");
+        Csc { nrows, ncols, colptr, rowidx, values }
+    }
+
     /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.nrows
@@ -98,6 +122,30 @@ impl<T: Scalar> Csc<T> {
             }
         }
         y
+    }
+
+    /// The column pointer array (length `ncols + 1`).
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// The row indices of all stored entries, column-major.
+    pub fn rowidx(&self) -> &[usize] {
+        &self.rowidx
+    }
+
+    /// The stored values, column-major.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// `true` if `other` has exactly the same sparsity structure
+    /// (dimensions, column pointers, and row indices).
+    pub fn same_structure<U>(&self, other: &Csc<U>) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.colptr == other.colptr
+            && self.rowidx == other.rowidx
     }
 
     /// Maps every stored value (structure-preserving).

@@ -37,6 +37,6 @@ mod triplet;
 
 pub use csc::Csc;
 pub use csr::Csr;
-pub use lu::SparseLu;
+pub use lu::{SparseLu, SymbolicLu};
 pub use ordering::{permute_symmetric, rcm_ordering};
 pub use triplet::Triplet;

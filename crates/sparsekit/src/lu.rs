@@ -84,6 +84,7 @@ impl<T: Scalar> SparseLu<T> {
         let mut mark = vec![false; n];
         let mut topo: Vec<usize> = Vec::with_capacity(n);
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+        let mut ucol_scratch: Vec<(usize, T)> = Vec::new();
 
         for j in 0..n {
             let (a_rows, a_vals) = a.col(j);
@@ -160,20 +161,31 @@ impl<T: Scalar> SparseLu<T> {
             }
             let ujj = x[piv_row];
 
-            // --- Store U column j (pivotal rows) and L column j.
+            // --- Store U column j (pivotal rows, ascending, diagonal
+            // last) and L column j. Entries that happen to be numerically
+            // zero are KEPT: the stored pattern is the full symbolic
+            // reach, so it stays valid for refactorization at a different
+            // shift where those cancellations do not occur. Ascending U
+            // order lets [`SymbolicLu::refactor`] eliminate column j in
+            // topological order without re-running the DFS.
+            ucol_scratch.clear();
             for &s in &topo {
                 let k = pinv[s];
-                if k != UNSET && x[s] != T::zero() {
-                    u_rows.push(k);
-                    u_vals.push(x[s]);
+                if k != UNSET {
+                    ucol_scratch.push((k, x[s]));
                 }
+            }
+            ucol_scratch.sort_unstable_by_key(|&(k, _)| k);
+            for &(k, v) in &ucol_scratch {
+                u_rows.push(k);
+                u_vals.push(v);
             }
             u_rows.push(j);
             u_vals.push(ujj);
             u_colptr.push(u_rows.len());
 
             for &s in &topo {
-                if pinv[s] == UNSET && s != piv_row && x[s] != T::zero() {
+                if pinv[s] == UNSET && s != piv_row {
                     l_rows.push(s); // original index; remapped below
                     l_vals.push(x[s] / ujj);
                 }
@@ -275,6 +287,36 @@ impl<T: Scalar> SparseLu<T> {
         Ok(out)
     }
 
+    /// Extracts the symbolic analysis (pivot order plus L/U sparsity
+    /// patterns) for reuse on other matrices with the same structure.
+    ///
+    /// `a` must be the matrix this factorization was computed from; its
+    /// structure is recorded so [`SymbolicLu::refactor`] can verify that
+    /// later inputs match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s dimensions disagree with this factorization.
+    pub fn symbolic(&self, a: &Csc<T>) -> SymbolicLu {
+        assert_eq!(a.nrows(), self.n, "symbolic: row count mismatch");
+        assert_eq!(a.ncols(), self.n, "symbolic: column count mismatch");
+        let mut pinv = vec![UNSET; self.n];
+        for (k, &row) in self.p.iter().enumerate() {
+            pinv[row] = k;
+        }
+        SymbolicLu {
+            n: self.n,
+            p: self.p.clone(),
+            pinv,
+            l_colptr: self.l_colptr.clone(),
+            l_rows: self.l_rows.clone(),
+            u_colptr: self.u_colptr.clone(),
+            u_rows: self.u_rows.clone(),
+            a_colptr: a.colptr().to_vec(),
+            a_rowidx: a.rowidx().to_vec(),
+        }
+    }
+
     /// Reciprocal condition estimate from the `U` diagonal magnitudes.
     pub fn rcond_estimate(&self) -> f64 {
         let mut lo = f64::INFINITY;
@@ -289,6 +331,144 @@ impl<T: Scalar> SparseLu<T> {
         } else {
             lo / hi
         }
+    }
+}
+
+/// Reusable symbolic LU analysis: the pivot order and the L/U sparsity
+/// patterns discovered by one [`SparseLu::new`] run, detached from any
+/// numeric values.
+///
+/// This is the KLU-style refactorization split that makes multipoint
+/// sampling cheap: the symbolic work (DFS reach, pivot search, fill
+/// pattern) is done once at the first shift, and every subsequent shifted
+/// pencil `s·E − A` — which shares the sparsity structure exactly — is
+/// factored by [`refactor`](SymbolicLu::refactor), a numeric-only pass
+/// with no graph traversal and no pivot search.
+///
+/// The stored patterns include entries that were numerically zero at the
+/// analyzed shift (see [`SparseLu::new`]), so shift-dependent
+/// cancellations do not invalidate the reuse.
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    /// `p[k]` = original row pivotal at step `k`.
+    p: Vec<usize>,
+    /// `pinv[orig_row]` = pivot step.
+    pinv: Vec<usize>,
+    /// L pattern (unit lower, diag implicit), rows in pivot order.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    /// U pattern, rows ascending per column with the diagonal last.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    /// Structure of the analyzed matrix, for input validation.
+    a_colptr: Vec<usize>,
+    a_rowidx: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored pattern entries in `L` plus `U`.
+    pub fn pattern_nnz(&self) -> usize {
+        self.l_rows.len() + self.u_rows.len()
+    }
+
+    /// `true` if `a` has exactly the structure this analysis was
+    /// computed for.
+    pub fn matches_structure<T: Scalar>(&self, a: &Csc<T>) -> bool {
+        a.nrows() == self.n
+            && a.ncols() == self.n
+            && a.colptr() == &self.a_colptr[..]
+            && a.rowidx() == &self.a_rowidx[..]
+    }
+
+    /// Numeric-only refactorization: factors `a` along the precomputed
+    /// pivot order and fill pattern, skipping all symbolic work.
+    ///
+    /// The pivots are NOT re-chosen; if a fixed pivot is exactly zero (or
+    /// non-finite) for this particular matrix, [`NumError::Singular`] is
+    /// returned and the caller should fall back to a fresh
+    /// [`SparseLu::new`].
+    ///
+    /// # Errors
+    ///
+    /// - [`NumError::ShapeMismatch`] if `a`'s structure differs from the
+    ///   analyzed structure.
+    /// - [`NumError::Singular`] if a fixed pivot vanishes.
+    pub fn refactor<T: Scalar>(&self, a: &Csc<T>) -> Result<SparseLu<T>, NumError> {
+        if !self.matches_structure(a) {
+            return Err(NumError::ShapeMismatch {
+                operation: "sparse lu refactor",
+                left: (self.n, self.n),
+                right: (a.nrows(), a.ncols()),
+            });
+        }
+        let n = self.n;
+        let mut l_vals: Vec<T> = Vec::with_capacity(self.l_rows.len());
+        let mut u_vals: Vec<T> = Vec::with_capacity(self.u_rows.len());
+        // Dense accumulator indexed by PIVOT position; only pattern
+        // positions are ever touched, and they are re-zeroed per column.
+        let mut x = vec![T::zero(); n];
+
+        for j in 0..n {
+            // Scatter A[:,j] into pivot coordinates. Every structural
+            // entry lies inside the reach pattern, so clearing the
+            // pattern below restores x to all-zeros.
+            let (a_rows, a_vals) = a.col(j);
+            for (&r, &v) in a_rows.iter().zip(a_vals) {
+                x[self.pinv[r]] = v;
+            }
+
+            let ulo = self.u_colptr[j];
+            let uhi = self.u_colptr[j + 1];
+            debug_assert!(uhi > ulo && self.u_rows[uhi - 1] == j, "diag stored last");
+
+            // Eliminate with the already-finished columns k < j, in
+            // ascending (= topological) order along the stored U pattern.
+            for idx in ulo..uhi - 1 {
+                let k = self.u_rows[idx];
+                let xk = x[k];
+                u_vals.push(xk);
+                if xk == T::zero() {
+                    continue;
+                }
+                for lidx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                    x[self.l_rows[lidx]] -= l_vals[lidx] * xk;
+                }
+            }
+
+            let ujj = x[j];
+            if ujj == T::zero() || !ujj.abs().is_finite() {
+                return Err(NumError::Singular { pivot: j });
+            }
+            u_vals.push(ujj);
+            for lidx in self.l_colptr[j]..self.l_colptr[j + 1] {
+                l_vals.push(x[self.l_rows[lidx]] / ujj);
+            }
+
+            // Clear scratch along the pattern.
+            for idx in ulo..uhi {
+                x[self.u_rows[idx]] = T::zero();
+            }
+            for lidx in self.l_colptr[j]..self.l_colptr[j + 1] {
+                x[self.l_rows[lidx]] = T::zero();
+            }
+        }
+
+        Ok(SparseLu {
+            n,
+            l_colptr: self.l_colptr.clone(),
+            l_rows: self.l_rows.clone(),
+            l_vals,
+            u_colptr: self.u_colptr.clone(),
+            u_rows: self.u_rows.clone(),
+            u_vals,
+            p: self.p.clone(),
+        })
     }
 }
 
@@ -426,6 +606,136 @@ mod tests {
         let x = lu.solve_mat(&b).unwrap();
         let ax = t.to_csc().to_dense().matmul(&x).unwrap();
         assert!((&ax - &b).norm_max() < 1e-9);
+    }
+
+    /// Complex shifted pencil s·E − A on a shared structure.
+    fn shifted_pencil(n: usize, seed: u64, s: c64) -> Csc<c64> {
+        let a = random_sparse(n, 2, seed).to_csc();
+        let mut tz = Triplet::<c64>::new(n, n);
+        for j in 0..n {
+            let (rows, vals) = a.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                tz.push(r, j, c64::from_real(-v));
+            }
+        }
+        for i in 0..n {
+            tz.push(i, i, s);
+        }
+        tz.to_csc()
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization() {
+        for seed in [1u64, 5, 9, 42] {
+            let s0 = c64::new(0.0, 1.0);
+            let a0 = shifted_pencil(25, seed, s0);
+            let lu0 = SparseLu::new(&a0).unwrap();
+            let sym = lu0.symbolic(&a0);
+            for &w in &[0.1, 3.0, 77.0] {
+                let ak = shifted_pencil(25, seed, c64::new(0.0, w));
+                let re = sym.refactor(&ak).unwrap();
+                let fresh = SparseLu::new(&ak).unwrap();
+                let b: Vec<c64> =
+                    (0..25).map(|i| c64::new((i as f64).cos(), 0.3 * i as f64)).collect();
+                let xr = re.solve(&b).unwrap();
+                let xf = fresh.solve(&b).unwrap();
+                for (r, f) in xr.iter().zip(&xf) {
+                    assert!((*r - *f).abs() < 1e-9, "seed {seed} w {w}");
+                }
+                // The refactorization must itself satisfy A x = b.
+                let ax = ak.to_dense().mul_vec(&xr);
+                for (axi, bi) in ax.iter().zip(&b) {
+                    assert!((*axi - *bi).abs() < 1e-8, "seed {seed} w {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_handles_pivot_magnitude_flip() {
+        // At the analyzed shift the (0,0) entry dominates; at the second
+        // shift the magnitudes flip so fresh partial pivoting would pick
+        // different pivots — refactor must still produce a correct
+        // factorization along the frozen pivot order.
+        let build = |d0: f64, d1: f64| {
+            let mut t = Triplet::new(2, 2);
+            t.push(0, 0, d0);
+            t.push(1, 0, 1.0);
+            t.push(0, 1, 1.0);
+            t.push(1, 1, d1);
+            t.to_csc()
+        };
+        let a0 = build(10.0, 0.5);
+        let sym = SparseLu::new(&a0).unwrap().symbolic(&a0);
+        let a1 = build(0.5, 10.0);
+        let re = sym.refactor(&a1).unwrap();
+        let x = re.solve(&[1.0, 2.0]).unwrap();
+        let ax = a1.mul_vec(&x);
+        assert!((ax[0] - 1.0).abs() < 1e-12 && (ax[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_detects_vanished_pivot_and_shape_mismatch() {
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let a0 = t.to_csc();
+        let sym = SparseLu::new(&a0).unwrap().symbolic(&a0);
+        // Same structure, but the second diagonal entry is now zero
+        // (built via raw parts — Triplet would drop the exact zero).
+        let a1 = Csc::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 0.0]);
+        assert!(matches!(sym.refactor(&a1), Err(NumError::Singular { pivot: 1 })));
+        // Different structure is rejected outright.
+        let mut t2 = Triplet::new(2, 2);
+        t2.push(0, 0, 1.0);
+        t2.push(1, 0, 1.0);
+        t2.push(1, 1, 1.0);
+        assert!(matches!(sym.refactor(&t2.to_csc()), Err(NumError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn refactor_survives_shift_dependent_cancellation() {
+        // s·e − a with e = 0 on the off-diagonal and a ≠ 0: at the
+        // analyzed shift the off-diagonal is nonzero, and the pattern must
+        // keep serving shifts where OTHER entries cancel (s·e = a).
+        let build = |s: f64| {
+            let (e_d, a_d) = (1.0, -2.0);
+            let (e_off, a_off) = (1.0, 2.0); // cancels at s = 2
+            Csc::from_raw_parts(
+                2,
+                2,
+                vec![0, 2, 3],
+                vec![0, 1, 1],
+                vec![s * e_d - a_d, s * e_off - a_off, s * e_d - a_d],
+            )
+        };
+        let a0 = build(1.0);
+        let sym = SparseLu::new(&a0).unwrap().symbolic(&a0);
+        // At s = 2 the (1,0) entry is exactly zero but structurally present.
+        let a1 = build(2.0);
+        let re = sym.refactor(&a1).unwrap();
+        let x = re.solve(&[4.0, 8.0]).unwrap();
+        let ax = a1.mul_vec(&x);
+        assert!((ax[0] - 4.0).abs() < 1e-12 && (ax[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_pattern_entries_preserved_for_reuse() {
+        // Factor a matrix whose elimination produces an exact cancellation
+        // and confirm the pattern entry survives (factor_nnz counts it).
+        let a = Csc::from_raw_parts(
+            2,
+            2,
+            vec![0, 2, 4],
+            vec![0, 1, 0, 1],
+            vec![2.0, 1.0, 4.0, 2.0 + 1e-9],
+        );
+        let lu = SparseLu::new(&a).unwrap();
+        // Dense 2×2: L has 1 entry, U has 3 (incl. both diagonals).
+        assert_eq!(lu.factor_nnz(), 4);
+        let sym = lu.symbolic(&a);
+        assert_eq!(sym.pattern_nnz(), 4);
+        assert_eq!(sym.dim(), 2);
     }
 
     #[test]

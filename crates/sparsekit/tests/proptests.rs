@@ -1,75 +1,135 @@
-//! Property tests: sparse operations must agree with their dense
-//! counterparts, and the sparse LU must solve to small residuals.
+//! Randomized property tests: sparse operations must agree with their
+//! dense counterparts, the sparse LU must solve to small residuals, and
+//! symbolic refactorization must match fresh factorization.
+//!
+//! Random systems are generated with the in-tree [`SplitMix64`] generator
+//! (the workspace builds with zero external crates, so no proptest).
 
-use numkit::Lu;
-use proptest::prelude::*;
+use numkit::{c64, Lu, SplitMix64};
 use sparsekit::{SparseLu, Triplet};
 
-/// Strategy: a random sparse n×n pattern with a guaranteed dominant
-/// diagonal (so the matrix is invertible).
-fn sparse_system(n: usize) -> impl Strategy<Value = (Triplet<f64>, Vec<f64>)> {
-    let entries = proptest::collection::vec((0..n, 0..n, -2.0f64..2.0), 0..3 * n);
-    let rhs = proptest::collection::vec(-3.0f64..3.0, n);
-    (entries, rhs).prop_map(move |(es, b)| {
-        let mut t = Triplet::new(n, n);
-        let mut rowsum = vec![0.0f64; n];
-        for (i, j, v) in es {
-            t.push(i, j, v);
-            rowsum[i] += v.abs();
-        }
-        for i in 0..n {
-            t.push(i, i, rowsum[i] + 1.0);
-        }
-        (t, b)
-    })
+const SEEDS: u64 = 48;
+
+/// A random sparse n×n system with a guaranteed dominant diagonal (so the
+/// matrix is invertible), plus a right-hand side.
+fn sparse_system(n: usize, rng: &mut SplitMix64) -> (Triplet<f64>, Vec<f64>) {
+    let nentries = rng.next_usize(3 * n);
+    let mut t = Triplet::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for _ in 0..nentries {
+        let i = rng.next_usize(n);
+        let j = rng.next_usize(n);
+        let v = rng.next_range(-2.0, 2.0);
+        t.push(i, j, v);
+        rowsum[i] += v.abs();
+    }
+    for i in 0..n {
+        t.push(i, i, rowsum[i] + 1.0);
+    }
+    let b = (0..n).map(|_| rng.next_range(-3.0, 3.0)).collect();
+    (t, b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sparse_matvec_matches_dense((t, x) in sparse_system(12)) {
+#[test]
+fn sparse_matvec_matches_dense() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let (t, x) = sparse_system(12, &mut rng);
         let csr = t.to_csr();
         let csc = t.to_csc();
         let dense = csr.to_dense();
-        prop_assert_eq!(csc.to_dense(), dense.clone());
+        assert_eq!(csc.to_dense(), dense.clone(), "seed {seed}");
         let yr = csr.mul_vec(&x);
         let yc = csc.mul_vec(&x);
         let yd = dense.mul_vec(&x);
         for i in 0..12 {
-            prop_assert!((yr[i] - yd[i]).abs() < 1e-12);
-            prop_assert!((yc[i] - yd[i]).abs() < 1e-12);
+            assert!((yr[i] - yd[i]).abs() < 1e-12, "seed {seed}");
+            assert!((yc[i] - yd[i]).abs() < 1e-12, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn sparse_lu_matches_dense_lu((t, b) in sparse_system(12)) {
+#[test]
+fn sparse_lu_matches_dense_lu() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let (t, b) = sparse_system(12, &mut rng);
         let csc = t.to_csc();
         let xs = SparseLu::new(&csc).unwrap().solve(&b).unwrap();
         let xd = Lu::new(csc.to_dense()).unwrap().solve(&b).unwrap();
         for (s, d) in xs.iter().zip(&xd) {
-            prop_assert!((s - d).abs() < 1e-8, "sparse {} vs dense {}", s, d);
+            assert!((s - d).abs() < 1e-8, "seed {seed}: sparse {s} vs dense {d}");
         }
     }
+}
 
-    #[test]
-    fn sparse_lu_residual_small((t, b) in sparse_system(16)) {
+#[test]
+fn sparse_lu_residual_small() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let (t, b) = sparse_system(16, &mut rng);
         let csc = t.to_csc();
         let x = SparseLu::new(&csc).unwrap().solve(&b).unwrap();
         let ax = csc.mul_vec(&x);
         for (axi, bi) in ax.iter().zip(&b) {
-            prop_assert!((axi - bi).abs() < 1e-9);
+            assert!((axi - bi).abs() < 1e-9, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn transpose_matvec_is_adjoint((t, x) in sparse_system(10), y in proptest::collection::vec(-1.0f64..1.0, 10)) {
+#[test]
+fn transpose_matvec_is_adjoint() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let (t, x) = sparse_system(10, &mut rng);
+        let y: Vec<f64> = (0..10).map(|_| rng.next_range(-1.0, 1.0)).collect();
         // <A x, y> == <x, Aᵀ y>
         let csr = t.to_csr();
         let ax = csr.mul_vec(&x);
         let aty = csr.mul_vec_transpose(&y);
         let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
         let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "seed {seed}");
+    }
+}
+
+/// Refactoring a randomly shifted complex pencil along the symbolic
+/// analysis of the first shift matches a fresh factorization.
+#[test]
+fn symbolic_refactor_matches_fresh_on_random_pencils() {
+    for seed in 0..24 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 14;
+        let (t, _) = sparse_system(n, &mut rng);
+        let a = t.to_csc();
+        // Pencil values s − a_ij on the diagonal-augmented structure.
+        let pencil = |s: c64| {
+            let mut tz = Triplet::<c64>::new(n, n);
+            for j in 0..n {
+                let (rows, vals) = a.col(j);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    let d = if r == j { s } else { c64::new(0.0, 0.0) };
+                    tz.push(r, j, d - c64::from_real(v));
+                }
+            }
+            tz.to_csc()
+        };
+        let s0 = c64::new(0.1, 1.0);
+        let a0 = pencil(s0);
+        let sym = SparseLu::new(&a0).unwrap().symbolic(&a0);
+        for k in 0..4 {
+            let s = c64::new(rng.next_range(0.01, 2.0), rng.next_range(0.1, 50.0));
+            let ak = pencil(s);
+            assert!(sym.matches_structure(&ak), "seed {seed} sample {k}");
+            let re = sym.refactor(&ak).unwrap();
+            let fresh = SparseLu::new(&ak).unwrap();
+            let b: Vec<c64> =
+                (0..n).map(|_| c64::new(rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0))).collect();
+            let xr = re.solve(&b).unwrap();
+            let xf = fresh.solve(&b).unwrap();
+            for (r, f) in xr.iter().zip(&xf) {
+                assert!((*r - *f).abs() < 1e-8, "seed {seed} sample {k}");
+            }
+        }
     }
 }

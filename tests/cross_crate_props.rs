@@ -1,49 +1,56 @@
 //! Cross-crate property tests: invariants that must hold for random
 //! circuit topologies and reduction parameters.
+//!
+//! Random configurations come from the in-tree [`SplitMix64`] generator
+//! (the workspace builds with zero external crates, so no proptest).
 
 use circuits::rc_mesh;
-
-use numkit::{c64, DMat};
+use numkit::{c64, DMat, SplitMix64};
 use pmtbr::{pmtbr, sample_basis, PmtbrOptions, Sampling};
-use proptest::prelude::*;
 
-/// Strategy: mesh dimensions, port positions, and a sampling bandwidth.
-fn mesh_config() -> impl Strategy<Value = (usize, usize, Vec<usize>, f64)> {
-    (2usize..5, 2usize..5).prop_flat_map(|(r, c)| {
-        let total = r * c;
-        (
-            Just(r),
-            Just(c),
-            proptest::collection::btree_set(0..total, 1..3.min(total))
-                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
-            1.0f64..40.0,
-        )
-    })
+const SEEDS: u64 = 16;
+
+/// Mesh dimensions, distinct sorted port positions, and a bandwidth.
+fn mesh_config(rng: &mut SplitMix64) -> (usize, usize, Vec<usize>, f64) {
+    let r = 2 + rng.next_usize(3);
+    let c = 2 + rng.next_usize(3);
+    let total = r * c;
+    let nports = 1 + rng.next_usize(2.min(total - 1));
+    let mut ports = std::collections::BTreeSet::new();
+    while ports.len() < nports {
+        ports.insert(rng.next_usize(total));
+    }
+    let wmax = rng.next_range(1.0, 40.0);
+    (r, c, ports.into_iter().collect(), wmax)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The PMTBR basis is always orthonormal and the singular values are
-    /// sorted, whatever the topology.
-    #[test]
-    fn basis_invariants((r, c, ports, wmax) in mesh_config()) {
+/// The PMTBR basis is always orthonormal and the singular values are
+/// sorted, whatever the topology.
+#[test]
+fn basis_invariants() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let (r, c, ports, wmax) = mesh_config(&mut rng);
         let sys = rc_mesh(r, c, &ports, 1.0, 1.0, 2.0).unwrap();
         let basis = sample_basis(&sys, &Sampling::Linear { omega_max: wmax, n: 8 }).unwrap();
         let s = basis.singular_values();
         for w in s.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-12);
+            assert!(w[0] >= w[1] - 1e-12, "seed {seed}");
         }
         let k = s.iter().take_while(|&&x| x > 1e-10 * s[0]).count().max(1);
         let v = basis.basis(k);
         let g = &v.transpose() * &v;
-        prop_assert!((&g - &DMat::identity(k)).norm_max() < 1e-8);
+        assert!((&g - &DMat::identity(k)).norm_max() < 1e-8, "seed {seed}");
     }
+}
 
-    /// Reduced models are passive-structured for RC meshes under the
-    /// congruence projection: symmetric A with non-positive eigenvalues.
-    #[test]
-    fn congruence_preserves_rc_structure((r, c, ports, wmax) in mesh_config()) {
+/// Reduced models are passive-structured for RC meshes under the
+/// congruence projection: symmetric A with non-positive eigenvalues.
+#[test]
+fn congruence_preserves_rc_structure() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let (r, c, ports, wmax) = mesh_config(&mut rng);
         let sys = rc_mesh(r, c, &ports, 1.0, 1.0, 2.0).unwrap();
         let m = pmtbr(
             &sys,
@@ -51,15 +58,19 @@ proptest! {
         )
         .unwrap();
         let a = &m.reduced.a;
-        prop_assert!((a - &a.transpose()).norm_max() < 1e-8 * a.norm_max().max(1.0));
-        prop_assert!(m.reduced.is_stable().unwrap());
+        assert!((a - &a.transpose()).norm_max() < 1e-8 * a.norm_max().max(1.0), "seed {seed}");
+        assert!(m.reduced.is_stable().unwrap(), "seed {seed}");
     }
+}
 
-    /// The reduced transfer function interpolates the full one well at
-    /// the dominant (low-frequency) end when the model keeps every
-    /// significant direction.
-    #[test]
-    fn near_full_rank_reduction_is_accurate((r, c, ports, _w) in mesh_config()) {
+/// The reduced transfer function interpolates the full one well at the
+/// dominant (low-frequency) end when the model keeps every significant
+/// direction.
+#[test]
+fn near_full_rank_reduction_is_accurate() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let (r, c, ports, _w) = mesh_config(&mut rng);
         let sys = rc_mesh(r, c, &ports, 1.0, 1.0, 2.0).unwrap();
         let n = sys.nstates();
         let m = pmtbr(
@@ -72,22 +83,26 @@ proptest! {
             let s = c64::new(0.0, w);
             let h = sys.transfer_function(s).unwrap();
             let hr = m.reduced.transfer_function(s).unwrap();
-            prop_assert!(
+            assert!(
                 (&h - &hr).norm_max() < 1e-5 * h.norm_max().max(1e-12),
-                "w={} err={:e}", w, (&h - &hr).norm_max()
+                "seed {seed} w={w} err={:e}",
+                (&h - &hr).norm_max()
             );
         }
     }
+}
 
-    /// Tightening the truncation tolerance never *reduces* the order.
-    #[test]
-    fn order_is_monotone_in_tolerance((r, c, ports, wmax) in mesh_config()) {
+/// Tightening the truncation tolerance never *reduces* the order.
+#[test]
+fn order_is_monotone_in_tolerance() {
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        let (r, c, ports, wmax) = mesh_config(&mut rng);
         let sys = rc_mesh(r, c, &ports, 1.0, 1.0, 2.0).unwrap();
         let sampling = Sampling::Linear { omega_max: wmax, n: 10 };
         let loose =
             pmtbr(&sys, &PmtbrOptions::new(sampling.clone()).with_tolerance(1e-3)).unwrap();
-        let tight =
-            pmtbr(&sys, &PmtbrOptions::new(sampling).with_tolerance(1e-12)).unwrap();
-        prop_assert!(loose.order <= tight.order);
+        let tight = pmtbr(&sys, &PmtbrOptions::new(sampling).with_tolerance(1e-12)).unwrap();
+        assert!(loose.order <= tight.order, "seed {seed}");
     }
 }
