@@ -2,6 +2,8 @@
 
 use std::process::ExitCode;
 
+type FigRun = fn() -> Result<(), Box<dyn std::error::Error>>;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -25,7 +27,7 @@ fn main() -> ExitCode {
             "fig16" => bench::fig16::run(),
             "ablations" => bench::ablations::run(),
             "all" => {
-                let figs: &[(&str, fn() -> Result<(), Box<dyn std::error::Error>>)] = &[
+                let figs: &[(&str, FigRun)] = &[
                     ("fig3", bench::fig3::run),
                     ("fig5", bench::fig5::run),
                     ("fig6", bench::fig6::run),

@@ -113,7 +113,7 @@ pub fn connector(p: &ConnectorParams) -> Result<Descriptor, NumError> {
         if pin != drive_pin {
             nl.resistor(node(pin, 0), 0, p.r_term);
         }
-        if !(pin == sense_pin) {
+        if pin != sense_pin {
             nl.resistor(node(pin, ns), 0, p.r_term);
         }
     }

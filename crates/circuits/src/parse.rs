@@ -119,7 +119,7 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let line = raw.split(|c| c == '*' || c == ';').next().unwrap_or("").trim();
+        let line = raw.split(['*', ';']).next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }

@@ -5,7 +5,7 @@
 //! pmtbr-cli hsv    <netlist> [--band <hz>] [--samples N]
 //! pmtbr-cli reduce <netlist> [--order N] [--tol T] [--band <hz>]
 //!                  [--samples N] [--method pmtbr|prima|mpproj|tbr]
-//!                  [--check N]
+//!                  [--check N] [--max-dropped-samples N] [--strict]
 //! ```
 //!
 //! All frequency arguments are in hertz. `sweep` prints the port
@@ -18,14 +18,62 @@
 //! Every command accepts `--threads N` to pin the sampling engine's
 //! worker count (equivalent to setting `PMTBR_THREADS=N`); results are
 //! identical at every thread count.
+//!
+//! # Degradation policy and exit codes
+//!
+//! `reduce --method pmtbr` runs the fault-tolerant sampling pipeline:
+//! sample points whose shifted solves fail beyond recovery are dropped
+//! and the quadrature degrades gracefully. The per-point account is
+//! printed to stderr whenever the sweep deviated from the request.
+//!
+//! - `0` — clean run, every sample point solved as requested;
+//! - `2` — degraded but accepted (drops within `--max-dropped-samples`,
+//!   default: any number as long as one point survives);
+//! - `3` — degradation rejected: drops exceeded `--max-dropped-samples`,
+//!   or `--strict` was set and any point was dropped or perturbed;
+//! - `1` — any other error (bad arguments, unreadable netlist, …).
+//!
+//! The `PMTBR_FAULT` environment variable injects deterministic faults
+//! for chaos-testing the ladder (see `pmtbr::FaultPlan::from_env`).
 
 use std::process::ExitCode;
 
-use lti::{frequency_response, linspace, logspace, max_rel_error, SquareWave};
+use lti::{frequency_response, linspace, logspace, max_rel_error, NoFaults, RecoveryPolicy, SolveFault, SquareWave};
 use numkit::c64;
-use pmtbr::{pmtbr, sample_basis, PmtbrOptions, Sampling};
+use pmtbr::{pmtbr_tolerant, sample_basis, FaultPlan, PmtbrOptions, Sampling};
 
 const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+/// How a successful command ran.
+enum Status {
+    /// Everything executed exactly as requested → exit 0.
+    Clean,
+    /// The sampling sweep degraded (drops/perturbations) but stayed
+    /// within the acceptance policy → exit 2.
+    Degraded,
+}
+
+/// Why a command failed.
+enum Failure {
+    /// Ordinary error (bad arguments, I/O, numerics) → exit 1.
+    Error(String),
+    /// The sweep degraded beyond what the policy accepts → exit 3.
+    Rejected(String),
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure::Error(msg)
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(msg: &str) -> Self {
+        Failure::Error(msg.to_string())
+    }
+}
+
+type CmdResult = Result<Status, Failure>;
 
 struct Args {
     positional: Vec<String>,
@@ -39,7 +87,7 @@ impl Args {
         let mut it = argv.iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                let value = if it.peek().map_or(false, |v| !v.starts_with("--")) {
+                let value = if it.peek().is_some_and(|v| !v.starts_with("--")) {
                     Some(it.next().expect("peeked").clone())
                 } else {
                     None
@@ -85,7 +133,7 @@ fn load(path: &str) -> Result<lti::Descriptor, String> {
     nl.build().map_err(|e| format!("mna assembly failed: {e}"))
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
+fn cmd_sweep(args: &Args) -> CmdResult {
     let path = args.positional.first().ok_or("sweep: missing netlist path")?;
     let sys = load(path)?;
     let from = args.num("from", 1e6)?;
@@ -116,10 +164,10 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         }
         println!();
     }
-    Ok(())
+    Ok(Status::Clean)
 }
 
-fn cmd_hsv(args: &Args) -> Result<(), String> {
+fn cmd_hsv(args: &Args) -> CmdResult {
     let path = args.positional.first().ok_or("hsv: missing netlist path")?;
     let sys = load(path)?;
     let band = args.num("band", 1e10)?;
@@ -138,10 +186,10 @@ fn cmd_hsv(args: &Args) -> Result<(), String> {
     if exact.is_none() {
         eprintln!("(E is singular: exact Hankel values unavailable — PMTBR estimates only)");
     }
-    Ok(())
+    Ok(Status::Clean)
 }
 
-fn cmd_reduce(args: &Args) -> Result<(), String> {
+fn cmd_reduce(args: &Args) -> CmdResult {
     let path = args.positional.first().ok_or("reduce: missing netlist path")?;
     let sys = load(path)?;
     let band = args.num("band", 1e10)?;
@@ -150,7 +198,10 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
     let order = args.flag_value("order").map(|v| v.parse::<usize>()).transpose().map_err(|_| "--order: invalid integer".to_string())?;
     let method = args.flag_value("method").unwrap_or("pmtbr").to_string();
     let omega_max = band * TAU;
+    let max_dropped = args.int("max-dropped-samples", samples)?;
+    let strict = args.flag_present("strict");
 
+    let mut status = Status::Clean;
     let reduced = match method.as_str() {
         "pmtbr" => {
             let mut opts = PmtbrOptions::new(Sampling::Linear { omega_max, n: samples })
@@ -158,10 +209,38 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
             if let Some(q) = order {
                 opts = opts.with_max_order(q);
             }
-            let m = pmtbr(&sys, &opts).map_err(|e| e.to_string())?;
+            // PMTBR_FAULT (chaos testing) is the only fault source in
+            // production; real solver failures flow through the same
+            // ladder and the same degradation accounting.
+            let faults = FaultPlan::from_env();
+            let faults: &dyn SolveFault = match &faults {
+                Some(plan) => plan,
+                None => &NoFaults,
+            };
+            let (m, diag) = pmtbr_tolerant(&sys, &opts, &RecoveryPolicy::default(), faults)
+                .map_err(|e| e.to_string())?;
+            if diag.is_degraded() {
+                eprintln!("degraded {}", diag.summary());
+                if strict {
+                    return Err(Failure::Rejected(format!(
+                        "--strict: sweep degraded ({})",
+                        diag.summary()
+                    )));
+                }
+                if diag.dropped() > max_dropped {
+                    return Err(Failure::Rejected(format!(
+                        "{} sample points dropped exceeds --max-dropped-samples {} ({})",
+                        diag.dropped(),
+                        max_dropped,
+                        diag.summary()
+                    )));
+                }
+                status = Status::Degraded;
+            }
             println!("method: pmtbr");
             println!("order: {}", m.order);
             println!("error_estimate: {:.6e}", m.error_estimate);
+            println!("samples_surviving: {}/{}", diag.surviving, diag.requested);
             println!("singular_values:");
             for (i, s) in m.singular_values.iter().take(m.order + 5).enumerate() {
                 println!("  sigma_{i}: {s:.6e}");
@@ -214,9 +293,9 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
             m.reduced
         }
         other => {
-            return Err(format!(
+            return Err(Failure::Error(format!(
                 "unknown --method `{other}` (pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr)"
-            ))
+            )))
         }
     };
 
@@ -246,12 +325,12 @@ fn cmd_reduce(args: &Args) -> Result<(), String> {
         let row: Vec<String> = (0..q).map(|j| format!("{:.12e}", reduced.c[(i, j)])).collect();
         println!("  {}", row.join(" "));
     }
-    Ok(())
+    Ok(status)
 }
 
 /// Simulates the netlist's transient response to square waves on every
 /// port and prints t + all port voltages as CSV.
-fn cmd_transient(args: &Args) -> Result<(), String> {
+fn cmd_transient(args: &Args) -> CmdResult {
     let path = args.positional.first().ok_or("transient: missing netlist path")?;
     let sys = load(path)?;
     let period = args.num("period", 1e-9)?;
@@ -282,11 +361,11 @@ fn cmd_transient(args: &Args) -> Result<(), String> {
         }
         println!();
     }
-    Ok(())
+    Ok(Status::Clean)
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--samples N] [--method pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr] [--check N]\nglobal flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)"
+    "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--samples N] [--method pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr] [--check N] [--max-dropped-samples N] [--strict]\nglobal flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  1 error"
 }
 
 fn main() -> ExitCode {
@@ -312,13 +391,18 @@ fn main() -> ExitCode {
         "reduce" => cmd_reduce(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(Status::Clean)
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(Failure::Error(format!("unknown command `{other}`\n{}", usage()))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Ok(Status::Clean) => ExitCode::SUCCESS,
+        Ok(Status::Degraded) => ExitCode::from(2),
+        Err(Failure::Rejected(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
+        Err(Failure::Error(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

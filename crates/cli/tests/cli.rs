@@ -105,3 +105,57 @@ fn unknown_command_fails_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+/// Fault injection via `PMTBR_FAULT`: with drops the sweep degrades,
+/// the diagnostics land on stderr, and the exit code distinguishes
+/// accepted (2) from rejected (3) degradation.
+#[test]
+fn degraded_reduce_exit_codes() {
+    let nl = write_netlist("ladder4.sp", RC_LADDER);
+    let path = nl.to_str().expect("utf8 path");
+    let fault = "seed=5,rate=0.3,kinds=panic,depth=2";
+    let base = ["reduce", path, "--order", "2", "--band", "2e9", "--samples", "12"];
+
+    // Clean run: exit 0, no degradation report.
+    let out = bin().args(base).output().expect("clean run");
+    assert_eq!(out.status.code(), Some(0));
+
+    // Degraded but accepted: exit 2, summary on stderr, model on stdout.
+    let out = bin().args(base).env("PMTBR_FAULT", fault).output().expect("degraded run");
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sample points survived"), "stderr: {err}");
+    assert!(err.contains("dropped"), "stderr: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("samples_surviving:"), "stdout: {text}");
+    assert!(text.contains("A: # 2x2"), "model must still be emitted");
+
+    // --strict rejects any degradation: exit 3.
+    let out = bin()
+        .args(base)
+        .arg("--strict")
+        .env("PMTBR_FAULT", fault)
+        .output()
+        .expect("strict run");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--strict"));
+
+    // Drop budget exceeded: exit 3.
+    let out = bin()
+        .args(base)
+        .args(["--max-dropped-samples", "0"])
+        .env("PMTBR_FAULT", fault)
+        .output()
+        .expect("budget run");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("max-dropped-samples"));
+
+    // A generous budget accepts the same degradation: exit 2.
+    let out = bin()
+        .args(base)
+        .args(["--max-dropped-samples", "11"])
+        .env("PMTBR_FAULT", fault)
+        .output()
+        .expect("generous run");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -263,16 +263,17 @@ impl ShiftedPencilAssembler {
             let (r, c) = if transpose { (j, i) } else { (i, j) };
             entries.push((c, r, 0.0, v));
         }
-        entries.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        entries.sort_unstable_by_key(|x| (x.0, x.1));
         let mut colptr = vec![0usize; n + 1];
         let mut rowidx: Vec<usize> = Vec::with_capacity(entries.len());
         let mut coeffs: Vec<(f64, f64)> = Vec::with_capacity(entries.len());
         let mut last_key: Option<(usize, usize)> = None;
         for (c, r, ev, av) in entries {
             if last_key == Some((c, r)) {
-                let last = coeffs.last_mut().expect("duplicate follows an entry");
-                last.0 += ev;
-                last.1 += av;
+                if let Some(last) = coeffs.last_mut() {
+                    last.0 += ev;
+                    last.1 += av;
+                }
             } else {
                 colptr[c + 1] += 1;
                 rowidx.push(r);

@@ -42,6 +42,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as `NumError`, not abort: panics
+// are reserved for violated internal invariants (and tests).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod compose;
 mod descriptor;
@@ -57,6 +60,7 @@ mod snapshots;
 mod ss;
 mod system;
 mod tbr;
+mod tolerant;
 mod transient;
 mod weighted;
 
@@ -82,6 +86,10 @@ pub use tbr::{
     controllability_gramian, correlated_controllability_gramian, cross_gramian,
     cross_gramian_reduce, h2_norm, hankel_from_gramians, hankel_singular_values,
     observability_gramian, tbr, tbr_error_bounds, tbr_from_gramians, tbr_residualized, TbrModel,
+};
+pub use tolerant::{
+    operator_residual, NoFaults, RecoveryPolicy, ShiftOutcome, ShiftReport, SolveFault,
+    TolerantSweep,
 };
 pub use transient::{max_transient_error, simulate_descriptor, simulate_ss, Transient};
 pub use weighted::{weighted_controllability_gramian, weighted_observability_gramian, weighted_tbr};

@@ -24,12 +24,14 @@
 //! calling thread before any fan-out, so each remaining shift performs
 //! exactly the same arithmetic regardless of how work is scheduled.
 
-use numkit::par::{num_threads, par_map_with};
+use numkit::par::{num_threads, par_map_with, try_par_map_with};
 use numkit::{c64, NumError, ZMat};
-use sparsekit::{SparseLu, SymbolicLu};
+use sparsekit::{residual_norm, SparseLu, SymbolicLu};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use crate::descriptor::ShiftedPencilAssembler;
+use crate::tolerant::{RecoveryPolicy, ShiftOutcome, ShiftReport, SolveFault, TolerantSweep};
 use crate::Descriptor;
 
 /// A reusable engine for solving `(s·E − A)·Z = R` at many shifts.
@@ -42,17 +44,29 @@ use crate::Descriptor;
 pub struct ShiftSolveEngine {
     asm: ShiftedPencilAssembler,
     symbolic: OnceLock<SymbolicLu>,
+    /// The shift and factorization that primed the tolerant ladder —
+    /// reused verbatim ([`ShiftOutcome::Reused`]) when another sweep
+    /// index requests the identical shift.
+    primer: OnceLock<(c64, SparseLu<c64>)>,
 }
 
 impl ShiftSolveEngine {
     /// Engine for the forward pencil `s·E − A` of `sys`.
     pub fn new(sys: &Descriptor) -> Self {
-        ShiftSolveEngine { asm: sys.pencil_assembler(), symbolic: OnceLock::new() }
+        ShiftSolveEngine {
+            asm: sys.pencil_assembler(),
+            symbolic: OnceLock::new(),
+            primer: OnceLock::new(),
+        }
     }
 
     /// Engine for the transposed pencil `(s·E − A)ᵀ` of `sys`.
     pub fn new_transposed(sys: &Descriptor) -> Self {
-        ShiftSolveEngine { asm: sys.pencil_assembler_transpose(), symbolic: OnceLock::new() }
+        ShiftSolveEngine {
+            asm: sys.pencil_assembler_transpose(),
+            symbolic: OnceLock::new(),
+            primer: OnceLock::new(),
+        }
     }
 
     /// Matrix dimension.
@@ -162,6 +176,253 @@ impl ShiftSolveEngine {
             out.push(r?.1);
         }
         Ok(out)
+    }
+
+    /// Fault-tolerant multipoint solve: runs the per-shift escalation
+    /// ladder at every shift and always returns, with `None` (and a
+    /// [`ShiftOutcome::Dropped`] report) for shifts no rung could save.
+    ///
+    /// The ladder rungs, in order:
+    ///
+    /// 1. **reuse** — if the shift bit-equals the shift that primed the
+    ///    engine, the primer factorization is reused verbatim;
+    /// 2. **refactor** — numeric-only refactorization on the recorded
+    ///    symbolic analysis (frozen pivot order);
+    /// 3. **refresh** — fresh factorization with full partial pivoting;
+    /// 4. **refine** — iterative refinement on whichever factorization
+    ///    solved, until the certified residual meets the policy;
+    /// 5. **perturb** — deterministic shift nudges `s·(1 + j·ε)`,
+    ///    `j = 1..=max_perturb`, each with a fresh factorization;
+    /// 6. **drop** — mark the sample failed.
+    ///
+    /// Every accepted solution carries a certified relative residual
+    /// (see [`sparsekit::residual_norm`]); factorizations whose pivot
+    /// growth exceeds the policy limit are rejected without solving.
+    ///
+    /// # Determinism
+    ///
+    /// Shifts are laddered sequentially on the calling thread until one
+    /// primes the engine (records its symbolic analysis and primer
+    /// factorization); only then do the remaining shifts fan out, and
+    /// workers never mutate engine state. Results — values, outcomes,
+    /// and reports — are therefore bit-identical for every thread
+    /// count. Worker panics (real or injected via [`SolveFault`]) are
+    /// contained per index and surfaced as dropped samples carrying
+    /// [`NumError::WorkerPanicked`].
+    pub fn solve_many_tolerant(
+        &self,
+        shifts: &[c64],
+        rhs: &ZMat,
+        threads: usize,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> TolerantSweep {
+        let n = shifts.len();
+        let mut solutions: Vec<Option<ZMat>> = Vec::with_capacity(n);
+        let mut reports: Vec<ShiftReport> = Vec::with_capacity(n);
+        // Sequential priming: ladder shifts on the calling thread until
+        // one succeeds with a fresh factorization (recording symbolic +
+        // primer). A dropped shift just moves priming to the next index.
+        let mut k = 0;
+        while k < n && !self.is_primed() {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.ladder(k, shifts[k], rhs, policy, faults, true)
+            }));
+            let (sol, rep) = attempt.unwrap_or_else(|_| {
+                (
+                    None,
+                    ShiftReport::dropped(
+                        k,
+                        shifts[k],
+                        Some(NumError::WorkerPanicked { index: k }),
+                    ),
+                )
+            });
+            solutions.push(sol);
+            reports.push(rep);
+            k += 1;
+        }
+        // Fan out the rest; workers only read the primed state.
+        let rest = try_par_map_with(n - k, threads, |i| {
+            Ok(self.ladder(k + i, shifts[k + i], rhs, policy, faults, false))
+        });
+        for (i, r) in rest.into_iter().enumerate() {
+            let index = k + i;
+            let (sol, rep) = match r {
+                Ok(pair) => pair,
+                // The worker panicked (contained by the pool): the
+                // sample is dropped with the panic recorded.
+                Err(_) => (
+                    None,
+                    ShiftReport::dropped(
+                        index,
+                        shifts[index],
+                        Some(NumError::WorkerPanicked { index }),
+                    ),
+                ),
+            };
+            solutions.push(sol);
+            reports.push(rep);
+        }
+        TolerantSweep { solutions, reports }
+    }
+
+    /// One shift through the escalation ladder. `prime` is true only
+    /// during the sequential priming phase; an accepted fresh
+    /// factorization then records the engine's symbolic analysis and
+    /// primer cache.
+    fn ladder(
+        &self,
+        index: usize,
+        s_req: c64,
+        rhs: &ZMat,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+        prime: bool,
+    ) -> (Option<ZMat>, ShiftReport) {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Cand {
+            Reuse,
+            Refactor,
+            Fresh,
+        }
+        if faults.inject_panic(index) {
+            panic!("injected worker panic at shift index {index}");
+        }
+        // `attempt` counts factorization attempts for the fault hooks:
+        // at a primed engine, 0 = refactor, 1 = fresh, 1+j = fresh at
+        // perturbation level j.
+        let mut attempt = 0usize;
+        let mut last_err: Option<NumError> = None;
+        let mut last_residual = f64::NAN;
+        for level in 0..=policy.max_perturb {
+            let s = policy.perturbed(s_req, level);
+            let a = self.asm.assemble(s);
+            let mut cands = Vec::with_capacity(3);
+            if level == 0 {
+                if matches!(self.primer.get(), Some((ps, _)) if *ps == s) {
+                    cands.push(Cand::Reuse);
+                }
+                if self.symbolic.get().is_some() {
+                    cands.push(Cand::Refactor);
+                }
+            }
+            cands.push(Cand::Fresh);
+            for cand in cands {
+                let this_attempt = attempt;
+                attempt += 1;
+                if let Some(e) = faults.inject_error(index, this_attempt) {
+                    last_err = Some(e);
+                    continue;
+                }
+                // `owned` holds factorizations computed here (refactor /
+                // fresh); the reuse rung borrows the engine's primer.
+                let owned: Option<SparseLu<c64>> = match cand {
+                    Cand::Reuse => None,
+                    Cand::Refactor => match self.symbolic.get() {
+                        Some(sym) => match sym.refactor(&a) {
+                            Ok(f) => Some(f),
+                            Err(e) => {
+                                last_err = Some(e);
+                                continue;
+                            }
+                        },
+                        None => continue,
+                    },
+                    Cand::Fresh => match SparseLu::new(&a) {
+                        Ok(f) => Some(f),
+                        Err(e) => {
+                            last_err = Some(e);
+                            continue;
+                        }
+                    },
+                };
+                let f: &SparseLu<c64> = match (&owned, self.primer.get()) {
+                    (Some(f), _) => f,
+                    (None, Some((_, pf))) => pf,
+                    (None, None) => continue,
+                };
+                // A factorization with explosive pivot growth is not
+                // worth certifying — escalate immediately.
+                if !(f.pivot_growth() <= policy.growth_limit) {
+                    continue;
+                }
+                let mut x = match f.solve_mat(rhs) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                };
+                faults.corrupt(index, this_attempt, &mut x);
+                let mut residual = residual_norm(&a, &x, rhs);
+                let mut refine_steps = 0;
+                while residual.is_finite()
+                    && residual > policy.residual_tol
+                    && refine_steps < policy.refine_steps
+                {
+                    match f.refine_mat(&a, rhs, &mut x) {
+                        Ok(next) => {
+                            refine_steps += 1;
+                            if !(next < residual) {
+                                residual = next.min(residual);
+                                break;
+                            }
+                            residual = next;
+                        }
+                        Err(e) => {
+                            last_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                last_residual = residual;
+                if residual.is_finite() && residual <= policy.residual_tol {
+                    let outcome = if level > 0 {
+                        ShiftOutcome::Perturbed { attempts: level }
+                    } else if refine_steps > 0 {
+                        ShiftOutcome::Refined
+                    } else {
+                        match cand {
+                            Cand::Reuse => ShiftOutcome::Reused,
+                            Cand::Refactor => ShiftOutcome::Refactored,
+                            Cand::Fresh => ShiftOutcome::Refreshed,
+                        }
+                    };
+                    let rcond = if policy.estimate_condition {
+                        f.rcond1_estimate(&a)
+                    } else {
+                        f64::NAN
+                    };
+                    let pivot_growth = f.pivot_growth();
+                    if prime {
+                        // Priming always accepts through a fresh
+                        // factorization (nothing else exists yet):
+                        // record its symbolic analysis and cache it as
+                        // the primer for the reuse rung.
+                        if let Some(fresh) = owned {
+                            let _ = self.symbolic.set(fresh.symbolic(&a));
+                            let _ = self.primer.set((s, fresh));
+                        }
+                    }
+                    let report = ShiftReport {
+                        index,
+                        s_requested: s_req,
+                        s_used: s,
+                        outcome,
+                        residual,
+                        rcond,
+                        pivot_growth,
+                        refine_steps,
+                        error: None,
+                    };
+                    return (Some(x), report);
+                }
+            }
+        }
+        let mut report = ShiftReport::dropped(index, s_req, last_err);
+        report.residual = last_residual;
+        (None, report)
     }
 }
 

@@ -8,6 +8,7 @@
 
 use numkit::{c64, DMat, NumError, ZMat};
 
+use crate::tolerant::{generic_tolerant_sweep, RecoveryPolicy, SolveFault, TolerantSweep};
 use crate::{Descriptor, StateSpace};
 
 /// A linear time-invariant system that reduction algorithms can sample.
@@ -42,6 +43,36 @@ pub trait LtiSystem {
     ///
     /// [`NumError::Singular`] if `s` is a (generalized) eigenvalue.
     fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError>;
+
+    /// Applies the pencil: returns `(s·E − A)·X` (with `E = I` for plain
+    /// state space). This is the forward operator that residual
+    /// certification and matrix-free iterative refinement need — it must
+    /// be cheap (no factorization).
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::ShapeMismatch`] if `x` has the wrong row count.
+    fn apply_shifted(&self, s: c64, x: &ZMat) -> Result<ZMat, NumError>;
+
+    /// Fault-tolerant counterpart of [`LtiSystem::solve_shifted_many`]:
+    /// runs the per-shift escalation ladder (solve → certify → refine →
+    /// perturb → drop) and always returns, reporting each shift's fate
+    /// instead of failing the whole sweep on the first bad sample point.
+    ///
+    /// The default is the sequential dense ladder
+    /// ([`generic_tolerant_sweep`]); sparse implementations override it
+    /// with the factorization-reusing engine ladder. Either way the
+    /// determinism contract of [`LtiSystem::solve_shifted_many`] holds:
+    /// identical results (including outcomes) for every thread count.
+    fn solve_shifted_many_tolerant(
+        &self,
+        shifts: &[c64],
+        rhs: &ZMat,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> TolerantSweep {
+        generic_tolerant_sweep(self, shifts, rhs, policy, faults)
+    }
 
     /// Solves `(sₖ·E − A)·Zₖ = R` at every shift against one shared
     /// right-hand side, returning the solutions in shift order.
@@ -122,6 +153,11 @@ impl LtiSystem for StateSpace {
     fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
         StateSpace::solve_shifted_transpose(self, s, rhs)
     }
+    /// `(s·I − A)·X = s·X − A·X`.
+    fn apply_shifted(&self, s: c64, x: &ZMat) -> Result<ZMat, NumError> {
+        let ax = self.a.to_complex().matmul(x)?;
+        Ok(ZMat::from_fn(x.nrows(), x.ncols(), |i, j| s * x[(i, j)] - ax[(i, j)]))
+    }
     fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
         StateSpace::project(self, w, v)
     }
@@ -173,6 +209,28 @@ impl LtiSystem for Descriptor {
     fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
         Descriptor::solve_shifted_transpose(self, s, rhs)
     }
+    /// `s·(E·X) − A·X` via sparse row iteration — no pencil assembly.
+    fn apply_shifted(&self, s: c64, x: &ZMat) -> Result<ZMat, NumError> {
+        if x.nrows() != self.nstates() {
+            return Err(NumError::ShapeMismatch {
+                operation: "descriptor apply_shifted",
+                left: (self.nstates(), self.nstates()),
+                right: x.shape(),
+            });
+        }
+        let mut out = ZMat::zeros(x.nrows(), x.ncols());
+        for (i, j, ev) in self.e.iter() {
+            for col in 0..x.ncols() {
+                out[(i, col)] += s * x[(j, col)].scale(ev);
+            }
+        }
+        for (i, j, av) in self.a.iter() {
+            for col in 0..x.ncols() {
+                out[(i, col)] -= x[(j, col)].scale(av);
+            }
+        }
+        Ok(out)
+    }
     fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
         Descriptor::project(self, w, v)
     }
@@ -183,6 +241,23 @@ impl LtiSystem for Descriptor {
     }
     fn solve_shifted_pairs(&self, shifts: &[c64], rhss: &[ZMat]) -> Result<Vec<ZMat>, NumError> {
         crate::ShiftSolveEngine::new(self).solve_pairs(shifts, rhss, numkit::par::num_threads())
+    }
+    /// Sparse ladder: symbolic-reuse refactor → fresh factorization →
+    /// refinement → perturbation, with per-worker panic containment.
+    fn solve_shifted_many_tolerant(
+        &self,
+        shifts: &[c64],
+        rhs: &ZMat,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> TolerantSweep {
+        crate::ShiftSolveEngine::new(self).solve_many_tolerant(
+            shifts,
+            rhs,
+            numkit::par::num_threads(),
+            policy,
+            faults,
+        )
     }
 }
 

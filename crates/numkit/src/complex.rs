@@ -187,6 +187,8 @@ impl Mul for c64 {
 
 impl Div for c64 {
     type Output = c64;
+    // Division *is* multiplication by the (Smith-scaled) reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: c64) -> c64 {
         self * rhs.recip()

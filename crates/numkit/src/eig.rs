@@ -47,7 +47,7 @@ pub fn eig(a: &DMat) -> Result<Eig, NumError> {
     let mut values = s.eigenvalues();
     // Sort by decreasing modulus (keep conjugate pairs adjacent by using a
     // stable sort on modulus only).
-    values.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).expect("finite eigenvalues"));
+    values.sort_by(|x, y| y.abs().total_cmp(&x.abs()));
 
     let n = a.nrows();
     let az = a.to_complex();
@@ -100,11 +100,11 @@ fn inverse_iteration(az: &ZMat, lambda: c64, scale: f64) -> Result<Vec<c64>, Num
         // Fix the phase: make the largest component real positive, so
         // results are deterministic and conjugate pairs come out conjugate.
         let k = (0..n)
-            .max_by(|&i, &j| v[i].abs().partial_cmp(&v[j].abs()).expect("finite"))
-            .expect("nonempty");
+            .max_by(|&i, &j| v[i].abs().total_cmp(&v[j].abs()))
+            .unwrap_or(0);
         let phase = v[k].phase().conj();
         for x in v.iter_mut() {
-            *x = *x * phase;
+            *x *= phase;
         }
         return Ok(v);
     }

@@ -130,7 +130,7 @@ pub fn eigh(a: &DMat) -> Result<SymEig, NumError> {
     // Sort eigenpairs by decreasing eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
     let diag = w.diag();
-    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    order.sort_by(|&a, &b| diag[b].total_cmp(&diag[a]));
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let vectors = DMat::from_fn(n, n, |i, j| v[(i, order[j])]);
     Ok(SymEig { values, vectors })

@@ -51,6 +51,15 @@ pub enum NumError {
     },
     /// An argument was outside its documented domain.
     InvalidArgument(&'static str),
+    /// A worker thread panicked while computing the given index of a
+    /// parallel map.
+    ///
+    /// [`crate::par::try_par_map_with`] converts per-index panics into
+    /// this variant so one poisoned work item cannot abort its siblings.
+    WorkerPanicked {
+        /// Index of the work item whose worker panicked.
+        index: usize,
+    },
 }
 
 impl fmt::Display for NumError {
@@ -75,6 +84,9 @@ impl fmt::Display for NumError {
                 write!(f, "matrix is not positive definite (failure at index {index})")
             }
             NumError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NumError::WorkerPanicked { index } => {
+                write!(f, "worker thread panicked while computing index {index}")
+            }
         }
     }
 }

@@ -37,6 +37,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as `NumError`, not abort: panics
+// are reserved for violated internal invariants (and tests).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod angles;
 mod cholesky;
@@ -68,4 +71,4 @@ pub use qr::{PivotedQr, Qr};
 pub use rng::SplitMix64;
 pub use scalar::Scalar;
 pub use schur::{quasi_triangular_eigenvalues, schur, Schur};
-pub use svd::{singular_values, svd, Svd};
+pub use svd::{singular_values, svd, svd_with_sweeps, Svd};

@@ -458,6 +458,7 @@ impl<T: Scalar> Mul for &Mat<T> {
     ///
     /// Panics on an inner-dimension mismatch; use [`Mat::matmul`] for a
     /// fallible variant.
+    #[allow(clippy::expect_used)] // operator impls cannot return Result
     fn mul(self, rhs: &Mat<T>) -> Mat<T> {
         self.matmul(rhs).expect("matrix product dimension mismatch")
     }

@@ -183,6 +183,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the contract
     fn is_complex_flag() {
         assert!(!<f64 as Scalar>::IS_COMPLEX);
         assert!(<c64 as Scalar>::IS_COMPLEX);

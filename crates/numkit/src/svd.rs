@@ -85,15 +85,28 @@ impl<T: Scalar> Svd<T> {
 /// - [`NumError::NotConverged`] if the Jacobi sweeps fail to converge
 ///   (does not occur in practice for finite inputs).
 pub fn svd<T: Scalar>(a: &Mat<T>) -> Result<Svd<T>, NumError> {
+    svd_with_sweeps(a, MAX_SWEEPS)
+}
+
+/// Computes the thin SVD of `a` with an explicit Jacobi sweep cap.
+///
+/// [`svd`] uses the default cap; retry paths (e.g. the PMTBR sample-basis
+/// fallback after a [`NumError::NotConverged`]) raise it, typically
+/// combined with column equilibration of the input.
+///
+/// # Errors
+///
+/// Same as [`svd`].
+pub fn svd_with_sweeps<T: Scalar>(a: &Mat<T>, max_sweeps: usize) -> Result<Svd<T>, NumError> {
     if !a.is_finite() {
         return Err(NumError::NotFinite);
     }
     let (m, n) = a.shape();
     if m >= n {
-        svd_tall(a.clone())
+        svd_tall(a.clone(), max_sweeps)
     } else {
         // A = U S Vᴴ ⇔ Aᴴ = V S Uᴴ: factor the (tall) adjoint and swap.
-        let f = svd_tall(a.adjoint())?;
+        let f = svd_tall(a.adjoint(), max_sweeps)?;
         Ok(Svd { u: f.v, s: f.s, v: f.u })
     }
 }
@@ -107,7 +120,7 @@ pub fn singular_values<T: Scalar>(a: &Mat<T>) -> Result<Vec<f64>, NumError> {
     Ok(svd(a)?.s)
 }
 
-fn svd_tall<T: Scalar>(mut w: Mat<T>) -> Result<Svd<T>, NumError> {
+fn svd_tall<T: Scalar>(mut w: Mat<T>, max_sweeps: usize) -> Result<Svd<T>, NumError> {
     let (m, n) = w.shape();
     debug_assert!(m >= n);
     let mut v = Mat::<T>::identity(n);
@@ -122,7 +135,7 @@ fn svd_tall<T: Scalar>(mut w: Mat<T>) -> Result<Svd<T>, NumError> {
     // matrices.
     let tol = (m as f64).sqrt() * f64::EPSILON;
     let mut converged = false;
-    for _sweep in 0..MAX_SWEEPS {
+    for _sweep in 0..max_sweeps {
         let mut rotated = false;
         // Column pairs whose norms sit at the noise floor relative to the
         // largest column carry no meaningful singular-value information;
@@ -185,14 +198,14 @@ fn svd_tall<T: Scalar>(mut w: Mat<T>) -> Result<Svd<T>, NumError> {
         }
     }
     if !converged {
-        return Err(NumError::NotConverged { algorithm: "jacobi-svd", iterations: MAX_SWEEPS });
+        return Err(NumError::NotConverged { algorithm: "jacobi-svd", iterations: max_sweeps });
     }
 
     // Singular values are the column norms; U the normalized columns.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> =
         (0..n).map(|j| (0..m).map(|i| w[(i, j)].abs_sq()).sum::<f64>().sqrt()).collect();
-    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("finite norms"));
+    order.sort_by(|&a, &b| norms[b].total_cmp(&norms[a]));
 
     let mut u = Mat::<T>::zeros(m, n);
     let mut vv = Mat::<T>::zeros(n, n);
@@ -358,6 +371,19 @@ mod tests {
         let t = f.truncated(2);
         assert_eq!(t.s.len(), 2);
         assert_eq!(t.u.ncols(), 2);
+    }
+
+    #[test]
+    fn sweep_cap_is_respected() {
+        // One sweep is not enough for a generic dense matrix; the capped
+        // variant must report NotConverged with the cap it was given,
+        // while the default cap succeeds on the same input.
+        let a = DMat::from_fn(6, 6, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        match svd_with_sweeps(&a, 1) {
+            Err(NumError::NotConverged { algorithm: "jacobi-svd", iterations: 1 }) => {}
+            other => panic!("expected NotConverged at cap 1, got {other:?}"),
+        }
+        assert!(svd_with_sweeps(&a, 100).is_ok());
     }
 
     #[test]

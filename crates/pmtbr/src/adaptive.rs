@@ -116,7 +116,7 @@ pub fn adaptive_pmtbr<S: LtiSystem + ?Sized>(
     // Interval queue: candidate midpoints between already-sampled points.
     while chosen.len() < max_samples {
         let mut sorted = chosen.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         // Probe each interval midpoint's residual; take the worst.
         let mut best: Option<(f64, f64)> = None; // (residual, omega)
         for pair in sorted.windows(2) {
@@ -144,7 +144,7 @@ pub fn adaptive_pmtbr<S: LtiSystem + ?Sized>(
                 let res: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
                 worst = worst.max(res / norm0);
             }
-            if best.map_or(true, |(r, _)| worst > r) {
+            if best.is_none_or(|(r, _)| worst > r) {
                 best = Some((worst, mid));
             }
         }

@@ -8,9 +8,58 @@
 //! and error control.
 
 use lti::{realified_ncols, realify_columns_into, LtiSystem, StateSpace};
-use numkit::{svd, DMat, NumError, Svd};
+use numkit::{svd, svd_with_sweeps, DMat, NumError, Svd};
 
 use crate::{SamplePoint, Sampling};
+
+/// SVD of the sample matrix with a convergence safety net.
+///
+/// The one-sided Jacobi SVD can (rarely) exhaust its sweep budget on
+/// sample matrices whose columns span 15+ orders of magnitude. When it
+/// reports [`NumError::NotConverged`], this retries once with column
+/// equilibration: with `D = diag(1/‖aⱼ‖₂)` the scaled matrix `A·D` has
+/// unit columns and converges quickly; `A = U₁·(S₁·V₁ᵀ·D⁻¹)` is then
+/// recombined *exactly* through a second small SVD of the `k × c`
+/// middle factor, so the returned triplet is a genuine SVD of the
+/// original matrix. Both retry stages run with a raised sweep cap.
+///
+/// Returns the factorization and whether the retry path was taken.
+pub(crate) fn robust_svd(a: &DMat) -> Result<(Svd<f64>, bool), NumError> {
+    match svd(a) {
+        Ok(f) => Ok((f, false)),
+        Err(NumError::NotConverged { .. }) => equilibrated_svd(a).map(|f| (f, true)),
+        Err(e) => Err(e),
+    }
+}
+
+/// The equilibrated retry behind [`robust_svd`]: factor `A·D` with unit
+/// columns, then recombine exactly through a second small SVD.
+fn equilibrated_svd(a: &DMat) -> Result<Svd<f64>, NumError> {
+    let (n, c) = a.shape();
+    let norms: Vec<f64> = (0..c)
+        .map(|j| (0..n).map(|i| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt())
+        .collect();
+    let ad = DMat::from_fn(n, c, |i, j| {
+        if norms[j] > 0.0 {
+            a[(i, j)] / norms[j]
+        } else {
+            0.0
+        }
+    });
+    let f1 = svd_with_sweeps(&ad, 400)?;
+    // Truncate stage 1 to its numerical rank: below it, the rows of the
+    // middle factor are pure noise and would hand the second SVD
+    // non-orthogonal null directions.
+    let r = f1.rank(f64::EPSILON);
+    if r == 0 {
+        return Ok(f1); // A is (numerically) zero; f1 is already its SVD
+    }
+    let f1 = f1.truncated(r);
+    // Middle factor M = S₁·V₁ᵀ·D⁻¹ (r × c, small).
+    let m = DMat::from_fn(r, c, |i, j| f1.s[i] * f1.v[(j, i)] * norms[j]);
+    let f2 = svd_with_sweeps(&m, 400)?;
+    Ok(Svd { u: f1.u.matmul(&f2.u)?, s: f2.s, v: f2.v })
+}
 
 /// Configuration for a PMTBR run.
 ///
@@ -154,7 +203,7 @@ pub fn sample_basis<S: LtiSystem + ?Sized>(
         col += realify_columns_into(zw, 1e-13, &mut zmat, col);
     }
     debug_assert_eq!(col, total_cols);
-    Ok(SampleBasis { svd: svd(&zmat)?, points })
+    Ok(SampleBasis { svd: robust_svd(&zmat)?.0, points })
 }
 
 /// A reduced model produced by any PMTBR variant.
@@ -234,6 +283,60 @@ mod tests {
     use super::*;
     use circuits::{clock_tree, rc_mesh};
     use numkit::c64;
+
+    #[test]
+    fn equilibrated_svd_matches_direct_on_graded_columns() {
+        // Full-rank columns spanning 12 orders of magnitude — the regime
+        // where the plain Jacobi sweep budget is under the most pressure.
+        // Distinct frequencies per column keep the matrix full rank.
+        let a = DMat::from_fn(8, 5, |i, j| {
+            let scale = 10f64.powi(-3 * j as i32);
+            scale * ((i * 7 + 1) as f64 * (0.37 + 0.11 * j as f64)).sin()
+        });
+        let direct = svd(&a).unwrap();
+        let equil = super::equilibrated_svd(&a).unwrap();
+        assert_eq!(direct.s.len(), equil.s.len());
+        for (d, e) in direct.s.iter().zip(&equil.s) {
+            assert!((d - e).abs() <= 1e-10 * direct.s[0], "{d} vs {e}");
+        }
+        // The recombination must be an actual factorization of A.
+        let k = equil.s.len();
+        let mut recon = DMat::zeros(8, 5);
+        for i in 0..8 {
+            for j in 0..5 {
+                for t in 0..k {
+                    recon[(i, j)] += equil.u[(i, t)] * equil.s[t] * equil.v[(j, t)];
+                }
+            }
+        }
+        assert!((&recon - &a).norm_max() < 1e-12 * direct.s[0]);
+        // And U must be orthonormal.
+        let g = equil.u.transpose().matmul(&equil.u).unwrap();
+        let ortho = (&g - &DMat::identity(k)).norm_max();
+        assert!(ortho < 1e-12, "orthonormality defect {ortho}");
+    }
+
+    #[test]
+    fn equilibrated_svd_truncates_rank_deficient_input_cleanly() {
+        // Every column is a combination of one sin/cos pair → rank 2.
+        // The equilibrated path must truncate the noise directions
+        // instead of returning non-orthogonal null vectors.
+        let a = DMat::from_fn(8, 5, |i, j| {
+            let scale = 10f64.powi(-3 * j as i32);
+            scale * ((i * 7 + j * 3 + 1) as f64 * 0.37).sin()
+        });
+        let equil = super::equilibrated_svd(&a).unwrap();
+        let k = equil.s.len();
+        assert!(k < 5, "noise directions must be truncated: {:?}", equil.s);
+        assert!(equil.s[1] > 1e-12 * equil.s[0], "both true directions kept");
+        let g = equil.u.transpose().matmul(&equil.u).unwrap();
+        let ortho = (&g - &DMat::identity(k)).norm_max();
+        assert!(ortho < 1e-12, "orthonormality defect {ortho}");
+        let direct = svd(&a).unwrap();
+        for (d, e) in direct.s.iter().take(2).zip(&equil.s) {
+            assert!((d - e).abs() <= 1e-10 * direct.s[0], "{d} vs {e}");
+        }
+    }
 
     #[test]
     fn options_builder() {

@@ -1,0 +1,250 @@
+//! Deterministic fault injection for the sampling pipeline.
+//!
+//! Robustness code that only runs when hardware misbehaves is dead code
+//! until the day it isn't. This module makes the escalation ladder
+//! testable on demand: a [`FaultPlan`] implements [`lti::SolveFault`]
+//! and deterministically injects numerical faults into a chosen
+//! fraction of sample points — singular pivots, NaN contamination,
+//! small solution drift, or outright worker panics.
+//!
+//! Determinism: whether (and how) point `index` is faulted depends only
+//! on `(seed, index)` via a per-index [`SplitMix64`] stream, never on
+//! thread scheduling — so faulted sweeps keep the bit-identical-at-any-
+//! thread-count guarantee, and a failing run reproduces exactly.
+//!
+//! The plan can also be read from the `PMTBR_FAULT` environment
+//! variable (see [`FaultPlan::from_env`]), which is how the CLI exposes
+//! chaos testing without a dedicated flag:
+//!
+//! ```text
+//! PMTBR_FAULT="seed=42,rate=0.25,kinds=singular|nan|drift|panic,depth=2"
+//! ```
+
+use lti::SolveFault;
+use numkit::{c64, NumError, SplitMix64, ZMat};
+
+/// The kinds of injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Factorization attempts fail with [`NumError::Singular`] until the
+    /// ladder has escalated `depth` rungs — exercising the perturbation
+    /// rung when `depth` exceeds the refactor+refresh rung count.
+    Singular,
+    /// The first solution is contaminated with a NaN — exercising
+    /// residual certification and the fresh-factorization rung.
+    Nan,
+    /// The first solution is multiplied by `1 + 1e-6` — a silent small
+    /// error that only iterative refinement can detect and repair.
+    Drift,
+    /// The worker computing this point panics — exercising panic
+    /// containment and graceful sample dropping.
+    Panic,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s.trim() {
+            "singular" => Some(FaultKind::Singular),
+            "nan" => Some(FaultKind::Nan),
+            "drift" => Some(FaultKind::Drift),
+            "panic" => Some(FaultKind::Panic),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic fault-injection plan over sweep indices.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    kinds: Vec<FaultKind>,
+    depth: usize,
+}
+
+impl FaultPlan {
+    /// A plan faulting roughly `rate` of all indices, choosing uniformly
+    /// among `kinds`. `depth` is how many factorization attempts a
+    /// [`FaultKind::Singular`] fault poisons before letting the ladder
+    /// through (2 ⇒ refactor and refresh both fail, forcing the
+    /// perturbation rung).
+    pub fn new(seed: u64, rate: f64, kinds: Vec<FaultKind>, depth: usize) -> Self {
+        FaultPlan { seed, rate: rate.clamp(0.0, 1.0), kinds, depth }
+    }
+
+    /// Reads a plan from the `PMTBR_FAULT` environment variable.
+    ///
+    /// Comma-separated `key=value` pairs: `seed` (u64, default 0),
+    /// `rate` (fraction in `[0,1]`, default 0.25), `kinds`
+    /// (`|`-separated subset of `singular|nan|drift|panic`, default all),
+    /// `depth` (default 2). Returns `None` when the variable is unset,
+    /// empty, or `off`; unknown keys and malformed values fall back to
+    /// their defaults rather than erroring (chaos testing should not
+    /// add configuration failure modes of its own).
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var("PMTBR_FAULT").ok()?;
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "off" || spec == "0" {
+            return None;
+        }
+        let mut plan = FaultPlan::new(
+            0,
+            0.25,
+            vec![FaultKind::Singular, FaultKind::Nan, FaultKind::Drift, FaultKind::Panic],
+            2,
+        );
+        for part in spec.split(',') {
+            let Some((key, value)) = part.split_once('=') else { continue };
+            match key.trim() {
+                "seed" => {
+                    if let Ok(v) = value.trim().parse() {
+                        plan.seed = v;
+                    }
+                }
+                "rate" => {
+                    if let Ok(v) = value.trim().parse::<f64>() {
+                        plan.rate = v.clamp(0.0, 1.0);
+                    }
+                }
+                "depth" => {
+                    if let Ok(v) = value.trim().parse() {
+                        plan.depth = v;
+                    }
+                }
+                "kinds" => {
+                    let kinds: Vec<FaultKind> =
+                        value.split('|').filter_map(FaultKind::parse).collect();
+                    if !kinds.is_empty() {
+                        plan.kinds = kinds;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(plan)
+    }
+
+    /// The fault (if any) this plan assigns to sweep index `index` —
+    /// a pure function of `(seed, index)`.
+    pub fn fault_for(&self, index: usize) -> Option<FaultKind> {
+        if self.kinds.is_empty() {
+            return None;
+        }
+        let mut rng = SplitMix64::new(
+            self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        if rng.next_f64() >= self.rate {
+            return None;
+        }
+        Some(self.kinds[rng.next_usize(self.kinds.len())])
+    }
+
+    /// The configured fault rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl SolveFault for FaultPlan {
+    fn inject_error(&self, index: usize, attempt: usize) -> Option<NumError> {
+        match self.fault_for(index) {
+            Some(FaultKind::Singular) if attempt < self.depth => {
+                Some(NumError::Singular { pivot: index })
+            }
+            _ => None,
+        }
+    }
+
+    fn corrupt(&self, index: usize, attempt: usize, z: &mut ZMat) {
+        if attempt != 0 {
+            return; // corruption hits only the first factorization's solve
+        }
+        match self.fault_for(index) {
+            Some(FaultKind::Nan)
+                if z.nrows() > 0 && z.ncols() > 0 => {
+                    z[(0, 0)] = c64::new(f64::NAN, 0.0);
+                }
+            Some(FaultKind::Drift) => {
+                for i in 0..z.nrows() {
+                    for j in 0..z.ncols() {
+                        z[(i, j)] = z[(i, j)].scale(1.0 + 1e-6);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn inject_panic(&self, index: usize) -> bool {
+        self.fault_for(index) == Some(FaultKind::Panic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<FaultKind> {
+        vec![FaultKind::Singular, FaultKind::Nan, FaultKind::Drift, FaultKind::Panic]
+    }
+
+    #[test]
+    fn fault_assignment_is_deterministic_and_rate_respecting() {
+        let plan = FaultPlan::new(7, 0.25, all_kinds(), 2);
+        let first: Vec<_> = (0..400).map(|i| plan.fault_for(i)).collect();
+        let second: Vec<_> = (0..400).map(|i| plan.fault_for(i)).collect();
+        assert_eq!(first, second);
+        let faulted = first.iter().filter(|f| f.is_some()).count();
+        assert!((50..150).contains(&faulted), "rate 0.25 gave {faulted}/400");
+    }
+
+    #[test]
+    fn zero_rate_never_faults_and_full_rate_always_does() {
+        let silent = FaultPlan::new(1, 0.0, all_kinds(), 2);
+        let loud = FaultPlan::new(1, 1.0, all_kinds(), 2);
+        for i in 0..100 {
+            assert_eq!(silent.fault_for(i), None);
+            assert!(loud.fault_for(i).is_some());
+        }
+    }
+
+    #[test]
+    fn singular_injection_respects_depth() {
+        let plan = FaultPlan::new(3, 1.0, vec![FaultKind::Singular], 2);
+        let idx = 0;
+        assert!(plan.inject_error(idx, 0).is_some());
+        assert!(plan.inject_error(idx, 1).is_some());
+        assert!(plan.inject_error(idx, 2).is_none());
+        // Non-singular kinds never inject factorization errors.
+        let nan = FaultPlan::new(3, 1.0, vec![FaultKind::Nan], 2);
+        assert!(nan.inject_error(idx, 0).is_none());
+    }
+
+    #[test]
+    fn corruption_applies_only_to_first_attempt() {
+        let plan = FaultPlan::new(5, 1.0, vec![FaultKind::Nan], 2);
+        let mut z = ZMat::zeros(2, 2);
+        plan.corrupt(0, 1, &mut z);
+        assert!(!z[(0, 0)].re.is_nan());
+        plan.corrupt(0, 0, &mut z);
+        assert!(z[(0, 0)].re.is_nan());
+    }
+
+    #[test]
+    fn env_parsing_roundtrip() {
+        // from_env reads the live environment; exercise the parser via a
+        // scoped set/unset (tests in this module run on one thread per
+        // test binary invocation of this function).
+        std::env::set_var("PMTBR_FAULT", "seed=9,rate=0.5,kinds=drift|panic,depth=3");
+        let plan = FaultPlan::from_env().expect("plan must parse");
+        std::env::remove_var("PMTBR_FAULT");
+        assert_eq!(plan.seed, 9);
+        assert!((plan.rate - 0.5).abs() < 1e-15);
+        assert_eq!(plan.kinds, vec![FaultKind::Drift, FaultKind::Panic]);
+        assert_eq!(plan.depth, 3);
+        assert!(FaultPlan::from_env().is_none());
+        std::env::set_var("PMTBR_FAULT", "off");
+        assert!(FaultPlan::from_env().is_none());
+        std::env::remove_var("PMTBR_FAULT");
+    }
+}

@@ -140,7 +140,7 @@ rng.next_gaussian() * sigmas[i]
         let rhs = ZMat::from_fn(n, mine.len(), |i, j| {
             numkit::c64::from_real(rhs_cols[mine[j]][i])
         });
-        active.push(pt.clone());
+        active.push(*pt);
         rhss.push(rhs);
     }
     // All frequencies solve through the multipoint engine: one symbolic

@@ -50,17 +50,22 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as `NumError`, not abort: panics
+// are reserved for violated internal invariants (and tests).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod adaptive;
 mod balanced;
 mod algorithm;
 mod cross_gramian;
+pub mod fault;
 mod frequency_selective;
 mod input_correlated;
 mod order_control;
 pub mod par;
 mod pod;
 mod sampling;
+mod sweep;
 
 pub use adaptive::{adaptive_pmtbr, AdaptiveModel};
 pub use balanced::balanced_pmtbr;
@@ -69,5 +74,7 @@ pub use cross_gramian::cross_gramian_pmtbr;
 pub use frequency_selective::frequency_selective_pmtbr;
 pub use input_correlated::{input_correlated_pmtbr, InputCorrelatedOptions};
 pub use order_control::IncrementalBasis;
+pub use fault::{FaultKind, FaultPlan};
 pub use pod::{pod_reduce, PodOptions};
 pub use sampling::{SamplePoint, Sampling};
+pub use sweep::{pmtbr_tolerant, sample_basis_tolerant, SweepDiagnostics};

@@ -173,7 +173,7 @@ impl IncrementalBasis {
         let f = numkit::svd(&r)?;
         // V = Q · U_r[:, :order].
         let qmat = DMat::from_cols(&self.q);
-        Ok(qmat.matmul(&f.u.leading_cols(order))?)
+        qmat.matmul(&f.u.leading_cols(order))
     }
 }
 

@@ -57,7 +57,7 @@ impl<T: Scalar> Csc<T> {
         values: Vec<T>,
     ) -> Self {
         assert_eq!(colptr.len(), ncols + 1, "colptr length");
-        assert_eq!(*colptr.last().expect("nonempty colptr"), rowidx.len(), "colptr tail");
+        assert_eq!(colptr[ncols], rowidx.len(), "colptr tail");
         assert_eq!(rowidx.len(), values.len(), "rowidx/values length");
         debug_assert!(colptr.windows(2).all(|w| w[0] <= w[1]), "colptr monotone");
         debug_assert!(rowidx.iter().all(|&r| r < nrows), "row index bound");

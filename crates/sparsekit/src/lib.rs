@@ -28,6 +28,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as `NumError`, not abort: panics
+// are reserved for violated internal invariants (and tests).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod csc;
 mod csr;
@@ -37,6 +40,6 @@ mod triplet;
 
 pub use csc::Csc;
 pub use csr::Csr;
-pub use lu::{SparseLu, SymbolicLu};
+pub use lu::{one_norm, residual_norm, SolveCert, SparseLu, SymbolicLu};
 pub use ordering::{permute_symmetric, rcm_ordering};
 pub use triplet::Triplet;

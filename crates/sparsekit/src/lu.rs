@@ -51,6 +51,80 @@ pub struct SparseLu<T> {
     u_vals: Vec<T>,
     /// `p[k]` = original row index pivotal at elimination step `k`.
     p: Vec<usize>,
+    /// Pivot growth `max|U| / max|A|` — a cheap stability monitor.
+    growth: f64,
+}
+
+/// The certificate attached to a refined solve: the relative residual
+/// actually achieved and the number of refinement steps spent.
+///
+/// The residual is the normwise backward-error style quantity
+/// `‖B − A·X‖_max / (‖A‖₁·‖X‖_max + ‖B‖_max)`; a value near machine
+/// epsilon certifies a backward-stable solve, and `NaN`/`inf` marks a
+/// contaminated solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveCert {
+    /// Certified relative residual of the returned solution.
+    pub residual: f64,
+    /// Iterative-refinement steps performed (0 = accepted directly).
+    pub refine_steps: usize,
+}
+
+/// The 1-norm `‖A‖₁` (maximum column absolute sum) of a sparse matrix.
+pub fn one_norm<T: Scalar>(a: &Csc<T>) -> f64 {
+    (0..a.ncols())
+        .map(|j| a.col(j).1.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0f64, f64::max)
+}
+
+/// Relative residual `‖B − A·X‖_max / (‖A‖₁·‖X‖_max + ‖B‖_max)` of a
+/// candidate solution `X` for `A·X = B`.
+///
+/// Returns `NaN` if any operand is contaminated with NaN; `0.0` for the
+/// degenerate all-zero problem.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (callers pass matrices produced by
+/// [`SparseLu::solve_mat`], which already validated shapes).
+pub fn residual_norm<T: Scalar>(a: &Csc<T>, x: &numkit::Mat<T>, b: &numkit::Mat<T>) -> f64 {
+    assert_eq!(x.nrows(), a.ncols(), "residual_norm: x rows");
+    assert_eq!(b.nrows(), a.nrows(), "residual_norm: b rows");
+    assert_eq!(x.ncols(), b.ncols(), "residual_norm: column count");
+    let anorm = one_norm(a);
+    let mut rmax = 0.0f64;
+    let mut xmax = 0.0f64;
+    let mut bmax = 0.0f64;
+    for j in 0..x.ncols() {
+        let xj = x.col(j);
+        let ax = a.mul_vec(&xj);
+        for i in 0..b.nrows() {
+            let r = (b[(i, j)] - ax[i]).abs();
+            // NaN propagates: max(NaN) via explicit check below.
+            if r.is_nan() {
+                return f64::NAN;
+            }
+            rmax = rmax.max(r);
+            bmax = bmax.max(b[(i, j)].abs());
+        }
+        for v in &xj {
+            let m = v.abs();
+            if m.is_nan() {
+                return f64::NAN;
+            }
+            xmax = xmax.max(m);
+        }
+    }
+    let denom = anorm * xmax + bmax;
+    if denom == 0.0 {
+        if rmax == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        rmax / denom
+    }
 }
 
 impl<T: Scalar> SparseLu<T> {
@@ -106,7 +180,8 @@ impl<T: Scalar> SparseLu<T> {
                     };
                     if child < children.len() {
                         let c = children[child];
-                        dfs_stack.last_mut().expect("nonempty stack").1 += 1;
+                        let top = dfs_stack.len() - 1;
+                        dfs_stack[top].1 += 1;
                         if !mark[c] {
                             mark[c] = true;
                             dfs_stack.push((c, 0));
@@ -206,7 +281,8 @@ impl<T: Scalar> SparseLu<T> {
         for r in l_rows.iter_mut() {
             *r = pinv[*r];
         }
-        Ok(SparseLu { n, l_colptr, l_rows, l_vals, u_colptr, u_rows, u_vals, p })
+        let growth = pivot_growth_of(a.values(), &u_vals);
+        Ok(SparseLu { n, l_colptr, l_rows, l_vals, u_colptr, u_rows, u_vals, p, growth })
     }
 
     /// Matrix dimension.
@@ -315,6 +391,203 @@ impl<T: Scalar> SparseLu<T> {
             a_colptr: a.colptr().to_vec(),
             a_rowidx: a.rowidx().to_vec(),
         }
+    }
+
+    /// Pivot growth factor `max|U| / max|A|` observed during the
+    /// factorization.
+    ///
+    /// Partial pivoting keeps this modest for almost all matrices; a
+    /// large value (≳ 10⁸) flags an unstable elimination — typically a
+    /// frozen pivot order reused at a shift where the magnitudes flipped
+    /// — and callers should refactor with fresh pivoting.
+    pub fn pivot_growth(&self) -> f64 {
+        self.growth
+    }
+
+    /// Solves `Aᵀ·x = b` (plain transpose, not conjugate).
+    ///
+    /// With `P·A = L·U` this is `Uᵀ·Lᵀ·P·x = b`: a forward sweep with
+    /// `Uᵀ` (lower triangular, diagonal stored last per column), a
+    /// backward sweep with `Lᵀ` (unit upper), and the inverse row
+    /// permutation. Needed by the 1-norm condition estimator, which
+    /// alternates solves with `A` and `Aᴴ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `b.len() != dim()`.
+    pub fn solve_transpose(&self, b: &[T]) -> Result<Vec<T>, NumError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumError::ShapeMismatch {
+                operation: "sparse lu solve_transpose",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward: Uᵀ·w = b. Column k of U (rows < k ascending, diagonal
+        // last) is row k of Uᵀ — a ready-made dot product.
+        let mut w: Vec<T> = b.to_vec();
+        for k in 0..n {
+            let lo = self.u_colptr[k];
+            let hi = self.u_colptr[k + 1];
+            let mut acc = w[k];
+            for idx in lo..hi - 1 {
+                acc -= self.u_vals[idx] * w[self.u_rows[idx]];
+            }
+            w[k] = acc / self.u_vals[hi - 1];
+        }
+        // Backward: Lᵀ·v = w (unit diagonal); column k of L holds rows
+        // > k, i.e. row k of Lᵀ.
+        for k in (0..n).rev() {
+            let mut acc = w[k];
+            for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                acc -= self.l_vals[idx] * w[self.l_rows[idx]];
+            }
+            w[k] = acc;
+        }
+        // Undo the row permutation: x = Pᵀ·v.
+        let mut x = vec![T::zero(); n];
+        for k in 0..n {
+            x[self.p[k]] = w[k];
+        }
+        Ok(x)
+    }
+
+    /// Cheap 1-norm reciprocal condition estimate `1 / (‖A‖₁·‖A⁻¹‖₁)`
+    /// via Hager's method (the LAPACK `xLACON` iteration): a handful of
+    /// solves with `A` and `Aᴴ` against probing vectors.
+    ///
+    /// `a` must be the matrix this factorization was computed from.
+    /// Returns a value in `[0, 1]`; `0.0` signals an effectively
+    /// singular or contaminated factorization.
+    pub fn rcond1_estimate(&self, a: &Csc<T>) -> f64 {
+        let n = self.n;
+        if n == 0 {
+            return 1.0;
+        }
+        let anorm = one_norm(a);
+        if anorm == 0.0 || !anorm.is_finite() {
+            return 0.0;
+        }
+        // Hager iteration estimating ‖A⁻¹‖₁.
+        let mut x: Vec<T> = vec![T::from_f64(1.0 / n as f64); n];
+        let mut est = 0.0f64;
+        let mut last_j = usize::MAX;
+        for _ in 0..5 {
+            let y = match self.solve(&x) {
+                Ok(y) => y,
+                Err(_) => return 0.0,
+            };
+            let y1: f64 = y.iter().map(|v| v.abs()).sum();
+            if !y1.is_finite() {
+                return 0.0;
+            }
+            est = est.max(y1);
+            // ξ = sign(y) (unit-modulus phase for complex entries).
+            let xi: Vec<T> = y
+                .iter()
+                .map(|&v| {
+                    let m = v.abs();
+                    if m == 0.0 {
+                        T::one()
+                    } else {
+                        v.scale(1.0 / m)
+                    }
+                })
+                .collect();
+            // z = A⁻ᴴ·ξ, via conj(A⁻ᵀ·conj(ξ)).
+            let xi_conj: Vec<T> = xi.iter().map(|v| v.conj()).collect();
+            let z = match self.solve_transpose(&xi_conj) {
+                Ok(z) => z,
+                Err(_) => return 0.0,
+            };
+            let (mut zmax, mut j) = (0.0f64, 0usize);
+            for (i, v) in z.iter().enumerate() {
+                let m = v.abs();
+                if m > zmax {
+                    zmax = m;
+                    j = i;
+                }
+            }
+            if !zmax.is_finite() || j == last_j {
+                break;
+            }
+            // Convergence test: ‖z‖∞ ≤ zᴴ·x means the gradient no longer
+            // improves the estimate.
+            let zx: f64 = z.iter().zip(&x).map(|(zi, xi)| (zi.conj() * *xi).re()).sum();
+            if zmax <= zx {
+                break;
+            }
+            last_j = j;
+            x = vec![T::zero(); n];
+            x[j] = T::one();
+        }
+        if est == 0.0 {
+            return 0.0;
+        }
+        (1.0 / (anorm * est)).clamp(0.0, 1.0)
+    }
+
+    /// One step of iterative refinement in place: `x += A⁻¹·(b − A·x)`,
+    /// column by column, returning the relative residual of the refined
+    /// solution (see [`residual_norm`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] on inconsistent shapes.
+    pub fn refine_mat(
+        &self,
+        a: &Csc<T>,
+        b: &numkit::Mat<T>,
+        x: &mut numkit::Mat<T>,
+    ) -> Result<f64, NumError> {
+        if b.nrows() != self.n || x.nrows() != self.n || b.ncols() != x.ncols() {
+            return Err(NumError::ShapeMismatch {
+                operation: "sparse lu refine_mat",
+                left: x.shape(),
+                right: b.shape(),
+            });
+        }
+        for j in 0..b.ncols() {
+            let xj = x.col(j);
+            let ax = a.mul_vec(&xj);
+            let r: Vec<T> = (0..self.n).map(|i| b[(i, j)] - ax[i]).collect();
+            let dx = self.solve(&r)?;
+            let refined: Vec<T> = xj.iter().zip(&dx).map(|(&xi, &di)| xi + di).collect();
+            x.set_col(j, &refined);
+        }
+        Ok(residual_norm(a, x, b))
+    }
+
+    /// Solves `A·X = B` with a certified relative residual: the plain
+    /// solve is followed by up to `max_refine` steps of iterative
+    /// refinement until the residual drops below `tol` (or stops
+    /// improving). The achieved residual — whether or not it met `tol` —
+    /// is returned in the [`SolveCert`]; callers decide how to escalate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] on a row-count mismatch.
+    pub fn solve_mat_certified(
+        &self,
+        a: &Csc<T>,
+        b: &numkit::Mat<T>,
+        tol: f64,
+        max_refine: usize,
+    ) -> Result<(numkit::Mat<T>, SolveCert), NumError> {
+        let mut x = self.solve_mat(b)?;
+        let mut residual = residual_norm(a, &x, b);
+        let mut refine_steps = 0;
+        while residual.is_finite() && residual > tol && refine_steps < max_refine {
+            let next = self.refine_mat(a, b, &mut x)?;
+            refine_steps += 1;
+            if !(next < residual) {
+                residual = next;
+                break;
+            }
+            residual = next;
+        }
+        Ok((x, SolveCert { residual, refine_steps }))
     }
 
     /// Reciprocal condition estimate from the `U` diagonal magnitudes.
@@ -459,6 +732,7 @@ impl SymbolicLu {
             }
         }
 
+        let growth = pivot_growth_of(a.values(), &u_vals);
         Ok(SparseLu {
             n,
             l_colptr: self.l_colptr.clone(),
@@ -468,7 +742,19 @@ impl SymbolicLu {
             u_rows: self.u_rows.clone(),
             u_vals,
             p: self.p.clone(),
+            growth,
         })
+    }
+}
+
+/// Pivot growth `max|U| / max|A|` (1.0 for an empty matrix).
+fn pivot_growth_of<T: Scalar>(a_vals: &[T], u_vals: &[T]) -> f64 {
+    let a_max = a_vals.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+    let u_max = u_vals.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+    if a_max == 0.0 {
+        1.0
+    } else {
+        u_max / a_max
     }
 }
 
@@ -746,5 +1032,116 @@ mod tests {
         }
         let lu = SparseLu::new(&t.to_csc()).unwrap();
         assert!((lu.rcond_estimate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_solve_matches_dense() {
+        let t = random_sparse(25, 3, 13);
+        let csc = t.to_csc();
+        let lu = SparseLu::new(&csc).unwrap();
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x = lu.solve_transpose(&b).unwrap();
+        // Verify Aᵀ x = b against the dense transpose operator.
+        let atx = csc.to_dense().transpose().mul_vec(&x);
+        for (l, r) in atx.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-9, "{l} vs {r}");
+        }
+        assert!(lu.solve_transpose(&b[..3]).is_err());
+    }
+
+    #[test]
+    fn transpose_solve_complex() {
+        let a = shifted_pencil(15, 4, c64::new(0.3, 1.7));
+        let lu = SparseLu::new(&a).unwrap();
+        let b: Vec<c64> = (0..15).map(|i| c64::new(1.0, -(i as f64) / 5.0)).collect();
+        let x = lu.solve_transpose(&b).unwrap();
+        let atx = a.to_dense().transpose().mul_vec(&x);
+        for (l, r) in atx.iter().zip(&b) {
+            assert!((*l - *r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rcond1_tracks_true_conditioning() {
+        // Identity: perfectly conditioned.
+        let mut t = Triplet::new(6, 6);
+        for i in 0..6 {
+            t.push(i, i, 1.0);
+        }
+        let id = t.to_csc();
+        let r_id = SparseLu::new(&id).unwrap().rcond1_estimate(&id);
+        assert!(r_id > 0.5, "identity rcond {r_id}");
+        // Graded diagonal diag(1, 1e-10): κ₁ = 1e10.
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1e-10);
+        let graded = t.to_csc();
+        let r = SparseLu::new(&graded).unwrap().rcond1_estimate(&graded);
+        assert!(r < 1e-9 && r > 1e-11, "graded rcond {r}");
+    }
+
+    #[test]
+    fn pivot_growth_modest_with_pivoting_large_when_frozen() {
+        let t = random_sparse(30, 3, 21);
+        let csc = t.to_csc();
+        let lu = SparseLu::new(&csc).unwrap();
+        assert!(lu.pivot_growth() < 100.0, "partial pivoting growth {}", lu.pivot_growth());
+        // Freeze pivots where the second matrix flips magnitudes hard:
+        // the refactorization divides by a tiny frozen pivot.
+        let build = |d0: f64| {
+            let mut t = Triplet::new(2, 2);
+            t.push(0, 0, d0);
+            t.push(1, 0, 1.0);
+            t.push(0, 1, 1.0);
+            t.push(1, 1, 1.0);
+            t.to_csc()
+        };
+        let a0 = build(10.0);
+        let sym = SparseLu::new(&a0).unwrap().symbolic(&a0);
+        let re = sym.refactor(&build(1e-12)).unwrap();
+        assert!(re.pivot_growth() > 1e10, "frozen-pivot growth {}", re.pivot_growth());
+    }
+
+    #[test]
+    fn certified_solve_refines_to_tolerance() {
+        let t = random_sparse(40, 4, 99);
+        let csc = t.to_csc();
+        let lu = SparseLu::new(&csc).unwrap();
+        let b = DMat::from_fn(40, 2, |i, j| ((i + j) as f64 * 0.3).sin());
+        let (x, cert) = lu.solve_mat_certified(&csc, &b, 1e-14, 2).unwrap();
+        assert!(cert.residual <= 1e-14, "residual {}", cert.residual);
+        assert!(cert.refine_steps <= 2);
+        let ax = csc.to_dense().matmul(&x).unwrap();
+        assert!((&ax - &b).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn residual_norm_flags_contamination() {
+        let mut t = Triplet::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let a = t.to_csc();
+        let b = DMat::from_fn(2, 1, |i, _| i as f64 + 1.0);
+        let mut x = b.clone();
+        assert!(residual_norm(&a, &x, &b) < 1e-15);
+        x[(0, 0)] = f64::NAN;
+        assert!(residual_norm(&a, &x, &b).is_nan());
+    }
+
+    #[test]
+    fn refine_repairs_small_contamination() {
+        let t = random_sparse(20, 3, 5);
+        let csc = t.to_csc();
+        let lu = SparseLu::new(&csc).unwrap();
+        let b = DMat::from_fn(20, 1, |i, _| (i as f64).cos());
+        let mut x = lu.solve_mat(&b).unwrap();
+        // Drift the solution by a relative 1e-6 — one refinement step
+        // must pull the residual back near machine precision.
+        for i in 0..20 {
+            x[(i, 0)] *= 1.0 + 1e-6;
+        }
+        assert!(residual_norm(&csc, &x, &b) > 1e-9);
+        let refined = lu.refine_mat(&csc, &b, &mut x).unwrap();
+        assert!(refined < 1e-12, "refined residual {refined}");
     }
 }

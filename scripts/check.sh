@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tier-1 tests, and a warning-free
+# clippy pass over the whole workspace. CI and pre-merge runs should
+# both call this script so the two can never drift apart.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: all gates passed"
