@@ -242,12 +242,14 @@ impl Netlist {
         let mut b = DMat::zeros(n, p);
         let mut lout = DMat::zeros(q, n);
         for (k, &node) in self.ports.iter().enumerate() {
-            let i = idx(node).expect("ports are never at ground");
+            let i = idx(node)
+                .ok_or(NumError::InvalidArgument("port cannot attach to the ground node"))?;
             b[(i, k)] = 1.0;
             lout[(k, i)] = 1.0;
         }
         for (k, &node) in self.probes.iter().enumerate() {
-            let i = idx(node).expect("probes are never at ground");
+            let i = idx(node)
+                .ok_or(NumError::InvalidArgument("probe cannot attach to the ground node"))?;
             lout[(p + k, i)] = 1.0;
         }
         // Descriptor: E = C, A = −G.

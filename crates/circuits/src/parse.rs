@@ -18,7 +18,11 @@
 //! identifiers (`0`/`gnd` is ground); they are mapped to dense internal
 //! indices in order of first appearance.
 
-use std::collections::HashMap;
+// BTreeMap rather than HashMap throughout: netlist bookkeeping feeds
+// the MNA stamp order, and stamp order decides LU pivot tie-breaks, so
+// every container here must iterate identically run-to-run (numlint
+// DET01 enforces this workspace-wide).
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::Netlist;
@@ -71,7 +75,7 @@ fn parse_value(tok: &str, line: usize) -> Result<f64, ParseNetlistError> {
 /// Maps arbitrary node labels to dense 1-based indices (0 = ground).
 #[derive(Default)]
 struct NodeMap {
-    ids: HashMap<String, usize>,
+    ids: BTreeMap<String, usize>,
 }
 
 impl NodeMap {
@@ -111,8 +115,8 @@ impl NodeMap {
 pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
     let mut nl = Netlist::new();
     // name -> (branch index, inductance) for mutual-coupling cards.
-    let mut inductors: HashMap<String, (usize, f64)> = HashMap::new();
-    let mut seen_names: HashMap<String, usize> = HashMap::new();
+    let mut inductors: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    let mut seen_names: BTreeMap<String, usize> = BTreeMap::new();
     let mut nodes = NodeMap::default();
     // Mutual cards are resolved after all inductors are read.
     let mut pending_mutual: Vec<(usize, String, String, f64)> = Vec::new();
@@ -143,7 +147,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
             }
             continue;
         }
-        let kind = card.chars().next().expect("nonempty card");
+        let Some(kind) = card.chars().next() else {
+            return Err(err(lineno, "empty element card"));
+        };
         if let Some(prev) = seen_names.insert(card.clone(), lineno) {
             return Err(err(lineno, format!("duplicate element `{card}` (first at line {prev})")));
         }
@@ -271,6 +277,31 @@ mod tests {
 
         let e = parse_netlist("C1 1 0 -2p\n").unwrap_err();
         assert!(e.message.contains("positive"));
+    }
+
+    #[test]
+    fn repeated_parses_stamp_identically() {
+        // Stamp order decides LU pivot tie-breaks downstream, so two
+        // parses of the same netlist must produce byte-identical MNA
+        // structure — including the mutual-coupling resolution path,
+        // which drains name-keyed maps. This locks in the BTreeMap
+        // (insertion-order-free) bookkeeping.
+        let text = "\
+L2 3 4 4n\nL1 1 2 1n\nK1 L1 L2 0.5\nR1 2 0 1\nR2 4 0 1k\nC1 1 0 1p\nC2 3 0 2p\nPORT 1\nPORT 3\nPROBE 4\n";
+        let s1 = parse_netlist(text).unwrap().build().unwrap();
+        let s2 = parse_netlist(text).unwrap().build().unwrap();
+        for (m1, m2) in [(&s1.e, &s2.e), (&s1.a, &s2.a)] {
+            let t1: Vec<(usize, usize, f64)> = m1.iter().collect();
+            let t2: Vec<(usize, usize, f64)> = m2.iter().collect();
+            assert_eq!(t1.len(), t2.len());
+            for (a, b) in t1.iter().zip(&t2) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1, b.1);
+                assert_eq!(a.2.to_bits(), b.2.to_bits());
+            }
+        }
+        assert_eq!(s1.b, s2.b);
+        assert_eq!(s1.c, s2.c);
     }
 
     #[test]

@@ -287,6 +287,7 @@ impl ShiftSolveEngine {
             Fresh,
         }
         if faults.inject_panic(index) {
+            // numlint:allow(PANIC01, ERR01) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
             panic!("injected worker panic at shift index {index}");
         }
         // `attempt` counts factorization attempts for the fault hooks:

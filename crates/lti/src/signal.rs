@@ -136,8 +136,9 @@ pub fn latent_mixture_inputs(
         }
     }
     let mix = DMat::from_fn(p, rank, |_, _| rng.next_f64() * 2.0 - 1.0);
-    #[allow(clippy::expect_used)] // (p×rank)·(rank×nt): shapes fixed above
-    let mut u = mix.matmul(&latents).expect("shape by construction");
+    // (p×rank)·(rank×nt): shapes fixed above, so the operator's
+    // dimension check cannot fire.
+    let mut u = &mix * &latents;
     if noise > 0.0 {
         let scale = u.norm_max() * noise;
         for i in 0..p {

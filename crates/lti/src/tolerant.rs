@@ -332,6 +332,7 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
     faults: &dyn SolveFault,
 ) -> (Option<ZMat>, ShiftReport) {
     if faults.inject_panic(index) {
+        // numlint:allow(PANIC01, ERR01) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
         panic!("injected worker panic at shift index {index}");
     }
     let mut last_err: Option<NumError> = None;

@@ -79,6 +79,7 @@ fn inverse_iteration(az: &ZMat, lambda: c64, scale: f64) -> Result<Vec<c64>, Num
         };
         // Deterministic quasi-random start vector.
         let mut v: Vec<c64> = (0..n)
+            // numlint:allow(FLOAT02) value is reduced mod 1000 before the cast, exact in f64
             .map(|i| c64::new(((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1, 0.3))
             .collect();
         normalize(&mut v);

@@ -79,6 +79,7 @@ pub fn eigh(a: &DMat) -> Result<SymEig, NumError> {
             }
         }
         let diag_scale: f64 = (0..n).map(|i| w[(i, i)].abs()).fold(0.0, f64::max).max(1e-300);
+        // numlint:allow(FLOAT02) matrix dimension, far below 2^53, cast exact
         if off.sqrt() <= 1e-15 * diag_scale * n as f64 {
             converged = true;
             break;

@@ -200,6 +200,7 @@ impl<T: Scalar> Lu<T> {
 
     /// Determinant of the factored matrix.
     pub fn det(&self) -> T {
+        // numlint:allow(FLOAT02) permutation sign is exactly ±1
         let mut d = T::from_f64(self.sign as f64);
         for i in 0..self.dim() {
             d *= self.lu[(i, i)];

@@ -460,6 +460,7 @@ impl<T: Scalar> Mul for &Mat<T> {
     /// fallible variant.
     #[allow(clippy::expect_used)] // operator impls cannot return Result
     fn mul(self, rhs: &Mat<T>) -> Mat<T> {
+        // numlint:allow(PANIC01) Mul cannot return Result; panic contract documented above, fallible callers use matmul()
         self.matmul(rhs).expect("matrix product dimension mismatch")
     }
 }

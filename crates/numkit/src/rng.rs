@@ -43,6 +43,7 @@ impl SplitMix64 {
 
     /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
     pub fn next_f64(&mut self) -> f64 {
+        // numlint:allow(FLOAT02) canonical 53-bit uniform construction; both casts exact
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
@@ -58,6 +59,7 @@ impl SplitMix64 {
     /// Panics if `n == 0`.
     pub fn next_usize(&mut self, n: usize) -> usize {
         assert!(n > 0, "next_usize needs a nonempty range");
+        // numlint:allow(FLOAT02) residue is < n, which already fits in usize
         (self.next_u64() % n as u64) as usize
     }
 

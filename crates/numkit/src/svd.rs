@@ -133,6 +133,7 @@ fn svd_tall<T: Scalar>(mut w: Mat<T>, max_sweeps: usize) -> Result<Svd<T>, NumEr
     // other columns reintroduce correlations of order √m·ε, so a fixed
     // 1·ε-level threshold can cycle forever on large rank-deficient
     // matrices.
+    // numlint:allow(FLOAT02) row count, far below 2^53, cast exact
     let tol = (m as f64).sqrt() * f64::EPSILON;
     let mut converged = false;
     for _sweep in 0..max_sweeps {

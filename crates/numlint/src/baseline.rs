@@ -1,0 +1,170 @@
+//! Count-based finding baseline.
+//!
+//! The baseline records, per `(rule, file)`, how many findings existed
+//! when the gate was introduced, so legacy call sites can be burned
+//! down incrementally while *new* findings are hard errors. Counts are
+//! deliberately line-number-free: editing an unrelated part of a file
+//! must not invalidate the baseline, and the count can only stay equal
+//! or shrink — `--update-baseline` refuses nothing, but the checked-in
+//! file makes any growth visible in review.
+//!
+//! Format (one entry per line, `#` comments, sorted):
+//!
+//! ```text
+//! PANIC01 crates/numkit/src/mat.rs 1
+//! ```
+
+use crate::engine::Diagnostic;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Baselined finding counts keyed by `(rule, workspace-relative path)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug)]
+pub struct BaselineParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl Baseline {
+    /// Parses the baseline file format.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineParseError> {
+        let mut counts = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let entry = (|| {
+                let rule = it.next()?.to_string();
+                let path = it.next()?.to_string();
+                let count: usize = it.next()?.parse().ok()?;
+                if it.next().is_some() || count == 0 {
+                    return None;
+                }
+                Some(((rule, path), count))
+            })();
+            match entry {
+                Some((key, count)) => {
+                    counts.insert(key, count);
+                }
+                None => {
+                    return Err(BaselineParseError {
+                        line: idx + 1,
+                        message: format!(
+                            "expected `RULE_ID path count` with count > 0, got `{line}`"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds a baseline covering every current finding.
+    pub fn from_findings(findings: &[(String, Diagnostic)]) -> Baseline {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for (path, d) in findings {
+            *counts.entry((d.rule.to_string(), path.clone())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Serializes in the checked-in format.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "# numlint baseline — legacy finding counts per (rule, file).\n\
+             # Regenerate deliberately with scripts/numlint-baseline.sh;\n\
+             # new findings beyond these counts are hard errors.\n",
+        );
+        for ((rule, path), count) in &self.counts {
+            let _ = writeln!(s, "{rule} {path} {count}");
+        }
+        s
+    }
+
+    /// Splits `findings` into (reported, baselined-away). For each
+    /// `(rule, file)` group, up to the baselined count of findings are
+    /// absorbed (the *first* ones in line order — which subset is
+    /// immaterial, only the count is contractual); the excess is
+    /// reported.
+    pub fn apply(
+        &self,
+        findings: Vec<(String, Diagnostic)>,
+    ) -> (Vec<(String, Diagnostic)>, usize) {
+        let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut reported = Vec::new();
+        let mut absorbed = 0usize;
+        for (path, d) in findings {
+            let key = (d.rule.to_string(), path.clone());
+            let cap = self.counts.get(&key).copied().unwrap_or(0);
+            let u = used.entry(key).or_insert(0);
+            if *u < cap {
+                *u += 1;
+                absorbed += 1;
+            } else {
+                reported.push((path, d));
+            }
+        }
+        (reported, absorbed)
+    }
+
+    /// Number of baselined entries (sum of counts).
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// True if no entries are baselined.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str, line: usize) -> Diagnostic {
+        Diagnostic { line, col: 1, rule, message: "m".into() }
+    }
+
+    #[test]
+    fn roundtrip_and_apply() {
+        let findings = vec![
+            ("a.rs".to_string(), d("PANIC01", 1)),
+            ("a.rs".to_string(), d("PANIC01", 2)),
+            ("b.rs".to_string(), d("FLOAT01", 3)),
+        ];
+        let b = Baseline::from_findings(&findings);
+        assert_eq!(b.total(), 3);
+        let parsed = Baseline::parse(&b.render()).expect("roundtrip");
+        assert_eq!(parsed, b);
+
+        // Same counts: everything absorbed.
+        let (rep, absorbed) = parsed.apply(findings.clone());
+        assert!(rep.is_empty());
+        assert_eq!(absorbed, 3);
+
+        // One extra PANIC01 in a.rs: exactly one reported.
+        let mut grown = findings;
+        grown.insert(2, ("a.rs".to_string(), d("PANIC01", 9)));
+        let (rep, absorbed) = parsed.apply(grown);
+        assert_eq!(absorbed, 3);
+        assert_eq!(rep.len(), 1);
+        assert_eq!(rep[0].1.rule, "PANIC01");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("PANIC01 a.rs zero").is_err());
+        assert!(Baseline::parse("PANIC01 a.rs 0").is_err());
+        assert!(Baseline::parse("PANIC01 a.rs 1 extra").is_err());
+        assert!(Baseline::parse("# comment\n\nPANIC01 a.rs 2\n").is_ok());
+    }
+}

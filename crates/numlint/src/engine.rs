@@ -1,0 +1,385 @@
+//! Rule-engine plumbing: file classification, test-region detection,
+//! `numlint:allow` suppression, and diagnostic assembly.
+
+use crate::lexer::{self, Lexed, TokKind};
+use crate::rules::{self, RULES};
+use std::collections::BTreeSet;
+use std::ops::RangeInclusive;
+
+/// The six crates whose public APIs promise `Result`-based error
+/// propagation (PR 2); PANIC01/ERR01 apply only to their `src/` trees.
+pub const LIBRARY_CRATES: [&str; 6] =
+    ["numkit", "sparsekit", "lti", "circuits", "krylov", "pmtbr"];
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileClass {
+    /// `crates/<name>/src/**` for one of the workspace crates.
+    CrateSrc(String),
+    /// Workspace-root `src/**` (the `pmtbr-suite` integration lib).
+    RootSrc,
+    /// Integration tests (`tests/**` anywhere) — exempt from all rules.
+    TestFile,
+    /// `examples/**` — exempt from all rules.
+    Example,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path (forward slashes).
+    pub fn classify(rel: &str) -> FileClass {
+        let parts: Vec<&str> = rel.split('/').collect();
+        if parts.contains(&"tests") {
+            return FileClass::TestFile;
+        }
+        if parts.contains(&"examples") {
+            return FileClass::Example;
+        }
+        if parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src" {
+            return FileClass::CrateSrc(parts[1].to_string());
+        }
+        if parts.first() == Some(&"src") {
+            return FileClass::RootSrc;
+        }
+        // Anything else (build scripts, stray .rs) gets the root-src
+        // treatment: workspace-wide rules, no crate-scoped ones.
+        FileClass::RootSrc
+    }
+
+    /// True if PANIC01/ERR01 apply (the six library crates' src trees).
+    pub fn is_library_src(&self) -> bool {
+        matches!(self, FileClass::CrateSrc(c) if LIBRARY_CRATES.contains(&c.as_str()))
+    }
+
+    /// True if the file belongs to `crates/bench` (DET02 exempt).
+    pub fn is_bench(&self) -> bool {
+        matches!(self, FileClass::CrateSrc(c) if c == "bench")
+    }
+
+    /// True if FLOAT02 applies (numkit/sparsekit kernel crates).
+    pub fn is_kernel_crate(&self) -> bool {
+        matches!(self, FileClass::CrateSrc(c) if c == "numkit" || c == "sparsekit")
+    }
+
+    /// True if the whole file is test/example code and no rule applies.
+    pub fn is_exempt(&self) -> bool {
+        matches!(self, FileClass::TestFile | FileClass::Example)
+    }
+}
+
+/// One finding, positioned in a file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub line: usize,
+    pub col: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Everything rules need to inspect one file.
+pub struct FileContext {
+    pub class: FileClass,
+    pub lexed: Lexed,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items and
+    /// `#[test]` functions.
+    pub test_regions: Vec<RangeInclusive<usize>>,
+    /// Per-line suppressions: (line, rule id). A suppression on line L
+    /// silences that rule on L; a comment-only line suppresses the next
+    /// code line instead.
+    allows: BTreeSet<(usize, String)>,
+    /// Lines that hold at least one code token (used to resolve
+    /// comment-only allow lines to the following code line).
+    code_lines: BTreeSet<usize>,
+    /// Malformed suppression comments, reported as LINT00.
+    pub bad_allows: Vec<Diagnostic>,
+}
+
+impl FileContext {
+    /// Lexes `src` and precomputes test regions and suppressions.
+    pub fn new(class: FileClass, src: &str) -> FileContext {
+        let lexed = lexer::lex(src);
+        let test_regions = find_test_regions(&lexed);
+        let code_lines: BTreeSet<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+        let mut ctx = FileContext {
+            class,
+            lexed,
+            test_regions,
+            allows: BTreeSet::new(),
+            code_lines,
+            bad_allows: Vec::new(),
+        };
+        ctx.collect_allows();
+        ctx
+    }
+
+    /// True if `line` falls inside test code.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&line))
+    }
+
+    /// True if `rule` is suppressed on `line`.
+    pub fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows.contains(&(line, rule.to_string()))
+    }
+
+    /// Parses `numlint:allow(RULE[, RULE…]) reason` comments. The allow
+    /// applies to the comment's own line if it holds code, otherwise to
+    /// the next line that does.
+    fn collect_allows(&mut self) {
+        let mut parsed: Vec<(usize, Vec<String>)> = Vec::new();
+        for c in &self.lexed.comments {
+            // Doc comments (`///`, `//!`, `/** */`) are prose about the
+            // tool, not suppressions; only implementation comments that
+            // actually open a rule list are suppression attempts.
+            if matches!(c.text.as_bytes().first(), Some(b'/' | b'!' | b'*')) {
+                continue;
+            }
+            let Some(at) = c.text.find("numlint:allow(") else { continue };
+            let rest = &c.text[at + "numlint:allow".len()..];
+            let open = rest.trim_start();
+            let valid = (|| {
+                let body = open.strip_prefix('(')?;
+                let close = body.find(')')?;
+                let ids: Vec<String> = body[..close]
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if ids.is_empty() || !ids.iter().all(|id| rules::is_known_rule(id)) {
+                    return None;
+                }
+                // A justification after the closing paren is mandatory:
+                // bare allows rot into unreviewable noise.
+                let reason = body[close + 1..].trim();
+                if reason.is_empty() {
+                    return None;
+                }
+                Some(ids)
+            })();
+            match valid {
+                Some(ids) => parsed.push((c.line, ids)),
+                None => self.bad_allows.push(Diagnostic {
+                    line: c.line,
+                    col: 1,
+                    rule: "LINT00",
+                    message: format!(
+                        "malformed suppression `{}`: expected `numlint:allow(RULE_ID[, …]) reason` \
+                         with known rule ids and a non-empty reason",
+                        c.text.trim()
+                    ),
+                }),
+            }
+        }
+        for (line, ids) in parsed {
+            let target = if self.code_lines.contains(&line) {
+                line
+            } else {
+                // Comment-only line: attach to the next code line.
+                match self.code_lines.range(line + 1..).next() {
+                    Some(&l) => l,
+                    None => continue,
+                }
+            };
+            for id in ids {
+                self.allows.insert((target, id));
+            }
+        }
+    }
+
+    /// Runs every applicable rule and returns sorted diagnostics with
+    /// suppressions and test regions already applied.
+    pub fn run(&self) -> Vec<Diagnostic> {
+        let mut out: Vec<Diagnostic> = Vec::new();
+        if !self.class.is_exempt() {
+            for rule in RULES {
+                if (rule.applies)(&self.class) {
+                    (rule.check)(self, &mut out);
+                }
+            }
+            out.retain(|d| !self.in_test_code(d.line) && !self.is_allowed(d.line, d.rule));
+        }
+        // Malformed allows are reported even in exempt files — a broken
+        // suppression is a tooling bug wherever it lives.
+        out.extend(self.bad_allows.iter().cloned());
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Finds line ranges of `#[cfg(test)]` items and `#[test]` functions by
+/// scanning the token stream and matching braces.
+///
+/// Heuristic, not a parser: after the attribute we take the next `{` at
+/// or below the current nesting level as the item body, unless a `;`
+/// intervenes at item level first (e.g. `#[cfg(test)] use …;`), in
+/// which case the attribute guards a braceless item and covers only the
+/// lines up to that `;`.
+fn find_test_regions(lexed: &Lexed) -> Vec<RangeInclusive<usize>> {
+    let toks = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_test_attribute(toks, i) {
+            let attr_line = toks[i].line;
+            // Skip past the attribute's closing `]`.
+            let mut j = i;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            // Find the item body `{`, stopping at an item-level `;`.
+            let mut k = j + 1;
+            let mut brace: Option<usize> = None;
+            let mut guard = 0i32;
+            while k < toks.len() {
+                match &toks[k].kind {
+                    TokKind::Punct("{") if guard == 0 => {
+                        brace = Some(k);
+                        break;
+                    }
+                    TokKind::Punct(";") if guard == 0 => break,
+                    TokKind::Punct("(") | TokKind::Punct("[") => guard += 1,
+                    TokKind::Punct(")") | TokKind::Punct("]") => guard -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(open) = brace {
+                let mut level = 0i32;
+                let mut end = open;
+                for (m, t) in toks.iter().enumerate().skip(open) {
+                    if t.is_punct("{") {
+                        level += 1;
+                    } else if t.is_punct("}") {
+                        level -= 1;
+                        if level == 0 {
+                            end = m;
+                            break;
+                        }
+                    }
+                }
+                regions.push(attr_line..=toks[end].line);
+                i = end + 1;
+                continue;
+            } else if k < toks.len() {
+                regions.push(attr_line..=toks[k].line);
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// True if tokens at `i` start `#[test]`, `#[cfg(test)]`, or
+/// `#[cfg(all(test, …))]`-style attributes mentioning `test`.
+fn is_test_attribute(toks: &[lexer::Token], i: usize) -> bool {
+    if !toks[i].is_punct("#") || !toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+        return false;
+    }
+    let Some(head) = toks.get(i + 2) else { return false };
+    if head.is_ident("test") {
+        return true;
+    }
+    if head.is_ident("cfg") {
+        // Scan the attribute body for a bare `test` ident.
+        let mut depth = 0i32;
+        for t in &toks[i + 1..] {
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("test") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileContext {
+        FileContext::new(FileClass::CrateSrc("numkit".into()), src)
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            FileClass::classify("crates/numkit/src/svd.rs"),
+            FileClass::CrateSrc("numkit".into())
+        );
+        assert_eq!(FileClass::classify("crates/lti/tests/adversarial.rs"), FileClass::TestFile);
+        assert_eq!(
+            FileClass::classify("crates/numlint/tests/fixtures/det01.rs"),
+            FileClass::TestFile
+        );
+        assert_eq!(FileClass::classify("src/lib.rs"), FileClass::RootSrc);
+        assert_eq!(FileClass::classify("examples/reduce.rs"), FileClass::Example);
+        assert!(FileClass::classify("crates/pmtbr/src/par.rs").is_library_src());
+        assert!(!FileClass::classify("crates/bench/src/lib.rs").is_library_src());
+        assert!(FileClass::classify("crates/bench/src/lib.rs").is_bench());
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let c = ctx(src);
+        assert!(!c.in_test_code(1));
+        assert!(c.in_test_code(2));
+        assert!(c.in_test_code(4));
+        assert!(!c.in_test_code(6));
+    }
+
+    #[test]
+    fn test_regions_cover_test_fn_and_stop_at_semicolon_items() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() {}\n#[test]\nfn t() {\n    let x = 1;\n}\nfn live2() {}\n";
+        let c = ctx(src);
+        // `use` item: region is just the attribute + use lines.
+        assert!(c.in_test_code(2));
+        assert!(!c.in_test_code(3));
+        assert!(c.in_test_code(6));
+        assert!(!c.in_test_code(8));
+    }
+
+    #[test]
+    fn allow_same_line_and_next_line() {
+        let src = "let a = x.f(); // numlint:allow(PANIC01) deliberate\n\
+                   // numlint:allow(FLOAT01, FLOAT02) exact sentinel check\n\
+                   let b = y;\n";
+        let c = ctx(src);
+        assert!(c.is_allowed(1, "PANIC01"));
+        assert!(!c.is_allowed(1, "FLOAT01"));
+        assert!(c.is_allowed(3, "FLOAT01"));
+        assert!(c.is_allowed(3, "FLOAT02"));
+        assert!(c.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn malformed_allows_reported() {
+        let bad = [
+            "let a = 1; // numlint:allow(PANIC01)",       // missing reason
+            "let a = 1; // numlint:allow(NOSUCH) reason", // unknown rule
+            "let a = 1; // numlint:allow() reason",       // no ids
+        ];
+        for src in bad {
+            let c = ctx(src);
+            assert_eq!(c.bad_allows.len(), 1, "src: {src}");
+            assert_eq!(c.bad_allows[0].rule, "LINT00");
+        }
+    }
+}

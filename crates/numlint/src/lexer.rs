@@ -1,0 +1,557 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The tokenizer understands everything that can *hide* rule-relevant
+//! text from a naive substring scan: line and (nested) block comments,
+//! string literals with escapes, raw strings with arbitrary `#` fences,
+//! byte strings, char/byte-char literals, lifetimes, and numeric
+//! literals with suffixes. It deliberately does **not** build a syntax
+//! tree — rules work on the flat token stream plus position data, which
+//! keeps the analyzer small and its failure modes obvious.
+//!
+//! Comments are not discarded: they are collected separately so the
+//! engine can parse `numlint:allow(...)` suppressions out of them.
+
+/// Kinds of tokens the rules can see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `let`, `HashMap`, `unwrap`, ...).
+    Ident(String),
+    /// Lifetime such as `'a` (rules never match these, but the lexer
+    /// must distinguish them from char literals).
+    Lifetime(String),
+    /// Integer literal, raw text including any suffix (`42`, `0xff_u32`).
+    Int(String),
+    /// Float literal, raw text including any suffix (`1.5`, `1e-9`, `2f64`).
+    Float(String),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`). The
+    /// payload is the *raw source text* of the literal.
+    Str(String),
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char(String),
+    /// Punctuation / operator. Multi-char operators that matter to the
+    /// rules (`==`, `!=`, `::`, `->`, `=>`, `..`) are fused into one
+    /// token; everything else is a single character.
+    Punct(&'static str),
+}
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokKind::Punct(q) if *q == p)
+    }
+
+    /// True if this token is the identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == id)
+    }
+}
+
+/// A comment with the line it starts on. Block comments spanning
+/// several lines are recorded once, at their opening line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: usize,
+    /// Comment text without the `//` / `/*` fences.
+    pub text: String,
+    /// True for `//…` comments (suppressions must be line comments or
+    /// single-line block comments; this flag lets the engine decide).
+    pub is_line: bool,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. The lexer never fails: malformed input degrades to
+/// single-character punctuation tokens rather than aborting the lint
+/// run, so one broken file cannot hide findings in the rest.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                let start = c.pos;
+                while !c.eof() && c.peek() != Some(b'\n') {
+                    c.bump();
+                }
+                let text = String::from_utf8_lossy(&c.src[start + 2..c.pos]).into_owned();
+                out.comments.push(Comment { line, text, is_line: true });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 && !c.eof() {
+                    if c.peek() == Some(b'/') && c.peek_at(1) == Some(b'*') {
+                        depth += 1;
+                        c.bump();
+                        c.bump();
+                    } else if c.peek() == Some(b'*') && c.peek_at(1) == Some(b'/') {
+                        depth -= 1;
+                        c.bump();
+                        c.bump();
+                    } else {
+                        c.bump();
+                    }
+                }
+                let end = c.pos.saturating_sub(2).max(start + 2);
+                let text = String::from_utf8_lossy(&c.src[start + 2..end]).into_owned();
+                out.comments.push(Comment { line, text, is_line: false });
+            }
+            b'"' => {
+                let lit = lex_string(&mut c);
+                out.tokens.push(Token { kind: TokKind::Str(lit), line, col });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(&c) => {
+                let kind = lex_prefixed_literal(&mut c);
+                out.tokens.push(Token { kind, line, col });
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut c);
+                out.tokens.push(Token { kind, line, col });
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_cont) {
+                    c.bump();
+                }
+                let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                out.tokens.push(Token { kind: TokKind::Ident(text), line, col });
+            }
+            _ if b.is_ascii_digit() => {
+                let kind = lex_number(&mut c);
+                out.tokens.push(Token { kind, line, col });
+            }
+            _ => {
+                let kind = lex_punct(&mut c);
+                out.tokens.push(Token { kind, line, col });
+            }
+        }
+    }
+    out
+}
+
+/// True if the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"`, `br#`.
+fn starts_raw_or_byte_literal(c: &Cursor) -> bool {
+    match (c.peek(), c.peek_at(1)) {
+        (Some(b'r'), Some(b'"' | b'#')) => true,
+        (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(c.peek_at(2), Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+/// Lexes literals introduced by `r`/`b`/`br` prefixes. The cursor is on
+/// the prefix; `starts_raw_or_byte_literal` already validated the shape.
+fn lex_prefixed_literal(c: &mut Cursor) -> TokKind {
+    let start = c.pos;
+    let mut raw = false;
+    if c.peek() == Some(b'b') {
+        c.bump();
+        if c.peek() == Some(b'r') {
+            raw = true;
+            c.bump();
+        }
+    } else if c.peek() == Some(b'r') {
+        raw = true;
+        c.bump();
+    }
+    if raw {
+        // r####"…"#### — count the fence, then scan for `"` + fence.
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            hashes += 1;
+            c.bump();
+        }
+        c.bump(); // opening quote
+        loop {
+            match c.bump() {
+                None => break,
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && c.peek() == Some(b'#') {
+                        seen += 1;
+                        c.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        TokKind::Str(String::from_utf8_lossy(&c.src[start..c.pos]).into_owned())
+    } else if c.peek() == Some(b'\'') {
+        // b'x' byte char.
+        c.bump();
+        consume_char_body(c);
+        TokKind::Char(String::from_utf8_lossy(&c.src[start..c.pos]).into_owned())
+    } else {
+        // b"…" byte string.
+        let lit = lex_string(c);
+        TokKind::Str(format!("b{lit}"))
+    }
+}
+
+/// Lexes a `"…"` string with escapes; cursor on the opening quote.
+/// Returns the raw source text including quotes.
+fn lex_string(c: &mut Cursor) -> String {
+    let start = c.pos;
+    c.bump();
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&c.src[start..c.pos]).into_owned()
+}
+
+/// Consumes the body of a char literal after the opening `'`, through
+/// the closing `'`.
+fn consume_char_body(c: &mut Cursor) {
+    match c.bump() {
+        Some(b'\\') => {
+            c.bump();
+            // \u{…} escapes contain several chars before the close quote.
+            while c.peek().is_some() && c.peek() != Some(b'\'') {
+                c.bump();
+            }
+            c.bump();
+        }
+        Some(_) => {
+            c.bump(); // closing quote
+        }
+        None => {}
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` (char literal); cursor is
+/// on the `'`.
+fn lex_quote(c: &mut Cursor) -> TokKind {
+    let start = c.pos;
+    // Lifetime iff `'` + ident-start and the char after the identifier
+    // is NOT a closing `'`. `'_'` and `'a'` are chars; `'a` and `'static`
+    // are lifetimes.
+    let next = c.peek_at(1);
+    if next.is_some_and(is_ident_start) {
+        let mut off = 2;
+        while c.peek_at(off).is_some_and(is_ident_cont) {
+            off += 1;
+        }
+        if c.peek_at(off) != Some(b'\'') {
+            c.bump(); // '
+            for _ in 1..off {
+                c.bump();
+            }
+            let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+            return TokKind::Lifetime(text);
+        }
+    }
+    c.bump();
+    consume_char_body(c);
+    TokKind::Char(String::from_utf8_lossy(&c.src[start..c.pos]).into_owned())
+}
+
+/// Lexes a numeric literal; cursor on the first digit.
+fn lex_number(c: &mut Cursor) -> TokKind {
+    let start = c.pos;
+    let mut is_float = false;
+    if c.peek() == Some(b'0') && matches!(c.peek_at(1), Some(b'x' | b'o' | b'b')) {
+        c.bump();
+        c.bump();
+        while c.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            c.bump();
+        }
+        return TokKind::Int(String::from_utf8_lossy(&c.src[start..c.pos]).into_owned());
+    }
+    while c.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        c.bump();
+    }
+    // Fractional part: `1.5` yes; `1..n` no (range); `1.method()` no.
+    if c.peek() == Some(b'.') {
+        match c.peek_at(1) {
+            Some(d) if d.is_ascii_digit() => {
+                is_float = true;
+                c.bump();
+                while c.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                    c.bump();
+                }
+            }
+            Some(b'.') => {}
+            Some(d) if is_ident_start(d) => {}
+            _ => {
+                // Trailing-dot float like `1.`.
+                is_float = true;
+                c.bump();
+            }
+        }
+    }
+    // Exponent.
+    if matches!(c.peek(), Some(b'e' | b'E')) {
+        let sign = matches!(c.peek_at(1), Some(b'+' | b'-'));
+        let digit_off = if sign { 2 } else { 1 };
+        if c.peek_at(digit_off).is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            c.bump();
+            if sign {
+                c.bump();
+            }
+            while c.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                c.bump();
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, ...). An `f32`/`f64` suffix forces float.
+    if c.peek().is_some_and(is_ident_start) {
+        let sfx_start = c.pos;
+        while c.peek().is_some_and(is_ident_cont) {
+            c.bump();
+        }
+        let sfx = &c.src[sfx_start..c.pos];
+        if sfx == b"f32" || sfx == b"f64" {
+            is_float = true;
+        }
+    }
+    let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+    if is_float {
+        TokKind::Float(text)
+    } else {
+        TokKind::Int(text)
+    }
+}
+
+/// Lexes punctuation, fusing the multi-char operators rules care about.
+fn lex_punct(c: &mut Cursor) -> TokKind {
+    let two = |c: &Cursor| {
+        let a = c.peek()?;
+        let b = c.peek_at(1)?;
+        Some([a, b])
+    };
+    if let Some(pair) = two(c) {
+        let fused: Option<&'static str> = match &pair {
+            b"==" => Some("=="),
+            b"!=" => Some("!="),
+            b"::" => Some("::"),
+            b"->" => Some("->"),
+            b"=>" => Some("=>"),
+            b".." => Some(".."),
+            b"<=" => Some("<="),
+            b">=" => Some(">="),
+            b"&&" => Some("&&"),
+            b"||" => Some("||"),
+            _ => None,
+        };
+        if let Some(op) = fused {
+            c.bump();
+            c.bump();
+            return TokKind::Punct(op);
+        }
+    }
+    let b = c.bump().unwrap_or(b'?');
+    TokKind::Punct(punct_str(b))
+}
+
+/// Maps a single punctuation byte to a static string (avoids per-token
+/// allocation for the most common token kind).
+fn punct_str(b: u8) -> &'static str {
+    match b {
+        b'(' => "(",
+        b')' => ")",
+        b'{' => "{",
+        b'}' => "}",
+        b'[' => "[",
+        b']' => "]",
+        b'<' => "<",
+        b'>' => ">",
+        b',' => ",",
+        b';' => ";",
+        b':' => ":",
+        b'.' => ".",
+        b'=' => "=",
+        b'!' => "!",
+        b'&' => "&",
+        b'|' => "|",
+        b'+' => "+",
+        b'-' => "-",
+        b'*' => "*",
+        b'/' => "/",
+        b'%' => "%",
+        b'#' => "#",
+        b'?' => "?",
+        b'@' => "@",
+        b'$' => "$",
+        b'^' => "^",
+        b'~' => "~",
+        b'\\' => "\\",
+        _ => "\u{fffd}",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_tokens_but_are_collected() {
+        let l = lex("let x = 1; // unwrap() here\n/* panic!() */ let y = 2;");
+        assert!(idents("// unwrap()").is_empty());
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("unwrap"));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner unwrap() */ still comment */ let z = 3;");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("z")));
+    }
+
+    #[test]
+    fn strings_and_raw_strings_hide_tokens() {
+        let l = lex(r##"let s = "unwrap()"; let r = r#"panic!(" quote")"#; let after = 1;"##);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let u = '\\u{41}'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> =
+            l.tokens.iter().filter(|t| matches!(t.kind, TokKind::Char(_))).collect();
+        assert_eq!(chars.len(), 3);
+        assert!(l.tokens.iter().any(|t| t.is_ident("u")));
+    }
+
+    #[test]
+    fn numbers_float_vs_int() {
+        let l = lex("let a = 1; let b = 1.5; let c = 1e-9; let d = 2f64; let e = 0xff; let r = 1..9; let g = 3.0e2;");
+        let floats: Vec<String> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Float(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e-9", "2f64", "3.0e2"]);
+        let ints: Vec<String> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Int(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(ints.contains(&"0xff".to_string()));
+        assert!(ints.contains(&"1".to_string()) && ints.contains(&"9".to_string()));
+    }
+
+    #[test]
+    fn fused_operators_and_positions() {
+        let l = lex("a == b\n  c != d");
+        let eq = l.tokens.iter().find(|t| t.is_punct("==")).expect("==");
+        assert_eq!((eq.line, eq.col), (1, 3));
+        let ne = l.tokens.iter().find(|t| t.is_punct("!=")).expect("!=");
+        assert_eq!((ne.line, ne.col), (2, 5));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let b = b\"unwrap()\"; let c = b'x'; let r = br##\"panic!()\"##; let tail = 7;";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+    }
+}

@@ -1,0 +1,37 @@
+//! `numlint` — the PMTBR workspace's in-tree static analyzer.
+//!
+//! Clippy enforces general Rust hygiene; `numlint` enforces the
+//! *project-specific* numerical contracts that no generic linter can
+//! know about:
+//!
+//! - **Determinism** (DET01/DET02): sweeps must be bit-identical at any
+//!   thread count, so nothing order-sensitive may iterate a `HashMap`
+//!   and library crates may not read wall clocks.
+//! - **Panic safety** (PANIC01/ERR01): the library crates promise
+//!   `NumError` propagation; panicking shortcuts are hard errors, with
+//!   a count-based baseline for incremental burndown of legacy sites.
+//! - **Float discipline** (FLOAT01/FLOAT02): exact float comparisons
+//!   and bare lossy casts in the numerical kernels must be either
+//!   eliminated or justified in-line.
+//!
+//! The analyzer is zero-dependency and std-only by design — it must
+//! build in the same offline environment as the crates it audits. See
+//! `DESIGN.md` ("Static analysis architecture") for the rule table,
+//! suppression syntax, and baseline workflow.
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::Baseline;
+pub use engine::{Diagnostic, FileClass, FileContext};
+
+/// Lints one file's source text under the given classification and
+/// returns sorted diagnostics (suppressions and test-region exemptions
+/// already applied). This is the single entry point shared by the CLI
+/// driver and the golden-fixture tests.
+pub fn lint_source(class: FileClass, src: &str) -> Vec<Diagnostic> {
+    FileContext::new(class, src).run()
+}

@@ -1,0 +1,201 @@
+//! CLI driver: `cargo run -p numlint -- check [flags]`.
+//!
+//! Exit codes: `0` clean (all findings baselined or none), `2` at least
+//! one non-baselined finding, `1` usage or I/O error. `scripts/check.sh`
+//! treats any non-zero status as a gate failure.
+
+use numlint::baseline::Baseline;
+use numlint::engine::{Diagnostic, FileClass, FileContext};
+use numlint::rules::RULES;
+use numlint::walk;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+numlint — in-tree static analysis for the PMTBR workspace
+
+USAGE:
+    numlint check [--baseline PATH] [--update-baseline] [--json] [--root DIR]
+    numlint rules
+
+FLAGS (check):
+    --baseline PATH      Absorb legacy findings recorded in PATH
+    --update-baseline    Rewrite PATH with current finding counts and exit 0
+    --json               One JSON diagnostic per line (machine-readable)
+    --root DIR           Workspace root (default: nearest [workspace] above cwd)
+";
+
+struct Args {
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    json: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args =
+        Args { baseline: None, update_baseline: false, json: false, root: None };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "--json" => args.json = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.update_baseline && args.baseline.is_none() {
+        return Err("--update-baseline requires --baseline PATH".into());
+    }
+    Ok(args)
+}
+
+/// Minimal JSON string escaping (zero-dependency by design).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn emit(path: &str, d: &Diagnostic, src_line: Option<&str>, json: bool) {
+    if json {
+        println!(
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(path),
+            d.line,
+            d.col,
+            json_escape(d.rule),
+            json_escape(&d.message)
+        );
+    } else {
+        println!("{path}:{}:{} {} {}", d.line, d.col, d.rule, d.message);
+        if let Some(text) = src_line {
+            println!("    | {}", text.trim_end());
+        }
+    }
+}
+
+fn run_check(args: &Args) -> Result<ExitCode, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => walk::find_workspace_root(&cwd),
+    };
+    let files = walk::workspace_rs_files(&root)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    // (workspace-relative path, diagnostic) pairs plus source lines for
+    // context printing.
+    let mut findings: Vec<(String, Diagnostic)> = Vec::new();
+    let mut sources: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+    for rel in &files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let full = root.join(rel);
+        let src = fs::read_to_string(&full)
+            .map_err(|e| format!("reading {}: {e}", full.display()))?;
+        let ctx = FileContext::new(FileClass::classify(&rel_str), &src);
+        let diags = ctx.run();
+        if !diags.is_empty() {
+            sources.insert(rel_str.clone(), src.lines().map(str::to_string).collect());
+        }
+        findings.extend(diags.into_iter().map(|d| (rel_str.clone(), d)));
+    }
+
+    if args.update_baseline {
+        let path = args.baseline.as_ref().ok_or("--update-baseline requires --baseline")?;
+        let b = Baseline::from_findings(&findings);
+        fs::write(path, b.render()).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "numlint: baseline updated — {} finding(s) across {} file(s) recorded in {}",
+            b.total(),
+            findings.iter().map(|(p, _)| p).collect::<std::collections::BTreeSet<_>>().len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match &args.baseline {
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline {}: {e}", path.display()))?;
+            Baseline::parse(&text)
+                .map_err(|e| format!("{}:{}: {}", path.display(), e.line, e.message))?
+        }
+        None => Baseline::default(),
+    };
+    let (reported, absorbed) = baseline.apply(findings);
+
+    for (path, d) in &reported {
+        let line = sources
+            .get(path)
+            .and_then(|ls| ls.get(d.line.saturating_sub(1)))
+            .map(String::as_str);
+        emit(path, d, line, args.json);
+    }
+    if !args.json {
+        if reported.is_empty() {
+            eprintln!(
+                "numlint: clean — {} file(s) checked, {} legacy finding(s) baselined",
+                files.len(),
+                absorbed
+            );
+        } else {
+            eprintln!(
+                "numlint: {} finding(s) ({} baselined) — fix, `// numlint:allow(RULE) reason`, \
+                 or regenerate the baseline via scripts/numlint-baseline.sh",
+                reported.len(),
+                absorbed
+            );
+        }
+    }
+    Ok(if reported.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("check") => match parse_args(&argv[1..]) {
+            Ok(args) => match run_check(&args) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("numlint: error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("numlint: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("rules") => {
+            for r in RULES {
+                println!("{:8} {}", r.id, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

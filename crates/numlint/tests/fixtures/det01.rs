@@ -1,0 +1,55 @@
+// DET01 fixture: HashMap/HashSet iteration is nondeterministic.
+// Linted as crates/numkit/src (all rules in scope).
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn sweep_order(m: &HashMap<String, usize>) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (_k, v) in m {
+        out.push(*v);
+    }
+    let _ = m.keys();
+    let _ = m.values();
+    out
+}
+
+fn inferred_binding() {
+    let mut seen = HashSet::new();
+    seen.insert(3usize);
+    for s in &seen {
+        let _ = s;
+    }
+    let _ = seen.iter();
+    let mut dying = HashSet::new();
+    dying.insert(1usize);
+    dying.drain();
+}
+
+fn ordered_is_fine() {
+    let b: BTreeMap<usize, usize> = BTreeMap::new();
+    for (_k, _v) in &b {}
+    let _ = b.keys();
+    let v = vec![1, 2, 3];
+    let _ = v.iter();
+    for x in &v {
+        let _ = x;
+    }
+}
+
+fn sorted_drain_is_fine(m: &HashMap<String, usize>) -> Vec<(String, usize)> {
+    // Collect-then-sort is the sanctioned escape hatch; the collect
+    // itself must be suppressed with a reason.
+    let mut pairs: Vec<(String, usize)> =
+        m.iter().map(|(k, v)| (k.clone(), *v)).collect(); // numlint:allow(DET01) order fixed by the sort below
+    pairs.sort();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    fn in_tests_is_exempt(m: &HashMap<u32, u32>) {
+        for (_k, _v) in m {}
+        let _ = m.keys();
+    }
+}

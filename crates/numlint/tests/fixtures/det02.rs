@@ -1,0 +1,25 @@
+// DET02 fixture: wall-clock reads outside crates/bench.
+// Linted as crates/numkit/src (all rules in scope).
+
+fn clock_reads() {
+    let t0 = std::time::Instant::now();
+    let _ = t0.elapsed();
+    let now = std::time::SystemTime::now();
+    let _ = now.duration_since(std::time::UNIX_EPOCH);
+}
+
+fn duration_values_are_fine() {
+    let d = std::time::Duration::from_millis(3);
+    std::thread::sleep(d);
+}
+
+fn allowed_with_reason() {
+    let _t = std::time::Instant::now(); // numlint:allow(DET02) cold-start probe, never feeds results
+}
+
+#[cfg(test)]
+mod tests {
+    fn timing_in_tests_is_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,53 @@
+// ERR01 fixture: panic! inside Result-returning pub fns.
+// Linted as crates/numkit/src (all rules in scope).
+// Note: every panic! in non-test code also fires PANIC01 — the expected
+// file lists both; suppressing one rule must not hide the other.
+
+pub fn result_fn_with_panic(bad: bool) -> Result<u32, String> {
+    if bad {
+        panic!("should have been Err");
+    }
+    Ok(1)
+}
+
+pub fn result_fn_clean(bad: bool) -> Result<u32, String> {
+    if bad {
+        return Err("propagated".to_string());
+    }
+    Ok(2)
+}
+
+fn private_result_fn(bad: bool) -> Result<u32, String> {
+    // PANIC01 fires, ERR01 does not (not pub).
+    if bad {
+        panic!("private");
+    }
+    Ok(3)
+}
+
+pub fn unit_fn_with_panic(bad: bool) {
+    // PANIC01 fires, ERR01 does not (no Result in the signature).
+    if bad {
+        panic!("unit");
+    }
+}
+
+pub fn closure_bound_in_params(f: impl Fn() -> Result<u32, String>) -> u32 {
+    // The `-> Result` belongs to the closure bound inside the parameter
+    // parens, not to this fn: ERR01 must not fire (PANIC01 still does).
+    match f() {
+        Ok(v) => v,
+        Err(_) => panic!("closure bound"),
+    }
+}
+
+pub fn closure_bound_in_where<F>(f: F) -> u32
+where
+    F: Fn() -> Result<u32, String>,
+{
+    // Same for `-> Result` after `where`: ERR01 must not fire.
+    match f() {
+        Ok(v) => v,
+        Err(_) => panic!("where bound"),
+    }
+}

@@ -1,0 +1,44 @@
+// FLOAT01 fixture: exact float comparisons.
+// Linted as crates/numkit/src (all rules in scope).
+
+fn literal_comparisons(x: f64) -> bool {
+    let hit = x == 1.0;
+    let miss = 2.5e-3 != x;
+    hit || miss
+}
+
+fn known_float_idents(x: f64, y: f64) -> bool {
+    x != y
+}
+
+fn inferred_float_binding() -> bool {
+    let scale = 1.5;
+    let other = 3.0;
+    scale == other
+}
+
+fn zero_guards_are_fine(pivot: f64) -> bool {
+    // Exact ±0.0 tests are the idiomatic structural-zero / NaN guard.
+    pivot == 0.0 || pivot != -0.0 || 0.0 == pivot
+}
+
+fn integers_are_fine(n: usize, m: usize) -> bool {
+    n == m && n != 3
+}
+
+fn scoping_prevents_poisoning() -> bool {
+    // `s` is a float only inside `inferred_float_binding`-style scopes;
+    // here it is an integer index and must not fire.
+    let s = 7usize;
+    let piv_row = 9usize;
+    s == piv_row
+}
+
+fn sibling_scope_declares_float() {
+    let s = 1.0;
+    let _ = s;
+}
+
+fn allowed_with_reason(w: f64) -> bool {
+    w == 1.0 // numlint:allow(FLOAT01) sentinel: exactly-1.0 means "never renormalized"
+}

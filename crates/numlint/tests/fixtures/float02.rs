@@ -1,0 +1,26 @@
+// FLOAT02 fixture: bare lossy casts in kernel crates.
+// Linted as crates/numkit/src (FLOAT02 in scope).
+
+fn lossy_casts(x: f64, n: usize) -> (usize, f64) {
+    let i = x as usize;
+    let v = n as f64;
+    (i, v)
+}
+
+fn exact_casts_are_fine(n: u32, i: usize) -> (u64, u32) {
+    // Only `as usize` / `as f64` are in the rule's scope.
+    let a = n as u64;
+    let b = i as u32;
+    (a, b)
+}
+
+fn allowed_with_reason(n: usize) -> f64 {
+    n as f64 // numlint:allow(FLOAT02) matrix dims are << 2^53, cast is exact
+}
+
+#[cfg(test)]
+mod tests {
+    fn casts_in_tests_are_exempt() {
+        let _ = 3.7 as usize;
+    }
+}

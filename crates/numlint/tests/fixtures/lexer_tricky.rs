@@ -1,0 +1,36 @@
+// Lexer fixture: rule-relevant text hidden in strings and comments
+// must NOT fire; real code after the decoys still must.
+// Linted as crates/numkit/src (all rules in scope).
+
+// decoy in a line comment: x.unwrap() panic!("no") Instant::now()
+
+/* decoy in a block comment: m.keys() == 1.0 as usize
+   /* nested block: SystemTime::now() .expect("hidden") */
+   still inside the outer comment: todo!()
+*/
+
+/// Doc-comment decoy: call `.unwrap()` and compare `x == 1.5` freely.
+pub fn doc_decoy() {}
+
+fn string_decoys() -> Vec<String> {
+    vec![
+        "x.unwrap() and panic!(\"inside string\")".to_string(),
+        "Instant::now() == 1.0".to_string(),
+        r#"raw string: m.iter() .expect("raw") as usize"#.to_string(),
+        r##"fenced raw: unimplemented!() "# still inside "## .to_string(),
+        String::from_utf8_lossy(b"byte string: todo!() as f64").into_owned(),
+    ]
+}
+
+fn char_and_lifetime_soup<'a>(s: &'a str) -> (&'a str, char, u8) {
+    // `'a` lifetimes must not be mistaken for unterminated chars (which
+    // would swallow the rest of the file, hiding the finding below).
+    let c = '\'';
+    let b = b'"';
+    let _ = ('x', '\u{41}', '\n');
+    (s, c, b)
+}
+
+fn the_real_finding_after_all_decoys(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

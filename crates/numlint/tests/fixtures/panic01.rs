@@ -1,0 +1,40 @@
+// PANIC01 fixture: panicking shortcuts in library code.
+// Linted as crates/numkit/src (all rules in scope).
+
+fn shortcuts(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("always ok");
+    if a + b > 100 {
+        panic!("overflowed the budget");
+    }
+    a + b
+}
+
+fn stubs() {
+    todo!()
+}
+
+fn more_stubs() {
+    unimplemented!()
+}
+
+fn non_panicking_cousins(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    // unwrap_or / expect_err are different identifiers and must not fire.
+    let a = x.unwrap_or(0);
+    let b = r.map_err(|_| ()).unwrap_or_default();
+    a + b
+}
+
+fn allowed_with_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // numlint:allow(PANIC01) invariant: caller checked is_some
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        let x: Option<u32> = Some(1);
+        let _ = x.unwrap();
+        panic!("test panics are fine");
+    }
+}

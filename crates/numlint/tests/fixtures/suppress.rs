@@ -1,0 +1,35 @@
+// Suppression fixture: numlint:allow placement, multi-rule lists, and
+// malformed allows (LINT00).
+// Linted as crates/numkit/src (all rules in scope).
+
+fn same_line_allow(x: Option<u32>) -> u32 {
+    x.unwrap() // numlint:allow(PANIC01) caller guarantees Some
+}
+
+fn previous_line_allow(x: Option<u32>) -> u32 {
+    // numlint:allow(PANIC01) caller guarantees Some
+    x.unwrap()
+}
+
+fn multi_rule_allow(n: usize, w: f64) -> bool {
+    // numlint:allow(FLOAT01, FLOAT02) sentinel check on an exact small integer value
+    n as f64 == w
+}
+
+fn allow_covers_only_its_line(x: Option<u32>, y: Option<u32>) -> u32 {
+    let a = x.unwrap(); // numlint:allow(PANIC01) first call is guarded
+    let b = y.unwrap();
+    a + b
+}
+
+fn wrong_rule_does_not_suppress(x: Option<u32>) -> u32 {
+    x.unwrap() // numlint:allow(DET01) suppressing the wrong rule
+}
+
+fn missing_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // numlint:allow(PANIC01)
+}
+
+fn unknown_rule(x: Option<u32>) -> u32 {
+    x.unwrap() // numlint:allow(NOPE99) no such rule
+}

@@ -1,0 +1,131 @@
+//! Golden-fixture tests: every rule has a fixture file under
+//! `tests/fixtures/` whose findings must match its `.expected` file
+//! line-for-line (`line:col RULE_ID`). Regenerate an expected file by
+//! running the test with `NUMLINT_BLESS=1` and reviewing the diff.
+
+use numlint::{lint_source, Baseline, FileClass};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Formats diagnostics in the golden format.
+fn render(diags: &[numlint::Diagnostic]) -> String {
+    let mut s = String::new();
+    for d in diags {
+        s.push_str(&format!("{}:{} {}\n", d.line, d.col, d.rule));
+    }
+    s
+}
+
+/// Lints `<stem>.rs` as numkit library source (all six rules plus
+/// LINT00 in scope) and compares against `<stem>.expected`.
+fn check_fixture(stem: &str) {
+    let dir = fixtures_dir();
+    let src_path = dir.join(format!("{stem}.rs"));
+    let exp_path = dir.join(format!("{stem}.expected"));
+    let src = fs::read_to_string(&src_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", src_path.display()));
+    // Fixtures are linted under an explicit classification override:
+    // on disk they live below tests/ (exempt) precisely so the real
+    // workspace walk never reports their deliberate violations.
+    let diags = lint_source(FileClass::CrateSrc("numkit".into()), &src);
+    let got = render(&diags);
+    if std::env::var_os("NUMLINT_BLESS").is_some() {
+        fs::write(&exp_path, &got)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", exp_path.display()));
+        return;
+    }
+    let want = fs::read_to_string(&exp_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e} (run with NUMLINT_BLESS=1 to create)", exp_path.display()));
+    assert_eq!(
+        got.trim_end(),
+        want.trim_end(),
+        "\n== fixture {stem} drifted ==\n-- got --\n{got}\n-- want --\n{want}\n"
+    );
+}
+
+#[test]
+fn det01_hash_iteration() {
+    check_fixture("det01");
+}
+
+#[test]
+fn det02_wall_clock() {
+    check_fixture("det02");
+}
+
+#[test]
+fn panic01_panicking_calls() {
+    check_fixture("panic01");
+}
+
+#[test]
+fn float01_exact_comparison() {
+    check_fixture("float01");
+}
+
+#[test]
+fn float02_bare_casts() {
+    check_fixture("float02");
+}
+
+#[test]
+fn err01_panic_in_result_fn() {
+    check_fixture("err01");
+}
+
+#[test]
+fn lexer_tricky_decoys() {
+    check_fixture("lexer_tricky");
+}
+
+#[test]
+fn suppressions() {
+    check_fixture("suppress");
+}
+
+/// Fixture findings disappear entirely when the same file is classified
+/// as test code — the blanket exemption the real walk applies to
+/// anything under `tests/`.
+#[test]
+fn fixtures_are_exempt_as_test_files() {
+    let src = fs::read_to_string(fixtures_dir().join("panic01.rs")).expect("fixture");
+    let diags = lint_source(FileClass::TestFile, &src);
+    assert!(diags.iter().all(|d| d.rule == "LINT00"), "only LINT00 survives exemption: {diags:?}");
+}
+
+/// The shipped tree is clean: walking the real workspace with the
+/// checked-in baseline yields zero non-baselined findings. This is the
+/// same invariant `scripts/check.sh` gates on, enforced from the tier-1
+/// test suite so it cannot rot unnoticed.
+#[test]
+fn workspace_is_clean_under_baseline() {
+    let root = numlint::walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let files = numlint::walk::workspace_rs_files(&root).expect("walk workspace");
+    assert!(files.len() > 100, "workspace walk looks truncated: {} files", files.len());
+    let mut findings = Vec::new();
+    for rel in &files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let src = fs::read_to_string(root.join(rel)).expect("read source");
+        for d in lint_source(FileClass::classify(&rel_str), &src) {
+            findings.push((rel_str.clone(), d));
+        }
+    }
+    let baseline = match fs::read_to_string(root.join("numlint.baseline")) {
+        Ok(text) => Baseline::parse(&text).expect("valid baseline"),
+        Err(_) => Baseline::default(),
+    };
+    let (reported, _absorbed) = baseline.apply(findings);
+    assert!(
+        reported.is_empty(),
+        "non-baselined findings in the shipped tree:\n{}",
+        reported
+            .iter()
+            .map(|(p, d)| format!("{p}:{}:{} {} {}", d.line, d.col, d.rule, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -100,6 +100,7 @@ impl SweepDiagnostics {
                 s.push_str(&format!(", {n} {label}"));
             }
         }
+        // numlint:allow(FLOAT01) complete sweeps give total/surviving = x/x, exactly 1.0 in IEEE; only gates a diagnostic string
         if self.weight_renormalization != 1.0 {
             s.push_str(&format!(
                 ", weights renormalized by {:.6}",

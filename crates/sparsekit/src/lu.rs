@@ -470,6 +470,7 @@ impl<T: Scalar> SparseLu<T> {
             return 0.0;
         }
         // Hager iteration estimating ‖A⁻¹‖₁.
+        // numlint:allow(FLOAT02) matrix dimension, far below 2^53, cast exact
         let mut x: Vec<T> = vec![T::from_f64(1.0 / n as f64); n];
         let mut est = 0.0f64;
         let mut last_j = usize::MAX;

@@ -14,4 +14,7 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> numlint check"
+cargo run -q -p numlint -- check --baseline numlint.baseline
+
 echo "check.sh: all gates passed"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate numlint.baseline from the current tree.
+#
+# The baseline records legacy finding counts per (rule, file) so numlint
+# can gate *new* violations while old ones are burned down incrementally.
+# Run this only when deliberately absorbing existing findings — e.g.
+# after tightening a rule — never to paper over a regression. The diff
+# of numlint.baseline is the burndown record: counts should only go down.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q -p numlint -- check --baseline numlint.baseline --update-baseline
+
+echo "numlint-baseline.sh: wrote numlint.baseline"
+git --no-pager diff --stat -- numlint.baseline || true
