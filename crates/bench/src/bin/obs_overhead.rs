@@ -1,0 +1,162 @@
+//! Overhead bench for the `obs` tracing layer.
+//!
+//! Runs the headline multipoint sweep — `rc_mesh(32, 32)` (1024 states)
+//! at 64 sample points through [`lti::ShiftSolveEngine`] — twice per
+//! repetition: once with tracing disabled (the default: every span site
+//! costs one relaxed atomic load) and once with a deterministic-clock
+//! trace installed. The reported overhead is the relative slowdown of
+//! the traced sweep, taken over the minimum of several repetitions so
+//! scheduler noise doesn't masquerade as instrumentation cost.
+//!
+//! Writes `BENCH_obs.json` at the repository root; the acceptance gate
+//! for the observability layer is `overhead_pct < 2.0`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin obs_overhead
+//! ```
+
+use std::time::Instant;
+
+use circuits::{rc_mesh, spread_ports};
+use lti::{Descriptor, ShiftSolveEngine};
+use numkit::{c64, NumError};
+use pmtbr::Sampling;
+
+const REPS: usize = 7;
+
+struct OverheadResult {
+    nstates: usize,
+    ninputs: usize,
+    sample_points: usize,
+    parallel_threads: usize,
+    reps: usize,
+    disabled_s: f64,
+    traced_s: f64,
+    overhead_pct: f64,
+    trace_events: usize,
+    trace_jsonl_bytes: usize,
+}
+
+fn sweep(sys: &Descriptor, shifts: &[c64], threads: usize) -> Result<(), NumError> {
+    let rhs = sys.b.to_complex();
+    let sols = ShiftSolveEngine::new(sys).solve_many(shifts, &rhs, threads)?;
+    assert_eq!(sols.len(), shifts.len());
+    Ok(())
+}
+
+fn run(sys: &Descriptor, npoints: usize) -> Result<OverheadResult, NumError> {
+    let points = Sampling::Linear { omega_max: 10.0, n: npoints }.points()?;
+    let shifts: Vec<c64> = points.iter().map(|p| p.s).collect();
+    let threads = pmtbr::par::num_threads();
+
+    // Warm-up outside the measured section.
+    sweep(sys, &shifts, threads)?;
+
+    let mut disabled_s = f64::INFINITY;
+    let mut traced_s = f64::INFINITY;
+    let mut trace_events = 0;
+    let mut trace_jsonl_bytes = 0;
+
+    // Interleave the two variants so slow drift (thermal, other load)
+    // hits both equally instead of biasing whichever ran last.
+    for _ in 0..REPS {
+        assert!(!obs::is_enabled(), "tracing unexpectedly left enabled");
+        let t0 = Instant::now();
+        sweep(sys, &shifts, threads)?;
+        disabled_s = disabled_s.min(t0.elapsed().as_secs_f64());
+
+        assert!(obs::install(obs::ClockKind::Counter), "double install");
+        let t0 = Instant::now();
+        sweep(sys, &shifts, threads)?;
+        traced_s = traced_s.min(t0.elapsed().as_secs_f64());
+        let trace = obs::drain().expect("trace was installed");
+        let jsonl = trace.to_jsonl();
+        trace_events = trace.events().len();
+        trace_jsonl_bytes = jsonl.len();
+    }
+
+    Ok(OverheadResult {
+        nstates: sys.nstates(),
+        ninputs: sys.ninputs(),
+        sample_points: shifts.len(),
+        parallel_threads: threads,
+        reps: REPS,
+        disabled_s,
+        traced_s,
+        overhead_pct: (traced_s / disabled_s - 1.0) * 100.0,
+        trace_events,
+        trace_jsonl_bytes,
+    })
+}
+
+fn write_json(path: &std::path::Path, r: &OverheadResult) -> std::io::Result<()> {
+    let out = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"obs_overhead\",\n",
+            "  \"case\": \"rc_mesh_32x32\",\n",
+            "  \"nstates\": {},\n",
+            "  \"ninputs\": {},\n",
+            "  \"sample_points\": {},\n",
+            "  \"parallel_threads\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"disabled_s\": {:.6},\n",
+            "  \"traced_s\": {:.6},\n",
+            "  \"overhead_pct\": {:.3},\n",
+            "  \"overhead_budget_pct\": 2.0,\n",
+            "  \"within_budget\": {},\n",
+            "  \"trace_events\": {},\n",
+            "  \"trace_jsonl_bytes\": {},\n",
+            "  \"notes\": \"disabled = span sites cost one relaxed atomic load; \
+             traced = deterministic CounterClock trace installed for the whole \
+             sweep. Times are the minimum over reps, variants interleaved. \
+             Serialization (to_jsonl) happens after the timed section: it is an \
+             offline reporting cost, not solver-path overhead.\"\n",
+            "}}\n",
+        ),
+        r.nstates,
+        r.ninputs,
+        r.sample_points,
+        r.parallel_threads,
+        r.reps,
+        r.disabled_s,
+        r.traced_s,
+        r.overhead_pct,
+        r.overhead_pct < 2.0,
+        r.trace_events,
+        r.trace_jsonl_bytes,
+    );
+    std::fs::write(path, out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ports = spread_ports(32, 32, 16);
+    let mesh = rc_mesh(32, 32, &ports, 1.0, 1.0, 2.0)?;
+    println!(
+        "rc_mesh_32x32: {} states, {} ports, 64 sample points, {} reps ...",
+        mesh.nstates(),
+        mesh.ninputs(),
+        REPS
+    );
+    let r = run(&mesh, 64)?;
+
+    println!();
+    println!("disabled (min of {} reps): {:>10.4} s", r.reps, r.disabled_s);
+    println!("traced   (min of {} reps): {:>10.4} s", r.reps, r.traced_s);
+    println!(
+        "overhead: {:+.3}% (budget 2%) — {} events, {} bytes of JSONL",
+        r.overhead_pct, r.trace_events, r.trace_jsonl_bytes
+    );
+    assert!(
+        r.overhead_pct < 2.0,
+        "obs tracing overhead {:.3}% exceeds the 2% budget",
+        r.overhead_pct
+    );
+
+    // crates/bench/ → repository root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_obs.json");
+    write_json(&path, &r)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

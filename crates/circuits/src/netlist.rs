@@ -166,6 +166,9 @@ impl Netlist {
     ///
     /// Returns [`NumError::InvalidArgument`] if no ports were declared.
     pub fn build(&self) -> Result<Descriptor, NumError> {
+        let mut sp = obs::span("netlist.build");
+        sp.field_u64("elements", self.elements.len() as u64);
+        sp.field_u64("ports", self.ports.len() as u64);
         if self.ports.is_empty() {
             return Err(NumError::InvalidArgument("netlist has no ports"));
         }

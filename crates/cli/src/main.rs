@@ -19,6 +19,13 @@
 //! worker count (equivalent to setting `PMTBR_THREADS=N`); results are
 //! identical at every thread count.
 //!
+//! Every command also accepts `--trace <path>` to record a JSON-lines
+//! solver trace (spans over the sparse LU, shift ladder, sampling sweep,
+//! and SVD, plus the global counters; see `docs/OBSERVABILITY.md`). The
+//! default deterministic clock makes the trace byte-identical at every
+//! thread count; add `--trace-wall` for wall-clock nanosecond stamps
+//! (and per-worker pool occupancy) at the price of reproducibility.
+//!
 //! # Degradation policy and exit codes
 //!
 //! `reduce --method pmtbr` runs the fault-tolerant sampling pipeline:
@@ -32,6 +39,9 @@
 //! - `3` — degradation rejected: drops exceeded `--max-dropped-samples`,
 //!   or `--strict` was set and any point was dropped or perturbed;
 //! - `1` — any other error (bad arguments, unreadable netlist, …).
+//!
+//! (The canonical exit-code table lives in the repository README under
+//! "Error handling and exit codes"; keep the two in sync.)
 //!
 //! The `PMTBR_FAULT` environment variable injects deterministic faults
 //! for chaos-testing the ladder (see `pmtbr::FaultPlan::from_env`).
@@ -365,7 +375,7 @@ fn cmd_transient(args: &Args) -> CmdResult {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--samples N] [--method pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr] [--check N] [--max-dropped-samples N] [--strict]\nglobal flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  1 error"
+    "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--samples N] [--method pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr] [--check N] [--max-dropped-samples N] [--strict]\nglobal flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")"
 }
 
 fn main() -> ExitCode {
@@ -384,6 +394,19 @@ fn main() -> ExitCode {
             }
         }
     }
+    let trace_path = args.flag_value("trace").map(str::to_string);
+    if args.flag_present("trace") && trace_path.is_none() {
+        eprintln!("error: --trace requires an output path");
+        return ExitCode::FAILURE;
+    }
+    if trace_path.is_some() {
+        let kind = if args.flag_present("trace-wall") {
+            obs::ClockKind::Wall
+        } else {
+            obs::ClockKind::Counter
+        };
+        obs::install(kind);
+    }
     let result = match cmd.as_str() {
         "sweep" => cmd_sweep(&args),
         "hsv" => cmd_hsv(&args),
@@ -395,6 +418,16 @@ fn main() -> ExitCode {
         }
         other => Err(Failure::Error(format!("unknown command `{other}`\n{}", usage()))),
     };
+    // The trace is written on failure paths too: a degraded or rejected
+    // sweep is exactly when the ladder telemetry matters most.
+    if let Some(path) = &trace_path {
+        if let Some(tr) = obs::drain() {
+            match std::fs::write(path, tr.to_jsonl()) {
+                Ok(()) => eprintln!("trace: {} events -> {path}", tr.events().len()),
+                Err(e) => eprintln!("warning: cannot write trace to {path}: {e}"),
+            }
+        }
+    }
     match result {
         Ok(Status::Clean) => ExitCode::SUCCESS,
         Ok(Status::Degraded) => ExitCode::from(2),

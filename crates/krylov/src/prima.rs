@@ -57,8 +57,11 @@ pub fn prima(sys: &Descriptor, order: usize, s0: f64) -> Result<PrimaModel, NumE
     if order == 0 {
         return Err(NumError::InvalidArgument("reduction order must be at least 1"));
     }
+    let mut sp = obs::span("prima.arnoldi");
+    sp.field_u64("order", order as u64);
     let n = sys.nstates();
     let p = sys.ninputs();
+    sp.field_u64("n", n as u64);
     // Factor the real pencil (s0·E − A) = (G + s0·C) once.
     let mut t = Triplet::with_capacity(n, n, sys.e.nnz() + sys.a.nnz());
     for (i, j, v) in sys.e.iter() {

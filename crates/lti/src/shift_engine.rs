@@ -166,8 +166,12 @@ impl ShiftSolveEngine {
         }
         // Prime deterministically: the first shift's factorization seeds
         // the symbolic analysis before any worker runs.
-        let first = per_shift(0, &self.factor(shifts[0])?)?;
+        let first = {
+            let _sp = obs::item_span("shift", 0, "solve");
+            per_shift(0, &self.factor(shifts[0])?)?
+        };
         let rest = par_map_with(shifts.len() - 1, threads, |i| {
+            let _sp = obs::item_span("shift", (i + 1) as u64, "solve");
             self.factor(shifts[i + 1]).and_then(|f| per_shift(i + 1, &f))
         });
         let mut out = Vec::with_capacity(shifts.len());
@@ -286,6 +290,10 @@ impl ShiftSolveEngine {
             Refactor,
             Fresh,
         }
+        // Root span opened before the panic hook so an injected unwind
+        // still records the ladder's exit event (the guard flushes during
+        // unwinding, and the fault plan is deterministic).
+        let mut sp = obs::item_span("shift", index as u64, "ladder");
         if faults.inject_panic(index) {
             // numlint:allow(PANIC01, ERR01) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
             panic!("injected worker panic at shift index {index}");
@@ -312,6 +320,21 @@ impl ShiftSolveEngine {
             for cand in cands {
                 let this_attempt = attempt;
                 attempt += 1;
+                if obs::is_enabled() {
+                    let cand_label = match cand {
+                        Cand::Reuse => "reuse",
+                        Cand::Refactor => "refactor",
+                        Cand::Fresh => "fresh",
+                    };
+                    obs::event(
+                        "rung",
+                        vec![
+                            ("level", obs::Value::U64(level as u64)),
+                            ("cand", obs::Value::Str(cand_label.to_string())),
+                            ("attempt", obs::Value::U64(this_attempt as u64)),
+                        ],
+                    );
+                }
                 if let Some(e) = faults.inject_error(index, this_attempt) {
                     last_err = Some(e);
                     continue;
@@ -406,6 +429,15 @@ impl ShiftSolveEngine {
                             let _ = self.primer.set((s, fresh));
                         }
                     }
+                    if cand == Cand::Reuse {
+                        obs::counters::add(obs::Counter::LuReuseHit, 1);
+                    }
+                    sp.field_str("outcome", outcome.label());
+                    sp.field_f64("residual", residual);
+                    sp.field_u64("refine_steps", refine_steps as u64);
+                    sp.field_u64("level", level as u64);
+                    sp.field_f64("growth", pivot_growth);
+                    sp.field_f64("rcond", rcond);
                     let report = ShiftReport {
                         index,
                         s_requested: s_req,
@@ -421,6 +453,9 @@ impl ShiftSolveEngine {
                 }
             }
         }
+        obs::counters::add(obs::Counter::ShiftDropped, 1);
+        sp.field_str("outcome", "dropped");
+        sp.field_f64("residual", last_residual);
         let mut report = ShiftReport::dropped(index, s_req, last_err);
         report.residual = last_residual;
         (None, report)

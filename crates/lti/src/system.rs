@@ -59,8 +59,8 @@ pub trait LtiSystem {
     /// perturb → drop) and always returns, reporting each shift's fate
     /// instead of failing the whole sweep on the first bad sample point.
     ///
-    /// The default is the sequential dense ladder
-    /// ([`generic_tolerant_sweep`]); sparse implementations override it
+    /// The default is the sequential dense ladder (the crate-private
+    /// `generic_tolerant_sweep`); sparse implementations override it
     /// with the factorization-reusing engine ladder. Either way the
     /// determinism contract of [`LtiSystem::solve_shifted_many`] holds:
     /// identical results (including outcomes) for every thread count.
@@ -77,8 +77,8 @@ pub trait LtiSystem {
     /// Solves `(sₖ·E − A)·Zₖ = R` at every shift against one shared
     /// right-hand side, returning the solutions in shift order.
     ///
-    /// The default is a sequential loop over [`solve_shifted`]
-    /// (`LtiSystem::solve_shifted`); implementations override this with
+    /// The default is a sequential loop over
+    /// [`LtiSystem::solve_shifted`]; implementations override this with
     /// the multipoint engine (factorization reuse + thread fan-out). Every
     /// implementation MUST return results identical to the sequential
     /// default's index order, and identical for every thread count.

@@ -331,6 +331,9 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
     policy: &RecoveryPolicy,
     faults: &dyn SolveFault,
 ) -> (Option<ZMat>, ShiftReport) {
+    // Opened before the panic hook so an injected unwind still records
+    // the ladder's exit event.
+    let mut sp = obs::item_span("shift", index as u64, "ladder");
     if faults.inject_panic(index) {
         // numlint:allow(PANIC01, ERR01) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
         panic!("injected worker panic at shift index {index}");
@@ -394,6 +397,10 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
             } else {
                 ShiftOutcome::Refreshed
             };
+            sp.field_str("outcome", outcome.label());
+            sp.field_f64("residual", residual);
+            sp.field_u64("refine_steps", refine_steps as u64);
+            sp.field_u64("level", attempt as u64);
             let report = ShiftReport {
                 index,
                 s_requested: s_req,
@@ -408,6 +415,9 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
             return (Some(x), report);
         }
     }
+    obs::counters::add(obs::Counter::ShiftDropped, 1);
+    sp.field_str("outcome", "dropped");
+    sp.field_f64("residual", last_residual);
     let mut report = ShiftReport::dropped(index, s_req, last_err);
     report.residual = last_residual;
     (None, report)

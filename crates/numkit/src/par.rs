@@ -143,6 +143,23 @@ where
             .map(|h| h.join().unwrap_or_default())
             .collect()
     });
+    // Per-worker occupancy is scheduling-dependent data, so it is traced
+    // only under the wall clock: counter-clock traces must stay
+    // byte-identical across thread counts.
+    if obs::is_wall_clock() {
+        let mut sp = obs::span("pool");
+        sp.field_u64("workers", workers as u64);
+        sp.field_u64("items", n as u64);
+        for (w, local) in collected.iter().enumerate() {
+            obs::event(
+                "pool.worker",
+                vec![
+                    ("worker", obs::Value::U64(w as u64)),
+                    ("claimed", obs::Value::U64(local.len() as u64)),
+                ],
+            );
+        }
+    }
     for (i, v) in collected.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "index {i} computed twice");
         slots[i] = Some(v);

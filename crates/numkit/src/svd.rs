@@ -123,6 +123,11 @@ pub fn singular_values<T: Scalar>(a: &Mat<T>) -> Result<Vec<f64>, NumError> {
 fn svd_tall<T: Scalar>(mut w: Mat<T>, max_sweeps: usize) -> Result<Svd<T>, NumError> {
     let (m, n) = w.shape();
     debug_assert!(m >= n);
+    let mut sp = obs::span("svd.jacobi");
+    sp.field_u64("m", m as u64);
+    sp.field_u64("n", n as u64);
+    let mut sweeps: u64 = 0;
+    let mut rotations: u64 = 0;
     let mut v = Mat::<T>::identity(n);
     if n == 0 {
         return Ok(Svd { u: w, s: Vec::new(), v });
@@ -137,6 +142,7 @@ fn svd_tall<T: Scalar>(mut w: Mat<T>, max_sweeps: usize) -> Result<Svd<T>, NumEr
     let tol = (m as f64).sqrt() * f64::EPSILON;
     let mut converged = false;
     for _sweep in 0..max_sweeps {
+        sweeps += 1;
         let mut rotated = false;
         // Column pairs whose norms sit at the noise floor relative to the
         // largest column carry no meaningful singular-value information;
@@ -169,6 +175,7 @@ fn svd_tall<T: Scalar>(mut w: Mat<T>, max_sweeps: usize) -> Result<Svd<T>, NumEr
                     continue;
                 }
                 rotated = true;
+                rotations += 1;
                 // Phase factor: γ̄ makes the effective 2×2 Gram real.
                 let gamma_bar = apq.conj().scale(1.0 / off);
                 // Jacobi rotation for [[app, off], [off, aqq]]; with the
@@ -198,6 +205,10 @@ fn svd_tall<T: Scalar>(mut w: Mat<T>, max_sweeps: usize) -> Result<Svd<T>, NumEr
             break;
         }
     }
+    obs::counters::add(obs::Counter::SvdSweeps, sweeps);
+    obs::counters::add(obs::Counter::SvdRotations, rotations);
+    sp.field_u64("sweeps", sweeps);
+    sp.field_u64("rotations", rotations);
     if !converged {
         return Err(NumError::NotConverged { algorithm: "jacobi-svd", iterations: max_sweeps });
     }

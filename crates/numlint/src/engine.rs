@@ -6,10 +6,12 @@ use crate::rules::{self, RULES};
 use std::collections::BTreeSet;
 use std::ops::RangeInclusive;
 
-/// The six crates whose public APIs promise `Result`-based error
+/// The seven crates whose public APIs promise `Result`-based error
 /// propagation (PR 2); PANIC01/ERR01 apply only to their `src/` trees.
-pub const LIBRARY_CRATES: [&str; 6] =
-    ["numkit", "sparsekit", "lti", "circuits", "krylov", "pmtbr"];
+/// `obs` joined in PR 4: telemetry sits below every numeric crate, so a
+/// panicking span would abort the very solvers it observes.
+pub const LIBRARY_CRATES: [&str; 7] =
+    ["obs", "numkit", "sparsekit", "lti", "circuits", "krylov", "pmtbr"];
 
 /// Where a file sits in the workspace; decides which rules apply.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +55,13 @@ impl FileClass {
     /// True if the file belongs to `crates/bench` (DET02 exempt).
     pub fn is_bench(&self) -> bool {
         matches!(self, FileClass::CrateSrc(c) if c == "bench")
+    }
+
+    /// True if the file belongs to `crates/obs`, where DET02 exempts
+    /// wall-clock reads *inside* `WallClock` items only — the one
+    /// sanctioned clock implementation behind the `obs::Clock` trait.
+    pub fn is_obs(&self) -> bool {
+        matches!(self, FileClass::CrateSrc(c) if c == "obs")
     }
 
     /// True if FLOAT02 applies (numkit/sparsekit kernel crates).
@@ -333,6 +342,9 @@ mod tests {
         assert!(FileClass::classify("crates/pmtbr/src/par.rs").is_library_src());
         assert!(!FileClass::classify("crates/bench/src/lib.rs").is_library_src());
         assert!(FileClass::classify("crates/bench/src/lib.rs").is_bench());
+        assert!(FileClass::classify("crates/obs/src/clock.rs").is_library_src());
+        assert!(FileClass::classify("crates/obs/src/clock.rs").is_obs());
+        assert!(!FileClass::classify("crates/numkit/src/par.rs").is_obs());
     }
 
     #[test]

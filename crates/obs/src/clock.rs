@@ -1,0 +1,133 @@
+//! The pluggable span clock: deterministic by default, wall time on
+//! explicit request.
+//!
+//! Library code must stay DET02-clean (numlint: no wall-clock reads
+//! outside `crates/bench`), yet a trace without timestamps cannot order
+//! events. The resolution is a clock *interface* whose default
+//! implementation measures causal order, not time: [`CounterClock`]
+//! ticks once per recorded event, so two runs that perform the same work
+//! produce byte-identical traces at any thread count. [`WallClock`] — a
+//! monotonic nanosecond reading — is the one sanctioned wall-clock user
+//! in library code; numlint's DET02 carve-out recognizes exactly this
+//! type, and bench/CLI callers opt into it via [`ClockKind::Wall`].
+
+/// A monotone event-stamp source for one work item's span buffer.
+///
+/// `now` returns a `u64` stamp; the only contract is monotonicity within
+/// one clock instance. Each root span owns a private clock, so stamps
+/// never flow between threads.
+pub trait Clock: Send {
+    /// The next stamp (ticks for [`CounterClock`], elapsed nanoseconds
+    /// for [`WallClock`]).
+    fn now(&mut self) -> u64;
+}
+
+/// The deterministic default: stamps are a per-item event counter
+/// (0, 1, 2, …), i.e. causal order with no notion of duration.
+#[derive(Debug, Default)]
+pub struct CounterClock {
+    ticks: u64,
+}
+
+impl CounterClock {
+    /// A fresh counter starting at 0.
+    pub fn new() -> Self {
+        CounterClock { ticks: 0 }
+    }
+}
+
+impl Clock for CounterClock {
+    fn now(&mut self) -> u64 {
+        let t = self.ticks;
+        self.ticks += 1;
+        t
+    }
+}
+
+/// Monotonic wall time in nanoseconds since the clock was created.
+///
+/// This is the single wall-clock reader permitted in library code: the
+/// numlint DET02 rule exempts `Instant` only inside this type (and
+/// `crates/bench`). Traces recorded with it are *not* reproducible
+/// byte-for-byte — use it for human timing investigations, never in
+/// golden tests.
+#[derive(Debug)]
+pub struct WallClock {
+    // numlint's DET02 carve-out permits wall-clock reads in crates/obs
+    // only inside WallClock items — this struct and its impls.
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is "now".
+    pub fn new() -> Self {
+        WallClock { origin: std::time::Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&mut self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Which clock newly opened root spans receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Deterministic per-item event counter — the default, and the only
+    /// kind golden tests may use.
+    Counter,
+    /// Monotonic nanoseconds ([`WallClock`]) — bench/CLI timing runs.
+    Wall,
+}
+
+impl ClockKind {
+    /// Instantiates a fresh clock of this kind.
+    pub fn make(self) -> Box<dyn Clock> {
+        match self {
+            ClockKind::Counter => Box::new(CounterClock::new()),
+            ClockKind::Wall => Box::new(WallClock::new()),
+        }
+    }
+
+    /// The label recorded in the trace's meta line.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockKind::Counter => "counter",
+            ClockKind::Wall => "wall",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_clock_ticks_from_zero() {
+        let mut c = CounterClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.now(), 1);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let mut c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(ClockKind::Counter.label(), "counter");
+        assert_eq!(ClockKind::Wall.label(), "wall");
+    }
+}

@@ -1,0 +1,197 @@
+//! Process-global solver counters: always-on relaxed atomics.
+//!
+//! Counters are the cheap half of the observability layer — one
+//! `fetch_add(Relaxed)` per event, no gating, no allocation — so the hot
+//! paths increment them unconditionally and callers diff [`Snapshot`]s
+//! around the region they care about. Every counter is a *deterministic*
+//! quantity: its value after a sweep depends only on the inputs, never
+//! on thread scheduling, which is what lets the golden trace tests
+//! assert counter totals byte-for-byte.
+//!
+//! The accounting identity the fault-tolerance tests pin down: on a
+//! sparse tolerant sweep, every attempted shift is satisfied by exactly
+//! one successful numeric factorization *or* one primer-cache reuse, so
+//! `LU_FACTOR + LU_REUSE_HIT == shifts attempted` (dropped shifts spend
+//! factorizations while escalating and are counted by `SHIFT_DROPPED`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The workspace's named counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Full symbolic + numeric factorizations (`SparseLu::new` successes).
+    LuSymbolic,
+    /// Successful *numeric* factorizations: `SparseLu::new` plus
+    /// numeric-only `SymbolicLu::refactor` successes.
+    LuFactor,
+    /// Tolerant-ladder acceptances that reused the primer factorization
+    /// verbatim (no numeric work at all).
+    LuReuseHit,
+    /// Iterative-refinement steps performed (`refine_mat` calls).
+    RefineIters,
+    /// Sample points dropped by an escalation ladder.
+    ShiftDropped,
+    /// One-sided Jacobi SVD sweeps executed.
+    SvdSweeps,
+    /// Jacobi rotations applied across all SVD sweeps.
+    SvdRotations,
+    /// Bytes of retained (surviving, weighted) complex sample data.
+    SampleBytes,
+}
+
+/// Every counter, in reporting order.
+pub const ALL: [Counter; 8] = [
+    Counter::LuSymbolic,
+    Counter::LuFactor,
+    Counter::LuReuseHit,
+    Counter::RefineIters,
+    Counter::ShiftDropped,
+    Counter::SvdSweeps,
+    Counter::SvdRotations,
+    Counter::SampleBytes,
+];
+
+impl Counter {
+    /// The stable report name (`LU_FACTOR`, …) used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::LuSymbolic => "LU_SYMBOLIC",
+            Counter::LuFactor => "LU_FACTOR",
+            Counter::LuReuseHit => "LU_REUSE_HIT",
+            Counter::RefineIters => "REFINE_ITERS",
+            Counter::ShiftDropped => "SHIFT_DROPPED",
+            Counter::SvdSweeps => "SVD_SWEEPS",
+            Counter::SvdRotations => "SVD_ROTATIONS",
+            Counter::SampleBytes => "SAMPLE_BYTES",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Counter::LuSymbolic => 0,
+            Counter::LuFactor => 1,
+            Counter::LuReuseHit => 2,
+            Counter::RefineIters => 3,
+            Counter::ShiftDropped => 4,
+            Counter::SvdSweeps => 5,
+            Counter::SvdRotations => 6,
+            Counter::SampleBytes => 7,
+        }
+    }
+}
+
+const N: usize = ALL.len();
+
+static CELLS: [AtomicU64; N] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Adds `n` to counter `c` (relaxed; safe from any thread).
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    CELLS[c.index()].fetch_add(n, Ordering::Relaxed);
+}
+
+/// The current process-lifetime total of counter `c`.
+pub fn get(c: Counter) -> u64 {
+    CELLS[c.index()].load(Ordering::Relaxed)
+}
+
+/// A point-in-time reading of every counter; diff two with
+/// [`Snapshot::delta`] to scope totals to a region of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    values: [u64; N],
+}
+
+/// Reads all counters at once.
+pub fn snapshot() -> Snapshot {
+    let mut values = [0u64; N];
+    for (slot, cell) in values.iter_mut().zip(CELLS.iter()) {
+        *slot = cell.load(Ordering::Relaxed);
+    }
+    Snapshot { values }
+}
+
+impl Snapshot {
+    /// The all-zero snapshot (useful as a process-start baseline).
+    pub fn zero() -> Snapshot {
+        Snapshot { values: [0; N] }
+    }
+
+    /// This snapshot's reading of counter `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values[c.index()]
+    }
+
+    /// Per-counter difference `self − earlier` (saturating, so a stale
+    /// `earlier` cannot underflow).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut values = [0u64; N];
+        for (i, slot) in values.iter_mut().enumerate() {
+            *slot = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        Snapshot { values }
+    }
+
+    /// `(name, value)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        ALL.iter().map(|&c| (c.name(), self.get(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_snapshot_delta() {
+        // Counters are process-global; test against deltas so parallel
+        // tests in this binary cannot interfere (they touch no cells).
+        let before = snapshot();
+        add(Counter::SvdSweeps, 3);
+        add(Counter::SvdSweeps, 2);
+        add(Counter::SampleBytes, 160);
+        let after = snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.get(Counter::SvdSweeps), 5);
+        assert_eq!(d.get(Counter::SampleBytes), 160);
+        assert_eq!(d.get(Counter::LuFactor), 0);
+    }
+
+    #[test]
+    fn names_are_stable_and_ordered() {
+        let names: Vec<&str> = ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "LU_SYMBOLIC",
+                "LU_FACTOR",
+                "LU_REUSE_HIT",
+                "REFINE_ITERS",
+                "SHIFT_DROPPED",
+                "SVD_SWEEPS",
+                "SVD_ROTATIONS",
+                "SAMPLE_BYTES"
+            ]
+        );
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let hi = snapshot();
+        let lo = Snapshot::zero();
+        // lo − hi would underflow; saturating delta clamps to zero.
+        let d = lo.delta(&hi);
+        for (_, v) in d.iter() {
+            assert_eq!(v, 0);
+        }
+    }
+}

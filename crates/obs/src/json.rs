@@ -1,0 +1,289 @@
+//! Minimal JSON support: string escaping for the serializer and a
+//! validating object parser for the golden-trace tests.
+//!
+//! The workspace builds offline with no external crates, so trace
+//! output cannot lean on a JSON library. Serialization needs only
+//! string escaping (numbers are written with `{:?}`/`Display`, which
+//! emit valid JSON for finite values); the tests need the inverse — a
+//! strict checker that every emitted line is a syntactically valid JSON
+//! object. The parser here validates; it does not build a document
+//! tree, because no caller needs one.
+
+/// Appends `s` to `out` with JSON string escaping (`"`, `\`, control
+/// characters as `\u00XX`, and the common short escapes).
+pub fn escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Validates that `line` is exactly one JSON object (the trace-line
+/// shape). Returns the number of top-level keys on success.
+pub fn validate_object(line: &str) -> Result<usize, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let keys = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(keys)
+}
+
+/// Validates a whole JSON-lines document: every non-empty line must be
+/// a JSON object. Returns the number of lines checked.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        validate_object(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(format!(
+                "expected '{}' at offset {}, found '{}'",
+                b as char,
+                self.pos - 1,
+                got as char
+            )),
+            None => Err(format!("expected '{}' at end of input", b as char)),
+        }
+    }
+
+    /// Parses `{ "key": value, ... }`; returns the key count.
+    fn object(&mut self) -> Result<usize, String> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        let mut keys = 0;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(0);
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.value()?;
+            keys += 1;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(keys),
+                Some(b) => {
+                    return Err(format!(
+                        "expected ',' or '}}' at offset {}, found '{}'",
+                        self.pos - 1,
+                        b as char
+                    ))
+                }
+                None => return Err("unterminated object".to_string()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object().map(|_| ()),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected '{}' at offset {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                Some(b) => {
+                    return Err(format!(
+                        "expected ',' or ']' at offset {}, found '{}'",
+                        self.pos - 1,
+                        b as char
+                    ))
+                }
+                None => return Err("unterminated array".to_string()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(b) if b.is_ascii_hexdigit() => {}
+                                _ => {
+                                    return Err(format!(
+                                        "bad \\u escape at offset {}",
+                                        self.pos
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at offset {}", self.pos)),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at offset {}", self.pos - 1))
+                }
+                Some(_) => {}
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            saw_digit = true;
+            self.pos += 1;
+        }
+        if !saw_digit {
+            return Err(format!("expected digits at offset {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = false;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                frac = true;
+                self.pos += 1;
+            }
+            if !frac {
+                return Err(format!("expected fraction digits at offset {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = false;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                exp = true;
+                self.pos += 1;
+            }
+            if !exp {
+                return Err(format!("expected exponent digits at offset {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        for &b in word.as_bytes() {
+            self.eat(b)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        let mut out = String::new();
+        escape("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn accepts_trace_shaped_lines() {
+        assert_eq!(
+            validate_object(r#"{"ev":"meta","schema":"pmtbr-trace-v1","clock":"counter"}"#),
+            Ok(3)
+        );
+        assert_eq!(
+            validate_object(
+                r#"{"ev":"exit","unit":"shift","item":3,"seq":4,"t":4,"span":"ladder","residual":1.5e-12,"nan":"NaN","ok":true,"extra":[1,-2.5,null,{}]}"#
+            ),
+            Ok(10)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(validate_object("{").is_err());
+        assert!(validate_object(r#"{"a":}"#).is_err());
+        assert!(validate_object(r#"{"a":1}trailing"#).is_err());
+        assert!(validate_object(r#"{"a":01e}"#).is_err());
+        assert!(validate_object("[1,2]").is_err());
+        assert!(validate_object("{\"a\":\"\u{1}\"}").is_err());
+    }
+
+    #[test]
+    fn jsonl_counts_nonempty_lines() {
+        let doc = "{\"a\":1}\n\n{\"b\":[true,false]}\n";
+        assert_eq!(validate_jsonl(doc), Ok(2));
+        assert!(validate_jsonl("{\"a\":1}\nnope\n").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Zero-dependency observability for the PMTBR workspace: hierarchical
+//! spans, atomic counters, and JSON-lines trace reports.
+//!
+//! The paper's whole argument is a cost story — multipoint sampling plus
+//! an SVD is "poor man's" TBR only if the shifted solves, factorization
+//! reuse, and truncation decisions stay cheap — so the solvers need a way
+//! to *show their work*. This crate is the telemetry substrate every
+//! other crate (numkit included) can depend on, which forces two design
+//! constraints:
+//!
+//! 1. **No dependencies at all**, not even workspace-internal ones: obs
+//!    sits at the very bottom of the crate graph.
+//! 2. **Determinism-safe by default.** The workspace's numlint DET02 rule
+//!    bans wall-clock reads outside `crates/bench`, because timing that
+//!    leaks into results (or into traces asserted byte-for-byte) breaks
+//!    the bit-identical-at-any-thread-count guarantee. Spans therefore
+//!    stamp events with a pluggable [`Clock`]; the default
+//!    [`CounterClock`] is a per-work-item event counter — pure causal
+//!    order, no time — and the [`WallClock`] (real nanoseconds) is the
+//!    single place in library code allowed to read `std::time::Instant`,
+//!    opted into explicitly by bench/CLI callers.
+//!
+//! # Model
+//!
+//! - **Counters** ([`counters`]) are process-global relaxed atomics,
+//!   always on; incrementing one costs a single `fetch_add`. They count
+//!   the workspace's hot events: numeric LU factorizations, primer-cache
+//!   reuse hits, refinement steps, dropped shifts, SVD sweeps/rotations,
+//!   and sampled bytes.
+//! - **Spans** ([`trace`]) are hierarchical and RAII-scoped, and cost
+//!   one relaxed atomic load when tracing is disabled. A *root* span
+//!   opens a work item — e.g. one shift of a multipoint sweep, keyed
+//!   `("shift", index)` — with its own private clock and event buffer,
+//!   so worker threads never contend and thread scheduling cannot
+//!   reorder the serialized trace: events sort by `(unit, item, seq)`.
+//! - **Traces** serialize to JSON lines ([`trace::Trace::to_jsonl`]);
+//!   [`json`] holds the escaping and the minimal validating parser the
+//!   golden tests use.
+//!
+//! See `docs/OBSERVABILITY.md` for the full schema and a worked example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod clock;
+pub mod counters;
+pub mod json;
+pub mod trace;
+
+pub use clock::{Clock, ClockKind, CounterClock, WallClock};
+pub use counters::{Counter, Snapshot};
+pub use trace::{
+    drain, event, install, is_enabled, is_wall_clock, item_span, span, SpanGuard, Trace, Value,
+};

@@ -1,0 +1,529 @@
+//! Hierarchical spans with per-work-item event buffers, and the trace
+//! they serialize into.
+//!
+//! # Determinism under threading
+//!
+//! A single global event log would interleave worker threads in
+//! scheduling order and make traces irreproducible. Instead, every
+//! *root* span — opened with [`item_span`] and keyed by a `(unit,
+//! item)` pair such as `("shift", k)` — owns a private clock and a
+//! private event buffer on its thread's stack. Nested [`span`]s and
+//! [`event`]s append to the innermost root's buffer; when the root
+//! closes, its buffer is flushed to the global collector in one push.
+//! Serialization sorts events by `(unit, item, seq)`, so the trace
+//! bytes depend only on what work was done per item — never on which
+//! worker did it or when. Under the default [`ClockKind::Counter`] the
+//! stamps themselves are per-item event counters, making the whole
+//! trace byte-identical at any thread count.
+//!
+//! Spans opened on a thread with no root in scope (main-thread phases
+//! like the sample-matrix SVD) become roots of the `"seq"` unit, with
+//! items numbered by arrival. That numbering is deterministic exactly
+//! because such spans only occur in sequential code; worker-side
+//! instrumentation must always sit under an [`item_span`].
+//!
+//! # Cost
+//!
+//! When no trace is installed every entry point is one relaxed atomic
+//! load and an immediate return — the instrumented hot paths stay within
+//! the workspace's <2 % overhead budget (see `BENCH_obs.json`).
+
+use crate::clock::{Clock, ClockKind};
+use crate::counters::{self, Snapshot};
+use crate::json::escape;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// A field value attached to a span exit or point event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, dimensions).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float; non-finite values serialize as JSON strings.
+    F64(f64),
+    /// Short string (outcome labels, error kinds).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v:?}");
+            }
+            Value::F64(v) => {
+                let _ = write!(out, "\"{v}\"");
+            }
+            Value::Str(s) => {
+                out.push('"');
+                escape(s, out);
+                out.push('"');
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+/// What a trace line records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Enter,
+    Exit,
+    Point,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Enter => "enter",
+            Kind::Exit => "exit",
+            Kind::Point => "point",
+        }
+    }
+}
+
+/// One recorded trace event (internal; serialized via
+/// [`Trace::to_jsonl`]).
+#[derive(Debug, Clone)]
+pub struct Event {
+    unit: &'static str,
+    item: u64,
+    seq: u64,
+    t: u64,
+    kind: Kind,
+    /// Slash-joined span path at the time of the event.
+    span: String,
+    /// Point-event name (`None` for enter/exit).
+    name: Option<&'static str>,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// The `(unit, item)` work-item key.
+    pub fn key(&self) -> (&'static str, u64) {
+        (self.unit, self.item)
+    }
+
+    /// The slash-joined span path.
+    pub fn span_path(&self) -> &str {
+        &self.span
+    }
+}
+
+/// Per-root-span state: a private clock, sequence counter, and buffer.
+struct ItemCtx {
+    unit: &'static str,
+    item: u64,
+    clock: Box<dyn Clock>,
+    seq: u64,
+    path: Vec<&'static str>,
+    events: Vec<Event>,
+}
+
+impl ItemCtx {
+    fn emit(&mut self, kind: Kind, name: Option<&'static str>, fields: Vec<(&'static str, Value)>) {
+        let t = self.clock.now();
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Event {
+            unit: self.unit,
+            item: self.item,
+            seq,
+            t,
+            kind,
+            span: self.path.join("/"),
+            name,
+            fields,
+        });
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Vec<ItemCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Fast-path gate: `false` means every span/event call returns
+/// immediately after one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Installed clock kind: 0 = counter, 1 = wall.
+static CLOCK_KIND: AtomicU8 = AtomicU8::new(0);
+/// Arrival numbering for roots opened without an explicit item id.
+static SEQ_ROOTS: AtomicU64 = AtomicU64::new(0);
+
+struct CollectorState {
+    events: Vec<Event>,
+    baseline: Snapshot,
+}
+
+static COLLECTOR: Mutex<Option<CollectorState>> = Mutex::new(None);
+
+fn collector() -> std::sync::MutexGuard<'static, Option<CollectorState>> {
+    // A panicking span user cannot corrupt a Vec push; recover the data.
+    COLLECTOR.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn clock_kind() -> ClockKind {
+    if CLOCK_KIND.load(Ordering::Relaxed) == 1 {
+        ClockKind::Wall
+    } else {
+        ClockKind::Counter
+    }
+}
+
+/// Installs a trace collector; subsequent spans and events record into
+/// it until [`drain`]. Returns `false` (and changes nothing) if a
+/// collector is already installed.
+pub fn install(kind: ClockKind) -> bool {
+    let mut guard = collector();
+    if guard.is_some() {
+        return false;
+    }
+    *guard = Some(CollectorState { events: Vec::new(), baseline: counters::snapshot() });
+    CLOCK_KIND.store(
+        match kind {
+            ClockKind::Counter => 0,
+            ClockKind::Wall => 1,
+        },
+        Ordering::Relaxed,
+    );
+    SEQ_ROOTS.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+    true
+}
+
+/// `true` while a trace collector is installed.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// `true` if tracing is enabled *and* using the wall clock. Gates
+/// scheduling-dependent extras (per-worker pool occupancy) that must
+/// never appear in deterministic counter-clock traces.
+pub fn is_wall_clock() -> bool {
+    is_enabled() && clock_kind() == ClockKind::Wall
+}
+
+/// Stops recording and returns the collected trace (sorted, with the
+/// counter delta since [`install`]). `None` if nothing was installed.
+///
+/// Call only after all traced work has completed — root spans flush
+/// their buffers when they close, so an open span's events would be
+/// lost (the span guard itself stays safe).
+pub fn drain() -> Option<Trace> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let state = collector().take()?;
+    let mut events = state.events;
+    events.sort_by(|a, b| (a.unit, a.item, a.seq).cmp(&(b.unit, b.item, b.seq)));
+    let counters = counters::snapshot().delta(&state.baseline);
+    Some(Trace { clock: clock_kind(), events, counters })
+}
+
+/// RAII span handle: records an `enter` event on creation and an `exit`
+/// event (carrying any attached fields) when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: bool,
+    root: bool,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl SpanGuard {
+    fn inert() -> SpanGuard {
+        SpanGuard { live: false, root: false, fields: Vec::new() }
+    }
+
+    /// Attaches a field to this span's exit event.
+    pub fn field(&mut self, key: &'static str, value: Value) {
+        if self.live {
+            self.fields.push((key, value));
+        }
+    }
+
+    /// Convenience: unsigned-integer field.
+    pub fn field_u64(&mut self, key: &'static str, value: u64) {
+        self.field(key, Value::U64(value));
+    }
+
+    /// Convenience: float field.
+    pub fn field_f64(&mut self, key: &'static str, value: f64) {
+        self.field(key, Value::F64(value));
+    }
+
+    /// Convenience: string field.
+    pub fn field_str(&mut self, key: &'static str, value: &str) {
+        self.field(key, Value::Str(value.to_string()));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let fields = std::mem::take(&mut self.fields);
+        let root = self.root;
+        CTX.with(|c| {
+            let mut stack = c.borrow_mut();
+            let Some(ctx) = stack.last_mut() else { return };
+            ctx.emit(Kind::Exit, None, fields);
+            ctx.path.pop();
+            if root {
+                if let Some(done) = stack.pop() {
+                    if let Some(state) = collector().as_mut() {
+                        state.events.extend(done.events);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Opens a *root* span for work item `(unit, item)` — e.g.
+/// `item_span("shift", k, "ladder")` around one shift of a multipoint
+/// sweep. The item gets a fresh clock and private buffer, so roots on
+/// different threads never contend and the serialized trace is
+/// scheduling-independent. Returns an inert guard when tracing is off.
+pub fn item_span(unit: &'static str, item: u64, name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::inert();
+    }
+    open(unit, item, name)
+}
+
+/// Opens a span nested under the innermost root on this thread; with no
+/// root in scope it becomes a root of the `"seq"` unit, numbered by
+/// arrival (deterministic only for sequential phases — worker code must
+/// use [`item_span`]). Returns an inert guard when tracing is off.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::inert();
+    }
+    let nested = CTX.with(|c| !c.borrow().is_empty());
+    if nested {
+        CTX.with(|c| {
+            let mut stack = c.borrow_mut();
+            let Some(ctx) = stack.last_mut() else { return SpanGuard::inert() };
+            ctx.path.push(name);
+            ctx.emit(Kind::Enter, None, Vec::new());
+            SpanGuard { live: true, root: false, fields: Vec::new() }
+        })
+    } else {
+        let item = SEQ_ROOTS.fetch_add(1, Ordering::Relaxed);
+        open("seq", item, name)
+    }
+}
+
+fn open(unit: &'static str, item: u64, name: &'static str) -> SpanGuard {
+    CTX.with(|c| {
+        let mut stack = c.borrow_mut();
+        stack.push(ItemCtx {
+            unit,
+            item,
+            clock: clock_kind().make(),
+            seq: 0,
+            path: vec![name],
+            events: Vec::new(),
+        });
+        let Some(ctx) = stack.last_mut() else { return SpanGuard::inert() };
+        ctx.emit(Kind::Enter, None, Vec::new());
+        SpanGuard { live: true, root: true, fields: Vec::new() }
+    })
+}
+
+/// Records a point event (no duration) in the innermost span on this
+/// thread. Silently ignored when tracing is off or no span is open, so
+/// hot paths can emit unconditionally.
+pub fn event(name: &'static str, fields: Vec<(&'static str, Value)>) {
+    if !is_enabled() {
+        return;
+    }
+    CTX.with(|c| {
+        let mut stack = c.borrow_mut();
+        if let Some(ctx) = stack.last_mut() {
+            ctx.emit(Kind::Point, Some(name), fields);
+        }
+    });
+}
+
+/// A drained trace: sorted events plus the counter delta over the
+/// recording window.
+#[derive(Debug)]
+pub struct Trace {
+    /// The clock kind the trace was recorded with.
+    pub clock: ClockKind,
+    events: Vec<Event>,
+    /// Counter totals accumulated while the trace was recording.
+    pub counters: Snapshot,
+}
+
+impl Trace {
+    /// The recorded events, sorted by `(unit, item, seq)`.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Serializes to the JSON-lines schema documented in
+    /// `docs/OBSERVABILITY.md`: a `meta` line, one line per event, and
+    /// a closing `counters` line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"ev\":\"meta\",\"schema\":\"pmtbr-trace-v1\",\"clock\":\"{}\"}}",
+            self.clock.label()
+        );
+        for e in &self.events {
+            out.push_str("{\"ev\":\"");
+            out.push_str(e.kind.label());
+            let _ = write!(out, "\",\"unit\":\"{}\",\"item\":{},\"seq\":{},\"t\":{}", e.unit, e.item, e.seq, e.t);
+            out.push_str(",\"span\":\"");
+            escape(&e.span, &mut out);
+            out.push('"');
+            if let Some(name) = e.name {
+                out.push_str(",\"name\":\"");
+                escape(name, &mut out);
+                out.push('"');
+            }
+            for (k, v) in &e.fields {
+                out.push_str(",\"");
+                escape(k, &mut out);
+                out.push_str("\":");
+                v.write_json(&mut out);
+            }
+            out.push_str("}\n");
+        }
+        out.push_str("{\"ev\":\"counters\"");
+        for (name, v) in self.counters.iter() {
+            let _ = write!(out, ",\"{name}\":{v}");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as TestMutex, OnceLock};
+
+    /// Trace state is process-global; serialize the tests that install.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<TestMutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| TestMutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = lock();
+        assert!(!is_enabled());
+        let mut s = span("nothing");
+        s.field_u64("x", 1);
+        drop(s);
+        event("ignored", vec![]);
+        assert!(drain().is_none());
+    }
+
+    #[test]
+    fn span_nesting_paths_and_events() {
+        let _g = lock();
+        assert!(install(ClockKind::Counter));
+        {
+            let mut root = item_span("shift", 3, "ladder");
+            root.field_str("outcome", "refreshed");
+            {
+                let mut inner = span("sparse_lu.factor");
+                inner.field_u64("n", 12);
+            }
+            event("rung", vec![("level", Value::U64(0))]);
+        }
+        let tr = drain().expect("trace installed");
+        let text = tr.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"ev\":\"meta\"") && lines[0].contains("\"clock\":\"counter\""));
+        assert!(lines.last().is_some_and(|l| l.contains("\"ev\":\"counters\"")));
+        // enter(ladder), enter(ladder/sparse_lu.factor), exit(…), point, exit(ladder)
+        assert_eq!(tr.events().len(), 5);
+        assert!(text.contains("\"span\":\"ladder/sparse_lu.factor\""));
+        assert!(text.contains("\"name\":\"rung\""));
+        assert!(text.contains("\"outcome\":\"refreshed\""));
+        // Counter clock: stamps are per-item event ordinals.
+        assert!(text.contains("\"seq\":0,\"t\":0"));
+    }
+
+    #[test]
+    fn traces_are_identical_across_thread_interleavings() {
+        let _g = lock();
+        // Record the same 6 work items first sequentially, then from
+        // competing threads; the serialized bytes must agree.
+        let run = |threads: usize| -> String {
+            assert!(install(ClockKind::Counter));
+            let work = |k: u64| {
+                let mut root = item_span("shift", k, "ladder");
+                event("rung", vec![("level", Value::U64(k % 2))]);
+                root.field_u64("n", 10 + k);
+            };
+            if threads <= 1 {
+                (0..6).for_each(work);
+            } else {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        s.spawn(move || {
+                            let mut k = t as u64;
+                            while k < 6 {
+                                work(k);
+                                k += threads as u64;
+                            }
+                        });
+                    }
+                });
+            }
+            drain().expect("trace installed").to_jsonl()
+        };
+        let base = run(1);
+        assert_eq!(run(2), base);
+        assert_eq!(run(3), base);
+    }
+
+    #[test]
+    fn nonfinite_fields_serialize_as_strings() {
+        let _g = lock();
+        assert!(install(ClockKind::Counter));
+        {
+            let mut root = item_span("shift", 0, "x");
+            root.field_f64("residual", f64::NAN);
+            root.field_f64("ok", 0.5);
+        }
+        let text = drain().expect("trace installed").to_jsonl();
+        assert!(text.contains("\"residual\":\"NaN\""));
+        assert!(text.contains("\"ok\":0.5"));
+        for line in text.lines() {
+            crate::json::validate_object(line).expect("valid json line");
+        }
+    }
+
+    #[test]
+    fn double_install_is_rejected() {
+        let _g = lock();
+        assert!(install(ClockKind::Counter));
+        assert!(!install(ClockKind::Wall));
+        assert_eq!(drain().expect("trace installed").clock, ClockKind::Counter);
+        assert!(drain().is_none());
+    }
+}

@@ -188,10 +188,16 @@ pub fn sample_basis<S: LtiSystem + ?Sized>(
     sampling: &Sampling,
 ) -> Result<SampleBasis, NumError> {
     let points = sampling.points()?;
+    let mut sp = obs::span("pmtbr.sample_sweep");
+    sp.field_u64("requested", points.len() as u64);
     let b = sys.input_matrix().to_complex();
     let zs = crate::par::solve_sample_points(sys, &points, &b)?;
     let weighted: Vec<numkit::ZMat> =
         zs.iter().zip(&points).map(|(z, pt)| z.scale(pt.weight.sqrt())).collect();
+    for zw in &weighted {
+        // 16 bytes per retained c64 sample entry.
+        obs::counters::add(obs::Counter::SampleBytes, (zw.nrows() * zw.ncols() * 16) as u64);
+    }
     let total_cols: usize = weighted.iter().map(|zw| realified_ncols(zw, 1e-13)).sum();
     if total_cols == 0 {
         return Err(NumError::InvalidArgument("all weighted samples vanished"));
@@ -203,6 +209,8 @@ pub fn sample_basis<S: LtiSystem + ?Sized>(
         col += realify_columns_into(zw, 1e-13, &mut zmat, col);
     }
     debug_assert_eq!(col, total_cols);
+    sp.field_u64("surviving", points.len() as u64);
+    sp.field_u64("total_cols", total_cols as u64);
     Ok(SampleBasis { svd: robust_svd(&zmat)?.0, points })
 }
 

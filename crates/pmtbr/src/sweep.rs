@@ -145,6 +145,8 @@ pub fn sample_basis_tolerant<S: LtiSystem + ?Sized>(
     faults: &dyn SolveFault,
 ) -> Result<(SampleBasis, SweepDiagnostics), NumError> {
     let points = sampling.points()?;
+    let mut sp = obs::span("pmtbr.sample_sweep");
+    sp.field_u64("requested", points.len() as u64);
     let b = sys.input_matrix().to_complex();
     let shifts: Vec<c64> = points.iter().map(|p| p.s).collect();
     let sweep = sys.solve_shifted_many_tolerant(&shifts, &b, policy, faults);
@@ -170,6 +172,8 @@ pub fn sample_basis_tolerant<S: LtiSystem + ?Sized>(
         if let Some(z) = sol {
             let w = pt.weight * renorm;
             kept.push(SamplePoint { s: rep.s_used, weight: w });
+            // 16 bytes per retained c64 sample entry.
+            obs::counters::add(obs::Counter::SampleBytes, (z.nrows() * z.ncols() * 16) as u64);
             weighted.push(z.scale(w.sqrt()));
         }
     }
@@ -185,6 +189,10 @@ pub fn sample_basis_tolerant<S: LtiSystem + ?Sized>(
     }
     debug_assert_eq!(col, total_cols);
     let (svd, svd_retried) = robust_svd(&zmat)?;
+    sp.field_u64("surviving", surviving as u64);
+    sp.field_u64("total_cols", total_cols as u64);
+    sp.field_f64("renorm", renorm);
+    sp.field("svd_retried", obs::Value::Bool(svd_retried));
     let diagnostics = SweepDiagnostics {
         reports: sweep.reports,
         requested: points.len(),

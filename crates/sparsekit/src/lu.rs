@@ -136,6 +136,19 @@ impl<T: Scalar> SparseLu<T> {
     /// - [`NumError::Singular`] if no usable pivot exists in some column
     ///   (numerically or structurally singular).
     pub fn new(a: &Csc<T>) -> Result<Self, NumError> {
+        let mut sp = obs::span("sparse_lu.factor");
+        sp.field_u64("n", a.nrows() as u64);
+        sp.field_u64("nnz", a.nnz() as u64);
+        let lu = Self::new_inner(a)?;
+        obs::counters::add(obs::Counter::LuSymbolic, 1);
+        obs::counters::add(obs::Counter::LuFactor, 1);
+        sp.field_u64("factor_nnz", lu.factor_nnz() as u64);
+        sp.field_f64("growth", lu.growth);
+        Ok(lu)
+    }
+
+    /// The uninstrumented factorization body behind [`SparseLu::new`].
+    fn new_inner(a: &Csc<T>) -> Result<Self, NumError> {
         let n = a.nrows();
         if n != a.ncols() {
             return Err(NumError::NotSquare { rows: n, cols: a.ncols() });
@@ -557,6 +570,7 @@ impl<T: Scalar> SparseLu<T> {
             let refined: Vec<T> = xj.iter().zip(&dx).map(|(&xi, &di)| xi + di).collect();
             x.set_col(j, &refined);
         }
+        obs::counters::add(obs::Counter::RefineIters, 1);
         Ok(residual_norm(a, x, b))
     }
 
@@ -674,6 +688,16 @@ impl SymbolicLu {
     ///   analyzed structure.
     /// - [`NumError::Singular`] if a fixed pivot vanishes.
     pub fn refactor<T: Scalar>(&self, a: &Csc<T>) -> Result<SparseLu<T>, NumError> {
+        let mut sp = obs::span("sparse_lu.refactor");
+        sp.field_u64("n", self.n as u64);
+        let lu = self.refactor_inner(a)?;
+        obs::counters::add(obs::Counter::LuFactor, 1);
+        sp.field_f64("growth", lu.growth);
+        Ok(lu)
+    }
+
+    /// The uninstrumented numeric pass behind [`SymbolicLu::refactor`].
+    fn refactor_inner<T: Scalar>(&self, a: &Csc<T>) -> Result<SparseLu<T>, NumError> {
         if !self.matches_structure(a) {
             return Err(NumError::ShapeMismatch {
                 operation: "sparse lu refactor",

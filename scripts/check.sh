@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full local gate: release build, tier-1 tests, and a warning-free
-# clippy pass over the whole workspace. CI and pre-merge runs should
-# both call this script so the two can never drift apart.
+# Full local gate: release build, tier-1 tests, warning-free clippy and
+# rustdoc passes over the whole workspace, the numlint rules, and the
+# observability golden tests. CI and pre-merge runs should both call
+# this script so the two can never drift apart.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +15,17 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> numlint check"
 cargo run -q -p numlint -- check --baseline numlint.baseline
+
+# The obs golden tests run as part of `cargo test -q` above; rerun them
+# by name so a trace-schema or counter-accounting regression is called
+# out explicitly rather than buried in the full-suite output.
+echo "==> obs golden tests (trace determinism + counter accounting)"
+cargo test -q -p pmtbr-cli --test trace_golden
+cargo test -q --test obs_counters
 
 echo "check.sh: all gates passed"
