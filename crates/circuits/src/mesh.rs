@@ -43,28 +43,66 @@ pub fn rc_mesh(
     c: f64,
     r_gnd: f64,
 ) -> Result<Descriptor, NumError> {
+    rc_mesh_jittered(rows, cols, port_positions, r, c, r_gnd, 0.0, 0)
+}
+
+/// [`rc_mesh`] with per-element parameter jitter (relative spread),
+/// modeling process variation.
+///
+/// The uniform mesh's grid-Laplacian state matrix has highly degenerate
+/// eigenvalues (separable `λ_{ij} = f(i) + g(j)` spectrum), which makes
+/// its eigenvector matrix numerically singular — eigendecomposition-based
+/// algorithms such as `lti::frequency_limited_tbr`'s band filter fail on
+/// it outright. Jitter splits the spectrum and restores a
+/// well-conditioned eigenbasis, the same device [`crate::clock_tree_jittered`]
+/// uses for the symmetric clock tree.
+///
+/// # Errors
+///
+/// Same as [`rc_mesh`].
+#[allow(clippy::too_many_arguments)]
+pub fn rc_mesh_jittered(
+    rows: usize,
+    cols: usize,
+    port_positions: &[usize],
+    r: f64,
+    c: f64,
+    r_gnd: f64,
+    jitter: f64,
+    seed: u64,
+) -> Result<Descriptor, NumError> {
     if rows == 0 || cols == 0 {
         return Err(NumError::InvalidArgument("mesh must have at least one node"));
     }
     if port_positions.iter().any(|&p| p >= rows * cols) {
         return Err(NumError::InvalidArgument("port position outside the mesh"));
     }
+    // Small deterministic xorshift for the jitter (no rand dependency
+    // needed for a reproducible parameter perturbation).
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(0x1234_5678);
+    let mut jit = move |base: f64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64; // in [0, 1)
+        base * (1.0 + jitter * (u - 0.5))
+    };
     let mut nl = Netlist::new();
     let node = |i: usize, j: usize| i * cols + j + 1; // 1-based, 0 is ground
     for i in 0..rows {
         for j in 0..cols {
-            nl.capacitor(node(i, j), 0, c);
+            nl.capacitor(node(i, j), 0, jit(c));
             if j + 1 < cols {
-                nl.resistor(node(i, j), node(i, j + 1), r);
+                nl.resistor(node(i, j), node(i, j + 1), jit(r));
             }
             if i + 1 < rows {
-                nl.resistor(node(i, j), node(i + 1, j), r);
+                nl.resistor(node(i, j), node(i + 1, j), jit(r));
             }
         }
     }
     for &p in port_positions {
         let n = p + 1;
-        nl.resistor(n, 0, r_gnd);
+        nl.resistor(n, 0, jit(r_gnd));
         nl.port(n);
     }
     nl.build()

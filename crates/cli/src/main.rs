@@ -4,9 +4,13 @@
 //! pmtbr-cli sweep  <netlist> --from <hz> --to <hz> [--points N] [--log]
 //! pmtbr-cli hsv    <netlist> [--band <hz>] [--samples N]
 //! pmtbr-cli reduce <netlist> [--order N] [--tol T] [--band <hz>]
-//!                  [--samples N] [--method pmtbr|prima|mpproj|tbr]
+//!                  [--bands lo:hi[,lo:hi...]] [--samples N] [--method M]
 //!                  [--check N] [--max-dropped-samples N] [--strict]
 //! ```
+//!
+//! The `--method` names, the usage text, and the unknown-method error
+//! are all derived from the [`pmtbr_cli::METHODS`] registry — run
+//! `pmtbr-cli help` for the current list with one-line summaries.
 //!
 //! All frequency arguments are in hertz. `sweep` prints the port
 //! impedance magnitudes as CSV; `hsv` prints the PMTBR singular-value
@@ -28,10 +32,12 @@
 //!
 //! # Degradation policy and exit codes
 //!
-//! `reduce --method pmtbr` runs the fault-tolerant sampling pipeline:
+//! Every PMTBR-family method runs the fault-tolerant sampling pipeline:
 //! sample points whose shifted solves fail beyond recovery are dropped
 //! and the quadrature degrades gracefully. The per-point account is
-//! printed to stderr whenever the sweep deviated from the request.
+//! printed to stderr whenever the sweep deviated from the request; the
+//! strict Krylov/TBR baselines never degrade (they either succeed
+//! cleanly or fail with exit 1).
 //!
 //! - `0` — clean run, every sample point solved as requested;
 //! - `2` — degraded but accepted (drops within `--max-dropped-samples`,
@@ -48,9 +54,8 @@
 
 use std::process::ExitCode;
 
-use lti::{frequency_response, linspace, logspace, max_rel_error, NoFaults, RecoveryPolicy, SolveFault, SquareWave};
-use numkit::c64;
-use pmtbr::{pmtbr_tolerant, sample_basis, FaultPlan, PmtbrOptions, Sampling};
+use lti::{frequency_response, linspace, logspace, max_rel_error, SquareWave};
+use pmtbr::{sample_basis, Sampling};
 
 const TAU: f64 = 2.0 * std::f64::consts::PI;
 
@@ -199,6 +204,20 @@ fn cmd_hsv(args: &Args) -> CmdResult {
     Ok(Status::Clean)
 }
 
+/// Parses `--bands lo:hi[,lo:hi...]` (hertz) into rad/s band edges.
+fn parse_bands(spec: &str) -> Result<Vec<(f64, f64)>, String> {
+    let mut bands = Vec::new();
+    for part in spec.split(',') {
+        let (lo, hi) = part
+            .split_once(':')
+            .ok_or_else(|| format!("--bands: expected lo:hi, got `{part}`"))?;
+        let lo: f64 = lo.parse().map_err(|_| format!("--bands: bad number `{lo}`"))?;
+        let hi: f64 = hi.parse().map_err(|_| format!("--bands: bad number `{hi}`"))?;
+        bands.push((lo * TAU, hi * TAU));
+    }
+    Ok(bands)
+}
+
 fn cmd_reduce(args: &Args) -> CmdResult {
     let path = args.positional.first().ok_or("reduce: missing netlist path")?;
     let sys = load(path)?;
@@ -206,108 +225,53 @@ fn cmd_reduce(args: &Args) -> CmdResult {
     let samples = args.int("samples", 40)?;
     let tol = args.num("tol", 1e-8)?;
     let order = args.flag_value("order").map(|v| v.parse::<usize>()).transpose().map_err(|_| "--order: invalid integer".to_string())?;
-    let method = args.flag_value("method").unwrap_or("pmtbr").to_string();
+    let method_name = args.flag_value("method").unwrap_or("pmtbr");
     let omega_max = band * TAU;
     let max_dropped = args.int("max-dropped-samples", samples)?;
     let strict = args.flag_present("strict");
 
+    // Dispatch, usage, and the error below all come from the registry.
+    let method = pmtbr_cli::find(method_name).ok_or_else(|| {
+        format!("unknown --method `{method_name}` ({})", pmtbr_cli::method_list())
+    })?;
+    let mut req = pmtbr_cli::ReduceRequest::new(omega_max, samples);
+    req.tol = tol;
+    req.order = order;
+    if let Some(spec) = args.flag_value("bands") {
+        req.bands = parse_bands(spec)?;
+    }
+    // PMTBR_FAULT (chaos testing) is the only fault source in
+    // production; real solver failures flow through the same ladder and
+    // the same degradation accounting inside the pipeline.
+    let out = (method.run)(&sys, &req).map_err(Failure::Error)?;
+
+    // The acceptance policy runs before any stdout so a rejected sweep
+    // never prints a half-report.
     let mut status = Status::Clean;
-    let reduced = match method.as_str() {
-        "pmtbr" => {
-            let mut opts = PmtbrOptions::new(Sampling::Linear { omega_max, n: samples })
-                .with_tolerance(tol);
-            if let Some(q) = order {
-                opts = opts.with_max_order(q);
+    if let Some(diag) = &out.diagnostics {
+        if diag.is_degraded() {
+            eprintln!("degraded {}", diag.summary());
+            if strict {
+                return Err(Failure::Rejected(format!(
+                    "--strict: sweep degraded ({})",
+                    diag.summary()
+                )));
             }
-            // PMTBR_FAULT (chaos testing) is the only fault source in
-            // production; real solver failures flow through the same
-            // ladder and the same degradation accounting.
-            let faults = FaultPlan::from_env();
-            let faults: &dyn SolveFault = match &faults {
-                Some(plan) => plan,
-                None => &NoFaults,
-            };
-            let (m, diag) = pmtbr_tolerant(&sys, &opts, &RecoveryPolicy::default(), faults)
-                .map_err(|e| e.to_string())?;
-            if diag.is_degraded() {
-                eprintln!("degraded {}", diag.summary());
-                if strict {
-                    return Err(Failure::Rejected(format!(
-                        "--strict: sweep degraded ({})",
-                        diag.summary()
-                    )));
-                }
-                if diag.dropped() > max_dropped {
-                    return Err(Failure::Rejected(format!(
-                        "{} sample points dropped exceeds --max-dropped-samples {} ({})",
-                        diag.dropped(),
-                        max_dropped,
-                        diag.summary()
-                    )));
-                }
-                status = Status::Degraded;
+            if diag.dropped() > max_dropped {
+                return Err(Failure::Rejected(format!(
+                    "{} sample points dropped exceeds --max-dropped-samples {} ({})",
+                    diag.dropped(),
+                    max_dropped,
+                    diag.summary()
+                )));
             }
-            println!("method: pmtbr");
-            println!("order: {}", m.order);
-            println!("error_estimate: {:.6e}", m.error_estimate);
-            println!("samples_surviving: {}/{}", diag.surviving, diag.requested);
-            println!("singular_values:");
-            for (i, s) in m.singular_values.iter().take(m.order + 5).enumerate() {
-                println!("  sigma_{i}: {s:.6e}");
-            }
-            m.reduced
+            status = Status::Degraded;
         }
-        "prima" => {
-            let q = order.ok_or("prima requires --order")?;
-            let m = krylov::prima(&sys, q, 0.0).map_err(|e| e.to_string())?;
-            println!("method: prima\norder: {}", m.reduced.nstates());
-            m.reduced
-        }
-        "mpproj" => {
-            let q = order.ok_or("mpproj requires --order")?;
-            let pts: Vec<c64> = Sampling::Linear { omega_max, n: samples }
-                .points()
-                .map_err(|e| e.to_string())?
-                .iter()
-                .map(|p| p.s)
-                .collect();
-            let m = krylov::mpproj(&sys, &pts, q).map_err(|e| e.to_string())?;
-            println!("method: mpproj\norder: {}", m.reduced.nstates());
-            m.reduced
-        }
-        "tbr" | "tbr-res" | "fltbr" => {
-            let q = order.ok_or("tbr variants require --order")?;
-            let ss = sys
-                .to_state_space()
-                .map_err(|e| format!("{method} needs an invertible E matrix: {e}"))?;
-            let m = match method.as_str() {
-                "tbr" => lti::tbr(&ss, q),
-                "tbr-res" => lti::tbr_residualized(&ss, q),
-                _ => lti::frequency_limited_tbr(&ss, omega_max, q),
-            }
-            .map_err(|e| e.to_string())?;
-            println!("method: {method}\norder: {}", m.reduced.nstates());
-            println!("error_bound: {:.6e}", m.error_bound);
-            m.reduced
-        }
-        "balanced" => {
-            let q = order.ok_or("balanced requires --order")?;
-            let m = pmtbr::balanced_pmtbr(
-                &sys,
-                &Sampling::Linear { omega_max, n: samples },
-                q,
-            )
-            .map_err(|e| e.to_string())?;
-            println!("method: balanced-pmtbr\norder: {}", m.order);
-            println!("error_estimate: {:.6e}", m.error_estimate);
-            m.reduced
-        }
-        other => {
-            return Err(Failure::Error(format!(
-                "unknown --method `{other}` (pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr)"
-            )))
-        }
-    };
+    }
+    for line in &out.report {
+        println!("{line}");
+    }
+    let reduced = out.reduced;
 
     if let Some(npts) = args.flag_value("check") {
         let npts: usize = npts.parse().map_err(|_| "--check: invalid integer".to_string())?;
@@ -374,8 +338,23 @@ fn cmd_transient(args: &Args) -> CmdResult {
     Ok(Status::Clean)
 }
 
-fn usage() -> &'static str {
-    "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--samples N] [--method pmtbr|balanced|prima|mpproj|tbr|tbr-res|fltbr] [--check N] [--max-dropped-samples N] [--strict]\nglobal flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")"
+fn usage() -> String {
+    let mut s = format!(
+        "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--bands lo:hi[,lo:hi...]] [--samples N] [--method {}] [--check N] [--max-dropped-samples N] [--strict]\nmethods:\n",
+        pmtbr_cli::method_list()
+    );
+    for m in pmtbr_cli::METHODS {
+        s.push_str(&format!(
+            "  {:<11} {}{}\n",
+            m.name,
+            m.summary,
+            if m.needs_order { " [needs --order]" } else { "" }
+        ));
+    }
+    s.push_str(
+        "global flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")",
+    );
+    s
 }
 
 fn main() -> ExitCode {

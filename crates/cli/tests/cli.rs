@@ -106,6 +106,63 @@ fn unknown_command_fails_with_usage() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
 
+/// The dispatch, usage text, and unknown-method error are all derived
+/// from the [`pmtbr_cli::METHODS`] registry; enumerate it end-to-end so
+/// a registry entry can never exist without a working CLI path.
+#[test]
+fn every_registry_method_reduces_the_tiny_netlist() {
+    let nl = write_netlist("registry.sp", RC_LADDER);
+    let path = nl.to_str().expect("utf8 path");
+    for m in pmtbr_cli::METHODS {
+        let out = bin()
+            .args([
+                "reduce", path, "--method", m.name, "--order", "2", "--band", "2e9",
+                "--samples", "10",
+            ])
+            .output()
+            .expect("run reduce");
+        assert!(
+            out.status.success(),
+            "{}: stderr: {}",
+            m.name,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("method: "), "{}: {text}", m.name);
+        assert!(text.lines().any(|l| l.starts_with("order: ")), "{}: {text}", m.name);
+        assert!(
+            text.lines().any(|l| l.starts_with("A: #")),
+            "{}: model matrices must be dumped",
+            m.name
+        );
+    }
+}
+
+/// The unknown-method error must list exactly the registry names.
+#[test]
+fn unknown_method_error_is_registry_derived() {
+    let nl = write_netlist("registry2.sp", RC_LADDER);
+    let out = bin()
+        .args(["reduce", nl.to_str().expect("utf8 path"), "--method", "frobnicate"])
+        .output()
+        .expect("run reduce");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown --method `frobnicate`"), "stderr: {err}");
+    assert!(err.contains(&pmtbr_cli::method_list()), "stderr: {err}");
+}
+
+/// `help` must mention every registry method by name.
+#[test]
+fn help_lists_every_registry_method() {
+    let out = bin().arg("help").output().expect("run help");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for m in pmtbr_cli::METHODS {
+        assert!(text.contains(m.name), "usage must list `{}`", m.name);
+    }
+}
+
 /// Fault injection via `PMTBR_FAULT`: with drops the sweep degrades,
 /// the diagnostics land on stderr, and the exit code distinguishes
 /// accepted (2) from rejected (3) degradation.

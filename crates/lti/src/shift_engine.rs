@@ -31,7 +31,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use crate::descriptor::ShiftedPencilAssembler;
-use crate::tolerant::{RecoveryPolicy, ShiftOutcome, ShiftReport, SolveFault, TolerantSweep};
+use crate::tolerant::{
+    RecoveryPolicy, ShiftOutcome, ShiftReport, SolveFault, SweepRhs, TolerantSweep,
+};
 use crate::Descriptor;
 
 /// A reusable engine for solving `(s·E − A)·Z = R` at many shifts.
@@ -221,6 +223,47 @@ impl ShiftSolveEngine {
         policy: &RecoveryPolicy,
         faults: &dyn SolveFault,
     ) -> TolerantSweep {
+        self.tolerant_driver(shifts, SweepRhs::Shared(rhs), threads, policy, faults)
+    }
+
+    /// Fault-tolerant multipoint solve with a per-shift right-hand side
+    /// (`rhss[k]` pairs with `shifts[k]`) — the tolerant counterpart of
+    /// [`ShiftSolveEngine::solve_pairs`], with the same ladder,
+    /// determinism, and panic-containment guarantees as
+    /// [`ShiftSolveEngine::solve_many_tolerant`].
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::ShapeMismatch`] if the lists differ in length; the
+    /// sweep itself always returns (drops are reported, not raised).
+    pub fn solve_pairs_tolerant(
+        &self,
+        shifts: &[c64],
+        rhss: &[ZMat],
+        threads: usize,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> Result<TolerantSweep, NumError> {
+        if shifts.len() != rhss.len() {
+            return Err(NumError::ShapeMismatch {
+                operation: "shift engine solve_pairs_tolerant",
+                left: (shifts.len(), 1),
+                right: (rhss.len(), 1),
+            });
+        }
+        Ok(self.tolerant_driver(shifts, SweepRhs::PerShift(rhss), threads, policy, faults))
+    }
+
+    /// Shared tolerant driver behind the shared-rhs and per-shift-rhs
+    /// entry points.
+    fn tolerant_driver(
+        &self,
+        shifts: &[c64],
+        rhs: SweepRhs<'_>,
+        threads: usize,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> TolerantSweep {
         let n = shifts.len();
         let mut solutions: Vec<Option<ZMat>> = Vec::with_capacity(n);
         let mut reports: Vec<ShiftReport> = Vec::with_capacity(n);
@@ -230,7 +273,7 @@ impl ShiftSolveEngine {
         let mut k = 0;
         while k < n && !self.is_primed() {
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                self.ladder(k, shifts[k], rhs, policy, faults, true)
+                self.ladder(k, shifts[k], rhs.get(k), policy, faults, true)
             }));
             let (sol, rep) = attempt.unwrap_or_else(|_| {
                 (
@@ -248,7 +291,7 @@ impl ShiftSolveEngine {
         }
         // Fan out the rest; workers only read the primed state.
         let rest = try_par_map_with(n - k, threads, |i| {
-            Ok(self.ladder(k + i, shifts[k + i], rhs, policy, faults, false))
+            Ok(self.ladder(k + i, shifts[k + i], rhs.get(k + i), policy, faults, false))
         });
         for (i, r) in rest.into_iter().enumerate() {
             let index = k + i;

@@ -8,7 +8,9 @@
 
 use numkit::{c64, DMat, NumError, ZMat};
 
-use crate::tolerant::{generic_tolerant_sweep, RecoveryPolicy, SolveFault, TolerantSweep};
+use crate::tolerant::{
+    generic_tolerant_sweep, RecoveryPolicy, SolveFault, SweepRhs, SweepSide, TolerantSweep,
+};
 use crate::{Descriptor, StateSpace};
 
 /// A linear time-invariant system that reduction algorithms can sample.
@@ -54,6 +56,16 @@ pub trait LtiSystem {
     /// [`NumError::ShapeMismatch`] if `x` has the wrong row count.
     fn apply_shifted(&self, s: c64, x: &ZMat) -> Result<ZMat, NumError>;
 
+    /// Applies the transposed pencil: returns `(s·E − A)ᵀ·X`. The
+    /// observability-side counterpart of [`LtiSystem::apply_shifted`],
+    /// needed so transposed tolerant sweeps can certify their residuals
+    /// matrix-free. Must be cheap (no factorization).
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::ShapeMismatch`] if `x` has the wrong row count.
+    fn apply_shifted_transpose(&self, s: c64, x: &ZMat) -> Result<ZMat, NumError>;
+
     /// Fault-tolerant counterpart of [`LtiSystem::solve_shifted_many`]:
     /// runs the per-shift escalation ladder (solve → certify → refine →
     /// perturb → drop) and always returns, reporting each shift's fate
@@ -71,7 +83,62 @@ pub trait LtiSystem {
         policy: &RecoveryPolicy,
         faults: &dyn SolveFault,
     ) -> TolerantSweep {
-        generic_tolerant_sweep(self, shifts, rhs, policy, faults)
+        generic_tolerant_sweep(self, shifts, SweepRhs::Shared(rhs), SweepSide::Forward, policy, faults)
+    }
+
+    /// Fault-tolerant counterpart of [`LtiSystem::solve_shifted_pairs`]:
+    /// the escalation ladder with a per-shift right-hand side
+    /// (`rhss[k]` pairs with `shifts[k]`). Same determinism contract as
+    /// [`LtiSystem::solve_shifted_many_tolerant`].
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::ShapeMismatch`] if the lists differ in length; the
+    /// sweep itself always returns (drops are reported, not raised).
+    fn solve_shifted_pairs_tolerant(
+        &self,
+        shifts: &[c64],
+        rhss: &[ZMat],
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> Result<TolerantSweep, NumError> {
+        if shifts.len() != rhss.len() {
+            return Err(NumError::ShapeMismatch {
+                operation: "solve_shifted_pairs_tolerant",
+                left: (shifts.len(), 1),
+                right: (rhss.len(), 1),
+            });
+        }
+        Ok(generic_tolerant_sweep(
+            self,
+            shifts,
+            SweepRhs::PerShift(rhss),
+            SweepSide::Forward,
+            policy,
+            faults,
+        ))
+    }
+
+    /// Fault-tolerant transposed sweep: the escalation ladder over
+    /// `(sₖ·E − A)ᵀ·Zₖ = R` — the observability-side samples that
+    /// two-sided (balanced / cross-Gramian) reductions need. Same
+    /// determinism contract as
+    /// [`LtiSystem::solve_shifted_many_tolerant`].
+    fn solve_shifted_transpose_many_tolerant(
+        &self,
+        shifts: &[c64],
+        rhs: &ZMat,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> TolerantSweep {
+        generic_tolerant_sweep(
+            self,
+            shifts,
+            SweepRhs::Shared(rhs),
+            SweepSide::Transpose,
+            policy,
+            faults,
+        )
     }
 
     /// Solves `(sₖ·E − A)·Zₖ = R` at every shift against one shared
@@ -158,6 +225,11 @@ impl LtiSystem for StateSpace {
         let ax = self.a.to_complex().matmul(x)?;
         Ok(ZMat::from_fn(x.nrows(), x.ncols(), |i, j| s * x[(i, j)] - ax[(i, j)]))
     }
+    /// `(s·I − A)ᵀ·X = s·X − Aᵀ·X`.
+    fn apply_shifted_transpose(&self, s: c64, x: &ZMat) -> Result<ZMat, NumError> {
+        let atx = self.a.transpose().to_complex().matmul(x)?;
+        Ok(ZMat::from_fn(x.nrows(), x.ncols(), |i, j| s * x[(i, j)] - atx[(i, j)]))
+    }
     fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
         StateSpace::project(self, w, v)
     }
@@ -231,6 +303,29 @@ impl LtiSystem for Descriptor {
         }
         Ok(out)
     }
+    /// `s·(Eᵀ·X) − Aᵀ·X` via sparse row iteration with swapped indices —
+    /// no pencil assembly.
+    fn apply_shifted_transpose(&self, s: c64, x: &ZMat) -> Result<ZMat, NumError> {
+        if x.nrows() != self.nstates() {
+            return Err(NumError::ShapeMismatch {
+                operation: "descriptor apply_shifted_transpose",
+                left: (self.nstates(), self.nstates()),
+                right: x.shape(),
+            });
+        }
+        let mut out = ZMat::zeros(x.nrows(), x.ncols());
+        for (i, j, ev) in self.e.iter() {
+            for col in 0..x.ncols() {
+                out[(j, col)] += s * x[(i, col)].scale(ev);
+            }
+        }
+        for (i, j, av) in self.a.iter() {
+            for col in 0..x.ncols() {
+                out[(j, col)] -= x[(i, col)].scale(av);
+            }
+        }
+        Ok(out)
+    }
     fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
         Descriptor::project(self, w, v)
     }
@@ -252,6 +347,40 @@ impl LtiSystem for Descriptor {
         faults: &dyn SolveFault,
     ) -> TolerantSweep {
         crate::ShiftSolveEngine::new(self).solve_many_tolerant(
+            shifts,
+            rhs,
+            numkit::par::num_threads(),
+            policy,
+            faults,
+        )
+    }
+    /// Sparse ladder with per-shift right-hand sides, through the same
+    /// factorization-reusing engine.
+    fn solve_shifted_pairs_tolerant(
+        &self,
+        shifts: &[c64],
+        rhss: &[ZMat],
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> Result<TolerantSweep, NumError> {
+        crate::ShiftSolveEngine::new(self).solve_pairs_tolerant(
+            shifts,
+            rhss,
+            numkit::par::num_threads(),
+            policy,
+            faults,
+        )
+    }
+    /// Sparse transposed ladder: the engine assembles `(s·E − A)ᵀ` once
+    /// and reuses one symbolic analysis across all transposed solves.
+    fn solve_shifted_transpose_many_tolerant(
+        &self,
+        shifts: &[c64],
+        rhs: &ZMat,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> TolerantSweep {
+        crate::ShiftSolveEngine::new_transposed(self).solve_many_tolerant(
             shifts,
             rhs,
             numkit::par::num_threads(),

@@ -290,13 +290,57 @@ pub fn operator_residual(rhs: &ZMat, applied: &ZMat) -> f64 {
     }
 }
 
+/// Which pencil a tolerant sweep solves: the forward `s·E − A`
+/// (controllability-side samples) or its transpose (observability-side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SweepSide {
+    /// `(s·E − A)·Z = R`.
+    Forward,
+    /// `(s·E − A)ᵀ·Z = R`.
+    Transpose,
+}
+
+impl SweepSide {
+    fn solve<S: LtiSystem + ?Sized>(self, sys: &S, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
+        match self {
+            SweepSide::Forward => sys.solve_shifted(s, rhs),
+            SweepSide::Transpose => sys.solve_shifted_transpose(s, rhs),
+        }
+    }
+
+    fn apply<S: LtiSystem + ?Sized>(self, sys: &S, s: c64, x: &ZMat) -> Result<ZMat, NumError> {
+        match self {
+            SweepSide::Forward => sys.apply_shifted(s, x),
+            SweepSide::Transpose => sys.apply_shifted_transpose(s, x),
+        }
+    }
+}
+
+/// Right-hand sides of a tolerant sweep: one shared matrix for every
+/// shift, or one matrix per shift (input-correlated sampling).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SweepRhs<'a> {
+    Shared(&'a ZMat),
+    PerShift(&'a [ZMat]),
+}
+
+impl SweepRhs<'_> {
+    pub(crate) fn get(&self, index: usize) -> &ZMat {
+        match self {
+            SweepRhs::Shared(r) => r,
+            SweepRhs::PerShift(rs) => &rs[index],
+        }
+    }
+}
+
 /// The dense/generic escalation ladder behind the
-/// [`LtiSystem::solve_shifted_many_tolerant`] default: per shift, solve
-/// → corrupt (harness) → certify via [`LtiSystem::apply_shifted`] →
-/// refine → perturb → drop. There is no factorization reuse at this
-/// level, so the rungs are `Refreshed → Refined → Perturbed → Dropped`;
-/// one factorization attempt is made per perturbation level and the
-/// attempt counter passed to the fault hook equals that level.
+/// [`LtiSystem::solve_shifted_many_tolerant`] family of defaults: per
+/// shift, solve → corrupt (harness) → certify via the matching
+/// `apply_shifted` operator → refine → perturb → drop. There is no
+/// factorization reuse at this level, so the rungs are
+/// `Refreshed → Refined → Perturbed → Dropped`; one factorization
+/// attempt is made per perturbation level and the attempt counter
+/// passed to the fault hook equals that level.
 ///
 /// Panics raised by the system's solve (or injected by the harness) are
 /// contained per shift with [`catch_unwind`] and surfaced as a dropped
@@ -304,7 +348,8 @@ pub fn operator_residual(rhs: &ZMat, applied: &ZMat) -> f64 {
 pub(crate) fn generic_tolerant_sweep<S: LtiSystem + ?Sized>(
     sys: &S,
     shifts: &[c64],
-    rhs: &ZMat,
+    rhs: SweepRhs<'_>,
+    side: SweepSide,
     policy: &RecoveryPolicy,
     faults: &dyn SolveFault,
 ) -> TolerantSweep {
@@ -312,7 +357,7 @@ pub(crate) fn generic_tolerant_sweep<S: LtiSystem + ?Sized>(
     let mut reports = Vec::with_capacity(shifts.len());
     for (index, &s_req) in shifts.iter().enumerate() {
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            generic_ladder(sys, index, s_req, rhs, policy, faults)
+            generic_ladder(sys, index, s_req, rhs.get(index), side, policy, faults)
         }));
         let (sol, rep) = attempt.unwrap_or_else(|_| {
             (None, ShiftReport::dropped(index, s_req, Some(NumError::WorkerPanicked { index })))
@@ -328,6 +373,7 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
     index: usize,
     s_req: c64,
     rhs: &ZMat,
+    side: SweepSide,
     policy: &RecoveryPolicy,
     faults: &dyn SolveFault,
 ) -> (Option<ZMat>, ShiftReport) {
@@ -346,7 +392,7 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
             last_err = Some(e);
             continue;
         }
-        let mut x = match sys.solve_shifted(s, rhs) {
+        let mut x = match side.solve(sys, s, rhs) {
             Ok(x) => x,
             Err(e) => {
                 last_err = Some(e);
@@ -354,7 +400,7 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
             }
         };
         faults.corrupt(index, attempt, &mut x);
-        let mut residual = match sys.apply_shifted(s, &x) {
+        let mut residual = match side.apply(sys, s, &x) {
             Ok(applied) => operator_residual(rhs, &applied),
             Err(e) => {
                 last_err = Some(e);
@@ -365,12 +411,13 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
         while residual.is_finite() && residual > policy.residual_tol
             && refine_steps < policy.refine_steps
         {
-            // One refinement step: x += (sE − A)⁻¹ (rhs − (sE − A)x).
-            let next = sys
-                .apply_shifted(s, &x)
-                .and_then(|applied| sys.solve_shifted(s, &(rhs - &applied)))
+            // One refinement step: x += M⁻¹ (rhs − M·x) with M the
+            // side's pencil operator.
+            let next = side
+                .apply(sys, s, &x)
+                .and_then(|applied| side.solve(sys, s, &(rhs - &applied)))
                 .map(|dx| &x + &dx)
-                .and_then(|xr| sys.apply_shifted(s, &xr).map(|ap| (xr, ap)));
+                .and_then(|xr| side.apply(sys, s, &xr).map(|ap| (xr, ap)));
             match next {
                 Ok((xr, applied)) => {
                     let r = operator_residual(rhs, &applied);

@@ -6,11 +6,23 @@
 //! *least representable* in the current basis (largest relative
 //! residual), bisecting the surrounding interval, until the residual
 //! falls below `tol` or the sample budget runs out.
+//!
+//! Both the exploratory probes and the final model build run through
+//! the shared reduction pipeline machinery: probe rounds are batched
+//! through the tolerant parallel engine
+//! ([`LtiSystem::solve_shifted_many_tolerant`]), and the chosen points
+//! become a [`Sampling::Custom`] plan executed by
+//! [`crate::pipeline::run_with`] — so adaptive reduction inherits the
+//! same fault-tolerance ladder (`PMTBR_FAULT`), threading, and tracing
+//! as every other variant.
 
-use lti::{realify_columns, LtiSystem, StateSpace};
-use numkit::{c64, svd, DMat, NumError};
+use lti::{realify_columns, LtiSystem, NoFaults, RecoveryPolicy, SolveFault};
+use numkit::{c64, NumError, ZMat};
 
-use crate::PmtbrModel;
+use crate::fault::FaultPlan;
+use crate::pipeline::{Compressor, InputDirections, OrderControl, ReductionPlan};
+use crate::sweep::SweepDiagnostics;
+use crate::{PmtbrModel, SamplePoint, Sampling};
 
 /// Result of adaptive sampling: the reduced model plus the frequency
 /// points that were actually selected.
@@ -20,6 +32,62 @@ pub struct AdaptiveModel {
     pub model: PmtbrModel,
     /// The adaptively chosen angular frequencies, in selection order.
     pub chosen_omegas: Vec<f64>,
+    /// Per-point account of the final model-building sweep.
+    pub diagnostics: SweepDiagnostics,
+}
+
+/// Folds the realified columns of a solved sample into the orthonormal
+/// probe basis (two-pass Gram–Schmidt, drop tolerance `1e-13`).
+fn absorb(qbasis: &mut Vec<Vec<f64>>, z: &ZMat) {
+    let real = realify_columns(z, 1e-13);
+    for j in 0..real.ncols() {
+        let col = real.col(j);
+        let norm0: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm0 == 0.0 {
+            continue;
+        }
+        let mut v = col;
+        for _ in 0..2 {
+            for bvec in qbasis.iter() {
+                let proj: f64 = bvec.iter().zip(&v).map(|(x, y)| x * y).sum();
+                for (vi, bi) in v.iter_mut().zip(bvec) {
+                    *vi -= proj * bi;
+                }
+            }
+        }
+        let res: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if res > 1e-13 * norm0 {
+            for vi in v.iter_mut() {
+                *vi /= res;
+            }
+            qbasis.push(v);
+        }
+    }
+}
+
+/// Worst relative residual of a solved sample's realified columns
+/// against the probe basis (single-pass projection — probes only rank
+/// candidates, they don't need re-orthogonalization accuracy).
+fn residual_against(qbasis: &[Vec<f64>], z: &ZMat) -> f64 {
+    let real = realify_columns(z, 1e-13);
+    let mut worst: f64 = 0.0;
+    for j in 0..real.ncols() {
+        let col = real.col(j);
+        let norm0: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm0 == 0.0 {
+            continue;
+        }
+        let mut v = col;
+        for bvec in qbasis.iter() {
+            let proj: f64 = bvec.iter().zip(&v).map(|(x, y)| x * y).sum();
+            for (vi, bi) in v.iter_mut().zip(bvec) {
+                *vi -= proj * bi;
+            }
+        }
+        let res: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        worst = worst.max(res / norm0);
+    }
+    worst
 }
 
 /// Runs adaptive PMTBR over the band `[omega_lo, omega_hi]`.
@@ -27,13 +95,18 @@ pub struct AdaptiveModel {
 /// Starts from the band edges and midpoint, then repeatedly bisects the
 /// interval whose midpoint sample has the largest residual against the
 /// current basis. Stops when the worst residual (relative to the sample
-/// norm) drops below `tol` or `max_samples` is reached.
+/// norm) drops below `tol` or `max_samples` is reached. The chosen
+/// points are then executed as a [`Sampling::Custom`] plan through the
+/// shared pipeline (uniform weights — the adaptive density itself
+/// encodes the weighting), so the final sweep is parallel, traced, and
+/// fault-tolerant: under `PMTBR_FAULT` both the probes and the model
+/// build degrade gracefully instead of erroring.
 ///
 /// # Errors
 ///
 /// - [`NumError::InvalidArgument`] for a degenerate band or
 ///   `max_samples < 3`.
-/// - Propagates solve/SVD/projection errors.
+/// - Propagates solve/SVD/projection errors from the final pipeline run.
 ///
 /// # Examples
 ///
@@ -56,6 +129,41 @@ pub fn adaptive_pmtbr<S: LtiSystem + ?Sized>(
     max_samples: usize,
     max_order: Option<usize>,
 ) -> Result<AdaptiveModel, NumError> {
+    match FaultPlan::from_env() {
+        Some(plan) => adaptive_driver(
+            sys,
+            omega_lo,
+            omega_hi,
+            tol,
+            max_samples,
+            max_order,
+            &RecoveryPolicy::default(),
+            &plan,
+        ),
+        None => adaptive_driver(
+            sys,
+            omega_lo,
+            omega_hi,
+            tol,
+            max_samples,
+            max_order,
+            &RecoveryPolicy::default(),
+            &NoFaults,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_driver<S: LtiSystem + ?Sized>(
+    sys: &S,
+    omega_lo: f64,
+    omega_hi: f64,
+    tol: f64,
+    max_samples: usize,
+    max_order: Option<usize>,
+    policy: &RecoveryPolicy,
+    faults: &dyn SolveFault,
+) -> Result<AdaptiveModel, NumError> {
     if !(omega_hi > omega_lo) || omega_lo < 0.0 {
         return Err(NumError::InvalidArgument("band must satisfy 0 <= lo < hi"));
     }
@@ -63,121 +171,76 @@ pub fn adaptive_pmtbr<S: LtiSystem + ?Sized>(
         return Err(NumError::InvalidArgument("adaptive sampling needs at least 3 samples"));
     }
     let b = sys.input_matrix().to_complex();
+    // Guard against sampling exactly at a dc pole.
+    let clamp = |w: f64| c64::new(0.0, w.max((omega_hi - omega_lo) * 1e-9));
 
-    // Orthonormal basis columns and raw (weighted) sample columns.
     let mut qbasis: Vec<Vec<f64>> = Vec::new();
-    let mut raw_cols: Vec<Vec<f64>> = Vec::new();
     let mut chosen: Vec<f64> = Vec::new();
 
-    let take = |w: f64,
-                    qbasis: &mut Vec<Vec<f64>>,
-                    raw_cols: &mut Vec<Vec<f64>>,
-                    chosen: &mut Vec<f64>|
-     -> Result<f64, NumError> {
-        // Guard against sampling exactly at a dc pole.
-        let s = c64::new(0.0, w.max((omega_hi - omega_lo) * 1e-9));
-        let z = sys.solve_shifted(s, &b)?;
-        let real = realify_columns(&z, 1e-13);
-        let mut worst: f64 = 0.0;
-        for j in 0..real.ncols() {
-            let col = real.col(j);
-            let norm0: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
-            raw_cols.push(col.clone());
-            let mut v = col;
-            for _ in 0..2 {
-                for bvec in qbasis.iter() {
-                    let proj: f64 = bvec.iter().zip(&v).map(|(x, y)| x * y).sum();
-                    for (vi, bi) in v.iter_mut().zip(bvec) {
-                        *vi -= proj * bi;
-                    }
-                }
-            }
-            let res: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm0 > 0.0 {
-                worst = worst.max(res / norm0);
-                if res > 1e-13 * norm0 {
-                    for vi in v.iter_mut() {
-                        *vi /= res;
-                    }
-                    qbasis.push(v);
-                }
-            }
+    // Seed with the band edges and midpoint — one batched tolerant
+    // solve, absorbed in order so the basis matches sequential seeding.
+    let seeds = [omega_lo, omega_hi, (omega_lo + omega_hi) / 2.0];
+    let shifts: Vec<c64> = seeds.iter().map(|&w| clamp(w)).collect();
+    let sweep = sys.solve_shifted_many_tolerant(&shifts, &b, policy, faults);
+    for (w, sol) in seeds.iter().zip(&sweep.solutions) {
+        if let Some(z) = sol {
+            absorb(&mut qbasis, z);
         }
-        chosen.push(w);
-        Ok(worst)
-    };
-
-    // Seed with the band edges and midpoint.
-    let mid0 = (omega_lo + omega_hi) / 2.0;
-    take(omega_lo, &mut qbasis, &mut raw_cols, &mut chosen)?;
-    take(omega_hi, &mut qbasis, &mut raw_cols, &mut chosen)?;
-    take(mid0, &mut qbasis, &mut raw_cols, &mut chosen)?;
+        // A dropped seed still counts against the budget; the final
+        // sweep retries it through the ladder.
+        chosen.push(*w);
+    }
 
     // Interval queue: candidate midpoints between already-sampled points.
     while chosen.len() < max_samples {
         let mut sorted = chosen.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        // Probe each interval midpoint's residual; take the worst.
-        let mut best: Option<(f64, f64)> = None; // (residual, omega)
+        let mut mids: Vec<f64> = Vec::new();
         for pair in sorted.windows(2) {
-            let mid = (pair[0] + pair[1]) / 2.0;
             if (pair[1] - pair[0]) < (omega_hi - omega_lo) * 1e-6 {
                 continue;
             }
-            let s = c64::new(0.0, mid.max((omega_hi - omega_lo) * 1e-9));
-            let z = sys.solve_shifted(s, &b)?;
-            let real = realify_columns(&z, 1e-13);
-            let mut worst: f64 = 0.0;
-            for j in 0..real.ncols() {
-                let col = real.col(j);
-                let norm0: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
-                if norm0 == 0.0 {
-                    continue;
-                }
-                let mut v = col;
-                for bvec in qbasis.iter() {
-                    let proj: f64 = bvec.iter().zip(&v).map(|(x, y)| x * y).sum();
-                    for (vi, bi) in v.iter_mut().zip(bvec) {
-                        *vi -= proj * bi;
-                    }
-                }
-                let res: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-                worst = worst.max(res / norm0);
-            }
+            mids.push((pair[0] + pair[1]) / 2.0);
+        }
+        if mids.is_empty() {
+            break;
+        }
+        // Probe every interval midpoint in one batched tolerant sweep;
+        // take the worst surviving residual and reuse its solution.
+        let shifts: Vec<c64> = mids.iter().map(|&m| clamp(m)).collect();
+        let sweep = sys.solve_shifted_many_tolerant(&shifts, &b, policy, faults);
+        let mut best: Option<(f64, usize)> = None; // (residual, index)
+        for (k, sol) in sweep.solutions.iter().enumerate() {
+            let Some(z) = sol else { continue };
+            let worst = residual_against(&qbasis, z);
             if best.is_none_or(|(r, _)| worst > r) {
-                best = Some((worst, mid));
+                best = Some((worst, k));
             }
         }
         match best {
             Some((res, _)) if res < tol => break,
-            Some((_, w)) => {
-                take(w, &mut qbasis, &mut raw_cols, &mut chosen)?;
+            Some((_, k)) => {
+                if let Some(z) = &sweep.solutions[k] {
+                    absorb(&mut qbasis, z);
+                }
+                chosen.push(mids[k]);
             }
-            None => break,
+            None => break, // every probe dropped this round
         }
     }
 
-    // Final compression: SVD of the collected raw samples (uniform
-    // weights — the adaptive density itself encodes the weighting).
-    let zmat = DMat::from_cols(&raw_cols);
-    let f = svd(&zmat)?;
-    if f.s.is_empty() || f.s[0] == 0.0 {
-        return Err(NumError::InvalidArgument("adaptive sampling collected no energy"));
-    }
-    let by_tol = f.s.iter().take_while(|&&x| x > 1e-12 * f.s[0]).count().max(1);
-    let order = max_order.map_or(by_tol, |cap| by_tol.min(cap)).min(f.s.len());
-    let v = f.u.leading_cols(order);
-    let reduced: StateSpace = sys.project(&v, &v)?;
-    Ok(AdaptiveModel {
-        model: PmtbrModel {
-            reduced,
-            v,
-            singular_values: f.s.clone(),
-            order,
-            error_estimate: f.s.iter().skip(order).sum(),
-        },
-        chosen_omegas: chosen,
-    })
+    // Final compression through the shared pipeline: the chosen points
+    // become a custom quadrature with uniform weights.
+    let points: Vec<SamplePoint> =
+        chosen.iter().map(|&w| SamplePoint { s: clamp(w), weight: 1.0 }).collect();
+    let plan = ReductionPlan {
+        sampling: Sampling::Custom(points),
+        directions: InputDirections::IdentityBlock,
+        compressor: Compressor::JacobiSvd,
+        order: OrderControl::Tolerance { tolerance: 1e-12, max_order },
+    };
+    let red = crate::pipeline::run_with(sys, &plan, policy, faults)?;
+    Ok(AdaptiveModel { model: red.model, chosen_omegas: chosen, diagnostics: red.diagnostics })
 }
 
 #[cfg(test)]
@@ -195,6 +258,7 @@ mod tests {
             "RC mesh is smooth; {} points is too many",
             m.chosen_omegas.len()
         );
+        assert!(!m.diagnostics.is_degraded());
     }
 
     #[test]
@@ -216,6 +280,26 @@ mod tests {
         let w_hi = 2.0 * std::f64::consts::PI * 20e9;
         let m = adaptive_pmtbr(&sys, w_hi * 1e-3, w_hi, 1e-12, 8, None).unwrap();
         assert!(m.chosen_omegas.len() <= 8);
+        assert_eq!(m.diagnostics.requested, m.chosen_omegas.len());
+    }
+
+    #[test]
+    fn survives_injected_faults() {
+        let sys = rc_mesh(3, 3, &[0], 1.0, 1.0, 2.0).unwrap();
+        let plan = FaultPlan::new(13, 0.25, vec![crate::FaultKind::Panic], 2);
+        let m = adaptive_driver(
+            &sys,
+            0.01,
+            10.0,
+            1e-8,
+            20,
+            Some(6),
+            &RecoveryPolicy::default(),
+            &plan,
+        )
+        .unwrap();
+        assert!(m.model.order <= 6);
+        assert_eq!(m.diagnostics.reports.len(), m.diagnostics.requested);
     }
 
     #[test]

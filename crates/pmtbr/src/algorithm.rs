@@ -7,9 +7,10 @@
 //! the Hankel singular values, and the trailing-value sum drives order
 //! and error control.
 
-use lti::{realified_ncols, realify_columns_into, LtiSystem, StateSpace};
+use lti::{LtiSystem, NoFaults, RecoveryPolicy, StateSpace};
 use numkit::{svd, svd_with_sweeps, DMat, NumError, Svd};
 
+use crate::pipeline::{InputDirections, ReductionPlan, SweptSamples};
 use crate::{SamplePoint, Sampling};
 
 /// SVD of the sample matrix with a convergence safety net.
@@ -171,47 +172,48 @@ impl SampleBasis {
 
 /// Computes the PMTBR sample basis for a system under a sampling scheme.
 ///
-/// The shifted solves run through the multipoint engine
-/// ([`crate::par::solve_sample_points`]): sparse descriptor systems reuse
-/// one symbolic LU analysis across all sample points and fan the numeric
-/// work across threads (`PMTBR_THREADS` overrides the count). Results are
-/// identical for every thread count, and the weighted, realified sample
-/// columns are written directly into the preallocated sample matrix — no
-/// per-point intermediate blocks.
+/// Runs the shared pipeline sweep stage ([`crate::pipeline`]) in strict
+/// mode (no fault injection): sparse descriptor systems reuse one
+/// symbolic LU analysis across all sample points and fan the numeric
+/// work across threads (`PMTBR_THREADS` overrides the count). Results
+/// are identical for every thread count, and bit-identical to the
+/// per-variant solve loops this path replaced.
+///
+/// Strict means strict: where [`crate::sample_basis_tolerant`] degrades
+/// the quadrature, this function turns any dropped sample point into an
+/// error (the ladder may still repair transient trouble — e.g. by
+/// refinement — without affecting the result).
 ///
 /// # Errors
 ///
-/// - Propagates sampling validation and shifted-solve errors.
+/// - Propagates sampling validation and shifted-solve errors; the first
+///   dropped point's underlying solver error is returned verbatim.
 /// - [`NumError::InvalidArgument`] if every weighted sample vanished.
 pub fn sample_basis<S: LtiSystem + ?Sized>(
     sys: &S,
     sampling: &Sampling,
 ) -> Result<SampleBasis, NumError> {
-    let points = sampling.points()?;
-    let mut sp = obs::span("pmtbr.sample_sweep");
-    sp.field_u64("requested", points.len() as u64);
-    let b = sys.input_matrix().to_complex();
-    let zs = crate::par::solve_sample_points(sys, &points, &b)?;
-    let weighted: Vec<numkit::ZMat> =
-        zs.iter().zip(&points).map(|(z, pt)| z.scale(pt.weight.sqrt())).collect();
-    for zw in &weighted {
-        // 16 bytes per retained c64 sample entry.
-        obs::counters::add(obs::Counter::SampleBytes, (zw.nrows() * zw.ncols() * 16) as u64);
+    let SweptSamples { kept, zmat, surviving, requested, reports, mut span, .. } =
+        crate::pipeline::sweep(
+            sys,
+            sampling,
+            &InputDirections::IdentityBlock,
+            false,
+            &RecoveryPolicy::default(),
+            &NoFaults,
+        )?;
+    if surviving < requested {
+        // Strict contract: a dropped node is an error, not degradation.
+        let cause = reports
+            .iter()
+            .find_map(|r| if r.outcome.is_dropped() { r.error.clone() } else { None });
+        return Err(cause.unwrap_or(NumError::InvalidArgument("sample point dropped")));
     }
-    let total_cols: usize = weighted.iter().map(|zw| realified_ncols(zw, 1e-13)).sum();
-    if total_cols == 0 {
-        return Err(NumError::InvalidArgument("all weighted samples vanished"));
-    }
-    let n = sys.nstates();
-    let mut zmat = DMat::zeros(n, total_cols);
-    let mut col = 0;
-    for zw in &weighted {
-        col += realify_columns_into(zw, 1e-13, &mut zmat, col);
-    }
-    debug_assert_eq!(col, total_cols);
-    sp.field_u64("surviving", points.len() as u64);
-    sp.field_u64("total_cols", total_cols as u64);
-    Ok(SampleBasis { svd: robust_svd(&zmat)?.0, points })
+    let svd = robust_svd(&zmat)?.0;
+    span.field_u64("surviving", surviving as u64);
+    span.field_u64("total_cols", zmat.ncols() as u64);
+    drop(span);
+    Ok(SampleBasis { svd, points: kept })
 }
 
 /// A reduced model produced by any PMTBR variant.
@@ -232,9 +234,15 @@ pub struct PmtbrModel {
 
 /// Runs PMTBR (Algorithm 1) end to end.
 ///
+/// Equivalent to executing [`ReductionPlan::pmtbr`] through
+/// [`crate::pipeline::run`]: the sweep honors `PMTBR_FAULT` (degrading
+/// gracefully and discarding the per-point account — use
+/// [`crate::pmtbr_tolerant`] or the pipeline API to inspect it) and is
+/// traced under the `pmtbr.sample_sweep` span.
+///
 /// # Errors
 ///
-/// Propagates [`sample_basis`] and projection errors.
+/// Propagates sampling, solve, SVD, and projection errors.
 ///
 /// # Examples
 ///
@@ -253,8 +261,7 @@ pub struct PmtbrModel {
 /// # }
 /// ```
 pub fn pmtbr<S: LtiSystem + ?Sized>(sys: &S, opts: &PmtbrOptions) -> Result<PmtbrModel, NumError> {
-    let basis = sample_basis(sys, opts.sampling())?;
-    reduce_with_basis(sys, &basis, opts)
+    Ok(crate::pipeline::run(sys, &ReductionPlan::pmtbr(opts))?.model)
 }
 
 /// Projects a system onto a precomputed [`SampleBasis`] under the given

@@ -10,9 +10,10 @@
 //! square-root TBR balances Cholesky factors — SVD of `Z_Lᵀ·Z_R`,
 //! two-sided projection with `WᵀV = I`.
 
-use lti::{realify_columns, LtiSystem, StateSpace};
-use numkit::{svd, DMat, NumError};
+use lti::LtiSystem;
+use numkit::NumError;
 
+use crate::pipeline::ReductionPlan;
 use crate::{PmtbrModel, Sampling};
 
 /// Runs balanced (two-sided) PMTBR.
@@ -20,6 +21,12 @@ use crate::{PmtbrModel, Sampling};
 /// The singular values of `Z_Lᵀ·Z_R` estimate the Hankel singular values
 /// directly (not their squares), so the `error_estimate` tail carries
 /// the familiar TBR interpretation.
+///
+/// Executes [`ReductionPlan::balanced`] through the shared pipeline:
+/// both pencil sweeps (`(sE − A)⁻¹·B` and `(sE − A)⁻ᵀ·Cᵀ`) run through
+/// the tolerant parallel engine, a node survives only if *both* sides
+/// solved, and under `PMTBR_FAULT` the quadrature degrades with
+/// renormalized weights instead of erroring.
 ///
 /// # Errors
 ///
@@ -45,76 +52,7 @@ pub fn balanced_pmtbr<S: LtiSystem + ?Sized>(
     sampling: &Sampling,
     order: usize,
 ) -> Result<PmtbrModel, NumError> {
-    if order == 0 {
-        return Err(NumError::InvalidArgument("reduction order must be at least 1"));
-    }
-    let points = sampling.points()?;
-    let b = sys.input_matrix().to_complex();
-    let ct = sys.output_matrix().adjoint().to_complex();
-    let n = sys.nstates();
-
-    let mut zr_blocks = Vec::with_capacity(points.len());
-    let mut zl_blocks = Vec::with_capacity(points.len());
-    for pt in &points {
-        let zr = sys.solve_shifted(pt.s, &b)?.scale(pt.weight.sqrt());
-        let zl = sys.solve_shifted_transpose(pt.s, &ct)?.scale(pt.weight.sqrt());
-        zr_blocks.push(realify_columns(&zr, 1e-13));
-        zl_blocks.push(realify_columns(&zl, 1e-13));
-    }
-    let zr = hstack(n, &zr_blocks);
-    let zl = hstack(n, &zl_blocks);
-    if zr.ncols() == 0 || zl.ncols() == 0 {
-        return Err(NumError::InvalidArgument("no samples collected"));
-    }
-
-    // Square-root balancing: SVD of Z_Lᵀ·Z_R.
-    let m = &zl.transpose() * &zr;
-    let f = svd(&m)?;
-    let rank = f.rank(1e-13).max(1);
-    let q = order.min(rank);
-    if q < order {
-        return Err(NumError::InvalidArgument("requested order exceeds sampled Hankel rank"));
-    }
-    let mut v = DMat::zeros(n, q);
-    let mut w = DMat::zeros(n, q);
-    for j in 0..q {
-        let scale = 1.0 / f.s[j].sqrt();
-        for i in 0..n {
-            let mut acc_v = 0.0;
-            for k in 0..zr.ncols() {
-                acc_v += zr[(i, k)] * f.v[(k, j)];
-            }
-            v[(i, j)] = acc_v * scale;
-            let mut acc_w = 0.0;
-            for k in 0..zl.ncols() {
-                acc_w += zl[(i, k)] * f.u[(k, j)];
-            }
-            w[(i, j)] = acc_w * scale;
-        }
-    }
-    let reduced: StateSpace = sys.project(&w, &v)?;
-    Ok(PmtbrModel {
-        reduced,
-        v,
-        singular_values: f.s.clone(),
-        order: q,
-        error_estimate: f.s.iter().skip(q).sum(),
-    })
-}
-
-fn hstack(n: usize, blocks: &[DMat]) -> DMat {
-    let total: usize = blocks.iter().map(|b| b.ncols()).sum();
-    let mut out = DMat::zeros(n, total);
-    let mut col = 0;
-    for blk in blocks {
-        for j in 0..blk.ncols() {
-            for i in 0..n {
-                out[(i, col)] = blk[(i, j)];
-            }
-            col += 1;
-        }
-    }
-    out
+    Ok(crate::pipeline::run(sys, &ReductionPlan::balanced(sampling, order))?.model)
 }
 
 #[cfg(test)]

@@ -8,12 +8,19 @@
 //! projects onto the dominant eigenspace — a two-sided (Petrov–Galerkin)
 //! reduction whose trailing-eigenvalue sum bounds the Hankel tail.
 
-use lti::{realify_columns, LtiSystem, StateSpace};
-use numkit::{eig, svd, DMat, Lu, NumError};
+use lti::LtiSystem;
+use numkit::NumError;
 
+use crate::pipeline::ReductionPlan;
 use crate::{PmtbrModel, Sampling};
 
 /// Runs cross-Gramian PMTBR, producing an order-`order` two-sided model.
+///
+/// Executes [`ReductionPlan::cross_gramian`] through the shared
+/// pipeline: both pencil sweeps run through the tolerant parallel
+/// engine, a node survives only if *both* sides solved, and under
+/// `PMTBR_FAULT` the quadrature degrades with renormalized weights
+/// instead of erroring.
 ///
 /// # Errors
 ///
@@ -39,105 +46,7 @@ pub fn cross_gramian_pmtbr<S: LtiSystem + ?Sized>(
     sampling: &Sampling,
     order: usize,
 ) -> Result<PmtbrModel, NumError> {
-    if order == 0 {
-        return Err(NumError::InvalidArgument("reduction order must be at least 1"));
-    }
-    let points = sampling.points()?;
-    let b = sys.input_matrix().to_complex();
-    let ct = sys.output_matrix().adjoint().to_complex();
-    let n = sys.nstates();
-
-    // Collect controllability (Z_R) and observability (Z_L) samples.
-    let mut zr_cols: Vec<DMat> = Vec::new();
-    let mut zl_cols: Vec<DMat> = Vec::new();
-    for pt in &points {
-        let zr = sys.solve_shifted(pt.s, &b)?.scale(pt.weight.sqrt());
-        let zl = sys.solve_shifted_transpose(pt.s, &ct)?.scale(pt.weight.sqrt());
-        zr_cols.push(realify_columns(&zr, 1e-13));
-        zl_cols.push(realify_columns(&zl, 1e-13));
-    }
-    let zr = hstack_blocks(n, &zr_cols)?;
-    let zl = hstack_blocks(n, &zl_cols)?;
-
-    // Joint orthonormal basis Q of [Z_R | Z_L]. The stack is often wider
-    // than tall, so use an SVD with rank truncation rather than QR.
-    let joint = zr.hstack(&zl)?;
-    if joint.ncols() == 0 {
-        return Err(NumError::InvalidArgument("no samples collected"));
-    }
-    let jf = svd(&joint)?;
-    let rank = jf.rank(1e-12).max(1);
-    let q = jf.u.leading_cols(rank);
-    let k = q.ncols();
-    if order > k {
-        return Err(NumError::InvalidArgument("requested order exceeds sampled subspace"));
-    }
-    // Compressed eigenproblem: M = (Qᵀ·Z_R)·(Qᵀ·Z_L)ᵀ, size k × k.
-    let rr = &q.transpose() * &zr;
-    let rl = &q.transpose() * &zl;
-    let m = &rr * &rl.transpose();
-    let e = eig(&m)?;
-
-    // Realified dominant eigenbasis (conjugate pairs → [Re, Im]).
-    let mut t = DMat::zeros(k, k);
-    let mut moduli = Vec::with_capacity(k);
-    let mut j = 0;
-    let mut col = 0;
-    while j < k {
-        let lam = e.values[j];
-        let v = e.vectors.col(j);
-        if lam.im.abs() > 1e-12 * lam.abs().max(1e-300) && j + 1 < k {
-            for i in 0..k {
-                t[(i, col)] = v[i].re;
-                t[(i, col + 1)] = v[i].im;
-            }
-            moduli.push(lam.abs());
-            moduli.push(lam.abs());
-            col += 2;
-            j += 2;
-        } else {
-            for i in 0..k {
-                t[(i, col)] = v[i].re;
-            }
-            moduli.push(lam.abs());
-            col += 1;
-            j += 1;
-        }
-    }
-    // Don't split a conjugate pair at the boundary.
-    let mut q_ord = order.min(k);
-    if q_ord < k && (moduli[q_ord - 1] - moduli[q_ord]).abs() < 1e-12 * moduli[0].max(1e-300) {
-        q_ord += 1;
-    }
-    let rs = t.leading_cols(q_ord);
-    // Two-sided projection: V = Q·R_S, W = Q·(R_S⁻ᵀ columns), so WᵀV = I.
-    let tinv = Lu::new(t.clone())?.inverse()?;
-    let ws = tinv.transpose().leading_cols(q_ord);
-    let v = &q * &rs;
-    let w = &q * &ws;
-    let reduced: StateSpace = sys.project(&w, &v)?;
-    Ok(PmtbrModel {
-        reduced,
-        v,
-        singular_values: moduli.clone(),
-        order: q_ord,
-        error_estimate: moduli.iter().skip(q_ord).sum(),
-    })
-}
-
-fn hstack_blocks(n: usize, blocks: &[DMat]) -> Result<DMat, NumError> {
-    let total: usize = blocks.iter().map(|b| b.ncols()).sum();
-    let mut out = DMat::zeros(n, total);
-    let mut col = 0;
-    for blk in blocks {
-        for j in 0..blk.ncols() {
-            for i in 0..n {
-                out[(i, col)] = blk[(i, j)];
-            }
-            col += 1;
-        }
-    }
-    Ok(out)
+    Ok(crate::pipeline::run(sys, &ReductionPlan::cross_gramian(sampling, order))?.model)
 }
 
 #[cfg(test)]

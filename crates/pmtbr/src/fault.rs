@@ -82,7 +82,14 @@ impl FaultPlan {
     /// their defaults rather than erroring (chaos testing should not
     /// add configuration failure modes of its own).
     pub fn from_env() -> Option<FaultPlan> {
-        let spec = std::env::var("PMTBR_FAULT").ok()?;
+        FaultPlan::parse_spec(&std::env::var("PMTBR_FAULT").ok()?)
+    }
+
+    /// Parses a `PMTBR_FAULT`-style spec string (see [`FaultPlan::from_env`]
+    /// for the grammar) without touching the process environment.
+    ///
+    /// Returns `None` for an empty, `off`, or `0` spec.
+    pub fn parse_spec(spec: &str) -> Option<FaultPlan> {
         let spec = spec.trim();
         if spec.is_empty() || spec == "off" || spec == "0" {
             return None;
@@ -231,20 +238,18 @@ mod tests {
     }
 
     #[test]
-    fn env_parsing_roundtrip() {
-        // from_env reads the live environment; exercise the parser via a
-        // scoped set/unset (tests in this module run on one thread per
-        // test binary invocation of this function).
-        std::env::set_var("PMTBR_FAULT", "seed=9,rate=0.5,kinds=drift|panic,depth=3");
-        let plan = FaultPlan::from_env().expect("plan must parse");
-        std::env::remove_var("PMTBR_FAULT");
+    fn spec_parsing_roundtrip() {
+        // Exercise the spec parser directly — mutating the live
+        // environment here would race with other tests in this binary
+        // that run the pipeline (which consults PMTBR_FAULT).
+        let plan = FaultPlan::parse_spec("seed=9,rate=0.5,kinds=drift|panic,depth=3")
+            .expect("plan must parse");
         assert_eq!(plan.seed, 9);
         assert!((plan.rate - 0.5).abs() < 1e-15);
         assert_eq!(plan.kinds, vec![FaultKind::Drift, FaultKind::Panic]);
         assert_eq!(plan.depth, 3);
-        assert!(FaultPlan::from_env().is_none());
-        std::env::set_var("PMTBR_FAULT", "off");
-        assert!(FaultPlan::from_env().is_none());
-        std::env::remove_var("PMTBR_FAULT");
+        assert!(FaultPlan::parse_spec("").is_none());
+        assert!(FaultPlan::parse_spec("off").is_none());
+        assert!(FaultPlan::parse_spec("0").is_none());
     }
 }

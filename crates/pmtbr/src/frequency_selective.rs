@@ -12,14 +12,20 @@
 use lti::LtiSystem;
 use numkit::NumError;
 
-use crate::{pmtbr, PmtbrModel, PmtbrOptions, Sampling};
+use crate::pipeline::ReductionPlan;
+use crate::PmtbrModel;
 
 /// Runs frequency-selective PMTBR over the union of `bands`
 /// (each `(lo, hi)` in rad/s), using `n_samples` total quadrature nodes.
 ///
+/// Executes [`ReductionPlan::frequency_selective`] through the shared
+/// pipeline, so band-restricted sweeps get the same parallel engine,
+/// fault-tolerance ladder (`PMTBR_FAULT` degrades the quadrature
+/// instead of erroring), and tracing as every other variant.
+///
 /// # Errors
 ///
-/// Propagates sampling validation and [`pmtbr`] errors.
+/// Propagates sampling validation and [`crate::pipeline::run`] errors.
 ///
 /// # Examples
 ///
@@ -42,12 +48,8 @@ pub fn frequency_selective_pmtbr<S: LtiSystem + ?Sized>(
     max_order: Option<usize>,
     tolerance: f64,
 ) -> Result<PmtbrModel, NumError> {
-    let sampling = Sampling::Bands { bands: bands.to_vec(), n: n_samples };
-    let mut opts = PmtbrOptions::new(sampling).with_tolerance(tolerance);
-    if let Some(q) = max_order {
-        opts = opts.with_max_order(q);
-    }
-    pmtbr(sys, &opts)
+    let plan = ReductionPlan::frequency_selective(bands, n_samples, max_order, tolerance);
+    Ok(crate::pipeline::run(sys, &plan)?.model)
 }
 
 #[cfg(test)]

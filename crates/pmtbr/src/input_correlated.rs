@@ -14,10 +14,11 @@
 //! the *left* factor `V_K` (p × p). We implement `B·V_K·r`,
 //! `r ~ N(0, diag(S_K²/N))`. See DESIGN.md.
 
-use lti::{input_correlation_svd, realified_ncols, realify_columns_into, LtiSystem, StateSpace};
-use numkit::{svd, DMat, NumError, SplitMix64, ZMat};
+use lti::LtiSystem;
+use numkit::{DMat, NumError};
 
-use crate::{PmtbrModel, SamplePoint, Sampling};
+use crate::pipeline::ReductionPlan;
+use crate::{PmtbrModel, Sampling};
 
 /// Configuration for input-correlated PMTBR.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +58,12 @@ impl InputCorrelatedOptions {
 /// [`lti::dithered_square_inputs`] or a circuit-level simulation without
 /// the parasitic network.
 ///
+/// Executes [`ReductionPlan::input_correlated`] through the shared
+/// pipeline: the stochastic draws become per-node input directions for
+/// the same tolerant, parallel, traced sweep every variant uses —
+/// under `PMTBR_FAULT` the quadrature degrades gracefully instead of
+/// erroring, exactly like the other entry points.
+///
 /// # Errors
 ///
 /// - [`NumError::ShapeMismatch`] if `u_samples` has a row count other
@@ -86,95 +93,8 @@ pub fn input_correlated_pmtbr<S: LtiSystem + ?Sized>(
     u_samples: &DMat,
     opts: &InputCorrelatedOptions,
 ) -> Result<PmtbrModel, NumError> {
-    let p = sys.ninputs();
-    if u_samples.nrows() != p {
-        return Err(NumError::ShapeMismatch {
-            operation: "input-correlated waveforms",
-            left: (p, 0),
-            right: u_samples.shape(),
-        });
-    }
-    if opts.n_draws == 0 {
-        return Err(NumError::InvalidArgument("need at least one draw"));
-    }
-    // Step 1: empirical correlation 𝒰 = V_K·S_K·U_Kᵀ.
-    let corr = input_correlation_svd(u_samples)?;
-    let k_dirs = corr.rank(opts.corr_tol).max(1);
-    let nsamp = u_samples.ncols().max(1) as f64;
-    // Standard deviations of the principal input coordinates.
-    let sigmas: Vec<f64> = corr.s[..k_dirs].iter().map(|s| s / nsamp.sqrt()).collect();
-    let vk = corr.u.leading_cols(k_dirs); // p × k
-
-    let points = opts.sampling.points()?;
-    if points.is_empty() {
-        return Err(NumError::InvalidArgument("sampling produced no points"));
-    }
-    let mut rng = SplitMix64::new(opts.seed);
-    let n = sys.nstates();
-    let bmat = sys.input_matrix();
-
-    // Steps 2–6: draw r per sample (in draw order, for seed-stable
-    // results), assign each draw a frequency by cycling, then solve all
-    // draws of one frequency through a single factorization — the pencil
-    // factorization dominates, so grouping matters for large networks.
-    let mut rhs_cols: Vec<Vec<f64>> = Vec::with_capacity(opts.n_draws);
-    for _ in 0..opts.n_draws {
-        // r ~ N(0, diag(σ²)) via Box–Muller.
-        let dir: Vec<f64> = (0..k_dirs)
-            .map(|i| {
-rng.next_gaussian() * sigmas[i]
-            })
-            .collect();
-        // rhs = B·(V_K·r), one column per draw.
-        let vkr = vk.mul_vec(&dir);
-        rhs_cols.push(bmat.mul_vec(&vkr));
-    }
-    let mut active: Vec<SamplePoint> = Vec::with_capacity(points.len());
-    let mut rhss: Vec<ZMat> = Vec::with_capacity(points.len());
-    for (k, pt) in points.iter().enumerate() {
-        let mine: Vec<usize> =
-            (0..opts.n_draws).filter(|d| d % points.len() == k).collect();
-        if mine.is_empty() {
-            continue;
-        }
-        let rhs = ZMat::from_fn(n, mine.len(), |i, j| {
-            numkit::c64::from_real(rhs_cols[mine[j]][i])
-        });
-        active.push(*pt);
-        rhss.push(rhs);
-    }
-    // All frequencies solve through the multipoint engine: one symbolic
-    // analysis, per-point right-hand sides, thread fan-out.
-    let zs = crate::par::solve_sample_points_pairs(sys, &active, &rhss)?;
-    let weighted: Vec<ZMat> =
-        zs.iter().zip(&active).map(|(z, pt)| z.scale(pt.weight.sqrt())).collect();
-    let total_cols: usize = weighted.iter().map(|zw| realified_ncols(zw, 1e-13)).sum();
-    if total_cols == 0 {
-        return Err(NumError::InvalidArgument("all correlated samples vanished"));
-    }
-    let mut zmat = DMat::zeros(n, total_cols);
-    let mut col = 0;
-    for zw in &weighted {
-        col += realify_columns_into(zw, 1e-13, &mut zmat, col);
-    }
-    debug_assert_eq!(col, total_cols);
-
-    // Steps 7–8: SVD compression and projection.
-    let f = svd(&zmat)?;
-    if f.s.is_empty() || f.s[0] == 0.0 {
-        return Err(NumError::InvalidArgument("sample matrix is zero"));
-    }
-    let by_tol = f.s.iter().take_while(|&&x| x > opts.tolerance * f.s[0]).count().max(1);
-    let order = opts.max_order.map_or(by_tol, |cap| by_tol.min(cap)).min(f.s.len());
-    let v = f.u.leading_cols(order);
-    let reduced: StateSpace = sys.project(&v, &v)?;
-    Ok(PmtbrModel {
-        reduced,
-        v,
-        singular_values: f.s.clone(),
-        order,
-        error_estimate: f.s.iter().skip(order).sum(),
-    })
+    let plan = ReductionPlan::input_correlated(u_samples, opts);
+    Ok(crate::pipeline::run(sys, &plan)?.model)
 }
 
 #[cfg(test)]

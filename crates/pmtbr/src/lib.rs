@@ -30,6 +30,13 @@
 //! - [`IncrementalBasis`] — on-the-fly order control without re-SVDs
 //!   (Section V-C).
 //!
+//! Every variant above is a thin constructor over one staged execution
+//! core: [`pipeline::ReductionPlan`] describes the reduction (sampling,
+//! input directions, compressor, order control) and [`pipeline::run`]
+//! executes it through the shared tolerant multipoint sweep — so
+//! parallelism, fault tolerance (`PMTBR_FAULT`), weight
+//! renormalization, and tracing behave identically across variants.
+//!
 //! All of them accept anything implementing `lti::LtiSystem`, including
 //! sparse descriptor systems with singular `E` (Section V-A).
 //!
@@ -63,6 +70,7 @@ mod frequency_selective;
 mod input_correlated;
 mod order_control;
 pub mod par;
+pub mod pipeline;
 mod pod;
 mod sampling;
 mod sweep;
@@ -75,6 +83,7 @@ pub use frequency_selective::frequency_selective_pmtbr;
 pub use input_correlated::{input_correlated_pmtbr, InputCorrelatedOptions};
 pub use order_control::IncrementalBasis;
 pub use fault::{FaultKind, FaultPlan};
+pub use pipeline::{Compressor, InputDirections, OrderControl, Reduction, ReductionPlan};
 pub use pod::{pod_reduce, PodOptions};
 pub use sampling::{SamplePoint, Sampling};
 pub use sweep::{pmtbr_tolerant, sample_basis_tolerant, SweepDiagnostics};

@@ -1,0 +1,836 @@
+//! The unified reduction pipeline: every PMTBR variant as one staged
+//! [`ReductionPlan`].
+//!
+//! The paper's three algorithms and this repo's extensions are the
+//! *same* computation with different stage choices:
+//!
+//! ```text
+//!  SamplingPlan          InputDirections        execution engine         Compressor
+//!  (nodes + weights)     (what to excite)       (tolerant sweep)         (how to truncate)
+//!  ───────────────┐      ───────────────┐      ─────────────────┐      ───────────────┐
+//!  Linear / Log   │      IdentityBlock  │      solve (sE−A)Z=R  │      JacobiSvd      │
+//!  Bands          ├──▶   Correlated     ├──▶   via ladder +     ├──▶   Incremental    ├──▶ congruence
+//!  Custom         │      (corr-SVD      │      ShiftSolveEngine │      Balance        │    projection
+//!                 │       draws)        │      (+ transpose for │      CrossGramian   │
+//!  ───────────────┘      ───────────────┘       two-sided)      │      ───────────────┘
+//!                                              ─────────────────┘
+//! ```
+//!
+//! Mapping of the paper's algorithms onto plans:
+//!
+//! - **Algorithm 1** (baseline PMTBR): any one-band sampling +
+//!   `IdentityBlock` + `JacobiSvd` — [`ReductionPlan::pmtbr`].
+//! - **Algorithm 2** (frequency-selective): band-restricted sampling,
+//!   otherwise identical — [`ReductionPlan::frequency_selective`].
+//! - **Algorithm 3** (input-correlated): stochastic correlation-SVD
+//!   draws as input directions — [`ReductionPlan::input_correlated`].
+//! - **Section V-D extensions** (two-sided): the same sweep run on both
+//!   pencils, compressed by square-root balancing
+//!   ([`ReductionPlan::balanced`]) or the joint cross-Gramian
+//!   eigenproblem ([`ReductionPlan::cross_gramian`]).
+//!
+//! Because there is exactly one execution core ([`run_with`]), every
+//! variant inherits the same guarantees: the parallel
+//! factorization-reusing `ShiftSolveEngine`, the fault-tolerance
+//! escalation ladder with [`SweepDiagnostics`], `PMTBR_FAULT` chaos
+//! testing ([`run`]), `obs` tracing, and bit-identical results at any
+//! thread count.
+
+use lti::{
+    input_correlation_svd, realified_ncols, realify_columns_into, LtiSystem, NoFaults,
+    RecoveryPolicy, ShiftReport, SolveFault, StateSpace, TolerantSweep,
+};
+use numkit::{c64, eig, DMat, Lu, NumError, SplitMix64, Svd, ZMat};
+
+use crate::algorithm::robust_svd;
+use crate::{
+    IncrementalBasis, InputCorrelatedOptions, PmtbrModel, PmtbrOptions, SamplePoint, Sampling,
+    SweepDiagnostics,
+};
+
+/// What to excite at each sample node (the paper's `B·d` choice).
+#[derive(Debug, Clone)]
+pub enum InputDirections {
+    /// The full input block `B` — one column per port (Algorithms 1–2).
+    IdentityBlock,
+    /// Stochastic draws from the empirical input correlation
+    /// (Algorithm 3): directions `B·V_K·r`, `r ~ N(0, diag(S_K²/N))`,
+    /// assigned to sample nodes by cycling in draw order.
+    Correlated {
+        /// Observed `p × N` input waveform samples.
+        u_samples: DMat,
+        /// Number of stochastic draws (columns before compression).
+        n_draws: usize,
+        /// Correlation directions with `S_K < corr_tol·S_K[0]` are dropped.
+        corr_tol: f64,
+        /// RNG seed (runs are deterministic given the seed).
+        seed: u64,
+    },
+}
+
+/// How the (weighted, realified) sample matrix is truncated into a
+/// projection basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compressor {
+    /// One-shot SVD of the stacked sample matrix (with the equilibrated
+    /// convergence safety net) — the paper's default.
+    JacobiSvd,
+    /// Incremental Gram–Schmidt QR with `R`-factor singular-value
+    /// estimates ([`IncrementalBasis`], paper Section V-C): same
+    /// subspace, no full re-SVD per block.
+    Incremental,
+    /// Two-sided square-root balancing: SVD of `Z_Lᵀ·Z_R` with
+    /// `1/√σ`-scaled projectors (`WᵀV = I`).
+    Balance,
+    /// Two-sided cross-Gramian eigenproblem compressed through a joint
+    /// orthonormal basis of `[Z_R | Z_L]` (paper Section V-D).
+    CrossGramian,
+}
+
+impl Compressor {
+    /// Whether this compressor needs observability-side samples
+    /// (`(sE − A)⁻ᵀ·Cᵀ`) in addition to controllability-side ones.
+    pub fn is_two_sided(&self) -> bool {
+        matches!(self, Compressor::Balance | Compressor::CrossGramian)
+    }
+}
+
+/// How the reduced order is chosen from the compressed spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OrderControl {
+    /// Keep directions with `σᵢ > tolerance·σ₀`, optionally capped.
+    Tolerance {
+        /// Relative singular-value truncation tolerance.
+        tolerance: f64,
+        /// Optional hard cap on the reduced order.
+        max_order: Option<usize>,
+    },
+    /// Exactly this order (two-sided variants; errors if the sampled
+    /// subspace cannot support it).
+    Exact(usize),
+}
+
+/// A complete, declarative description of one reduction: sampling
+/// nodes/weights, input directions, compressor, and order control.
+/// Execute with [`run`] / [`run_with`].
+#[derive(Debug, Clone)]
+pub struct ReductionPlan {
+    /// Quadrature nodes and weights (the `SamplingPlan` stage).
+    pub sampling: Sampling,
+    /// Excitation per node.
+    pub directions: InputDirections,
+    /// Truncation backend.
+    pub compressor: Compressor,
+    /// Order selection.
+    pub order: OrderControl,
+}
+
+impl ReductionPlan {
+    /// Algorithm 1: baseline PMTBR under [`PmtbrOptions`].
+    pub fn pmtbr(opts: &PmtbrOptions) -> Self {
+        ReductionPlan {
+            sampling: opts.sampling().clone(),
+            directions: InputDirections::IdentityBlock,
+            compressor: Compressor::JacobiSvd,
+            order: OrderControl::Tolerance {
+                tolerance: opts.tolerance(),
+                max_order: opts.max_order(),
+            },
+        }
+    }
+
+    /// Algorithm 2: band-restricted sampling, otherwise Algorithm 1.
+    pub fn frequency_selective(
+        bands: &[(f64, f64)],
+        n_samples: usize,
+        max_order: Option<usize>,
+        tolerance: f64,
+    ) -> Self {
+        ReductionPlan {
+            sampling: Sampling::Bands { bands: bands.to_vec(), n: n_samples },
+            directions: InputDirections::IdentityBlock,
+            compressor: Compressor::JacobiSvd,
+            order: OrderControl::Tolerance { tolerance, max_order },
+        }
+    }
+
+    /// Algorithm 3: stochastic input-correlated sampling.
+    pub fn input_correlated(u_samples: &DMat, opts: &InputCorrelatedOptions) -> Self {
+        ReductionPlan {
+            sampling: opts.sampling.clone(),
+            directions: InputDirections::Correlated {
+                u_samples: u_samples.clone(),
+                n_draws: opts.n_draws,
+                corr_tol: opts.corr_tol,
+                seed: opts.seed,
+            },
+            compressor: Compressor::JacobiSvd,
+            order: OrderControl::Tolerance {
+                tolerance: opts.tolerance,
+                max_order: opts.max_order,
+            },
+        }
+    }
+
+    /// Two-sided square-root balancing at a fixed order.
+    pub fn balanced(sampling: &Sampling, order: usize) -> Self {
+        ReductionPlan {
+            sampling: sampling.clone(),
+            directions: InputDirections::IdentityBlock,
+            compressor: Compressor::Balance,
+            order: OrderControl::Exact(order),
+        }
+    }
+
+    /// Two-sided cross-Gramian reduction at a fixed order.
+    pub fn cross_gramian(sampling: &Sampling, order: usize) -> Self {
+        ReductionPlan {
+            sampling: sampling.clone(),
+            directions: InputDirections::IdentityBlock,
+            compressor: Compressor::CrossGramian,
+            order: OrderControl::Exact(order),
+        }
+    }
+
+    /// Swaps the compression backend (e.g. [`Compressor::Incremental`]).
+    #[must_use]
+    pub fn with_compressor(mut self, compressor: Compressor) -> Self {
+        self.compressor = compressor;
+        self
+    }
+
+    /// Cheap structural validation, run before any solve.
+    fn validate(&self) -> Result<(), NumError> {
+        if let OrderControl::Exact(q) = self.order {
+            if q == 0 {
+                return Err(NumError::InvalidArgument("reduction order must be at least 1"));
+            }
+        }
+        if self.compressor == Compressor::CrossGramian
+            && !matches!(self.order, OrderControl::Exact(_))
+        {
+            return Err(NumError::InvalidArgument(
+                "cross-gramian compression needs an exact target order",
+            ));
+        }
+        if let InputDirections::Correlated { n_draws, .. } = &self.directions {
+            if *n_draws == 0 {
+                return Err(NumError::InvalidArgument("need at least one draw"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of executing a [`ReductionPlan`]: the reduced model plus
+/// the complete per-node account of the tolerant sweep.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced model and spectra.
+    pub model: PmtbrModel,
+    /// The fate of every sample node, including weight renormalization.
+    pub diagnostics: SweepDiagnostics,
+}
+
+/// Executes a plan with the default [`RecoveryPolicy`] and the fault
+/// plan from the `PMTBR_FAULT` environment variable (none when unset) —
+/// so chaos testing applies uniformly to every variant.
+///
+/// # Errors
+///
+/// See [`run_with`].
+pub fn run<S: LtiSystem + ?Sized>(sys: &S, plan: &ReductionPlan) -> Result<Reduction, NumError> {
+    match crate::fault::FaultPlan::from_env() {
+        Some(p) => run_with(sys, plan, &RecoveryPolicy::default(), &p),
+        None => run_with(sys, plan, &RecoveryPolicy::default(), &NoFaults),
+    }
+}
+
+/// Executes a plan: sweep → compress → project, with an explicit
+/// recovery policy and fault hook.
+///
+/// This is the single execution core behind every reduction entry
+/// point. All shifted solves go through the tolerant multipoint sweep
+/// ([`LtiSystem::solve_shifted_many_tolerant`] and friends), so sparse
+/// systems get the factorization-reusing parallel engine, failures
+/// degrade the quadrature instead of aborting it, and the whole run is
+/// traced under the `pmtbr.sample_sweep` span.
+///
+/// # Errors
+///
+/// - Plan validation ([`NumError::InvalidArgument`]).
+/// - [`NumError::InvalidArgument`] if every node was dropped, all
+///   weighted samples vanished, or the sampled subspace cannot support
+///   an exact-order request.
+/// - Propagates SVD/eigen/projection errors.
+pub fn run_with<S: LtiSystem + ?Sized>(
+    sys: &S,
+    plan: &ReductionPlan,
+    policy: &RecoveryPolicy,
+    faults: &dyn SolveFault,
+) -> Result<Reduction, NumError> {
+    plan.validate()?;
+    let SweptSamples {
+        kept: _,
+        zmat,
+        blocks,
+        zl,
+        reports,
+        requested,
+        surviving,
+        renorm,
+        mut span,
+    } = sweep(sys, &plan.sampling, &plan.directions, plan.compressor.is_two_sided(), policy, faults)?;
+    let compressed = compress(&zmat, &blocks, zl.as_ref(), plan)?;
+    let svd_retried = compressed.retried();
+    span.field_u64("surviving", surviving as u64);
+    span.field_u64("total_cols", zmat.ncols() as u64);
+    span.field_f64("renorm", renorm);
+    span.field("svd_retried", obs::Value::Bool(svd_retried));
+    drop(span);
+    let model = project(sys, &zmat, zl.as_ref(), compressed, &plan.order)?;
+    Ok(Reduction {
+        model,
+        diagnostics: SweepDiagnostics {
+            reports,
+            requested,
+            surviving,
+            weight_renormalization: renorm,
+            svd_retried,
+        },
+    })
+}
+
+/// The sampled, weighted, realified output of the sweep stage, with the
+/// trace span still open so compression lands inside it.
+pub(crate) struct SweptSamples {
+    /// Surviving nodes: the shift *actually solved* (perturbed where the
+    /// ladder had to nudge) with its renormalized weight.
+    pub(crate) kept: Vec<SamplePoint>,
+    /// Weighted realified controllability samples, one block per
+    /// surviving node.
+    pub(crate) zmat: DMat,
+    /// Column range of each surviving node's block in `zmat`.
+    pub(crate) blocks: Vec<(usize, usize)>,
+    /// Weighted realified observability samples (two-sided sweeps only).
+    pub(crate) zl: Option<DMat>,
+    /// Per-node ladder reports, index-aligned with the requested nodes.
+    pub(crate) reports: Vec<ShiftReport>,
+    /// Number of nodes requested.
+    pub(crate) requested: usize,
+    /// Number of nodes that survived (on every required side).
+    pub(crate) surviving: usize,
+    /// Uniform quadrature-weight renormalization factor.
+    pub(crate) renorm: f64,
+    /// The open `pmtbr.sample_sweep` span.
+    pub(crate) span: obs::SpanGuard,
+}
+
+/// Per-node excitations for the sweep.
+enum Excitation {
+    Shared(ZMat),
+    PerNode(Vec<ZMat>),
+}
+
+/// Resolves [`InputDirections::Correlated`] into active nodes and their
+/// per-node excitations, reproducing Algorithm 3's draw order exactly:
+/// all Gaussian draws are taken in draw order (seed-stable), then
+/// assigned to nodes by cycling `draw % n_nodes`.
+fn correlated_rhs<S: LtiSystem + ?Sized>(
+    sys: &S,
+    points: &[SamplePoint],
+    u_samples: &DMat,
+    n_draws: usize,
+    corr_tol: f64,
+    seed: u64,
+) -> Result<(Vec<SamplePoint>, Vec<ZMat>), NumError> {
+    let p = sys.ninputs();
+    if u_samples.nrows() != p {
+        return Err(NumError::ShapeMismatch {
+            operation: "input-correlated waveforms",
+            left: (p, 0),
+            right: u_samples.shape(),
+        });
+    }
+    if points.is_empty() {
+        return Err(NumError::InvalidArgument("sampling produced no points"));
+    }
+    // Empirical correlation 𝒰 = V_K·S_K·U_Kᵀ.
+    let corr = input_correlation_svd(u_samples)?;
+    let k_dirs = corr.rank(corr_tol).max(1);
+    let nsamp = u_samples.ncols().max(1) as f64;
+    // Standard deviations of the principal input coordinates.
+    let sigmas: Vec<f64> = corr.s[..k_dirs].iter().map(|s| s / nsamp.sqrt()).collect();
+    let vk = corr.u.leading_cols(k_dirs); // p × k
+
+    let mut rng = SplitMix64::new(seed);
+    let n = sys.nstates();
+    let bmat = sys.input_matrix();
+    let mut rhs_cols: Vec<Vec<f64>> = Vec::with_capacity(n_draws);
+    for _ in 0..n_draws {
+        // r ~ N(0, diag(σ²)) via Box–Muller.
+        let dir: Vec<f64> = (0..k_dirs).map(|i| rng.next_gaussian() * sigmas[i]).collect();
+        // rhs = B·(V_K·r), one column per draw.
+        let vkr = vk.mul_vec(&dir);
+        rhs_cols.push(bmat.mul_vec(&vkr));
+    }
+    let mut active: Vec<SamplePoint> = Vec::with_capacity(points.len());
+    let mut rhss: Vec<ZMat> = Vec::with_capacity(points.len());
+    for (k, pt) in points.iter().enumerate() {
+        let mine: Vec<usize> = (0..n_draws).filter(|d| d % points.len() == k).collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let rhs =
+            ZMat::from_fn(n, mine.len(), |i, j| numkit::c64::from_real(rhs_cols[mine[j]][i]));
+        active.push(*pt);
+        rhss.push(rhs);
+    }
+    Ok((active, rhss))
+}
+
+/// The sweep stage: resolve directions, run the tolerant engine sweep
+/// (both pencils for two-sided compressors), coordinate survivors,
+/// renormalize quadrature weights, and realify into the sample matrix.
+pub(crate) fn sweep<S: LtiSystem + ?Sized>(
+    sys: &S,
+    sampling: &Sampling,
+    directions: &InputDirections,
+    two_sided: bool,
+    policy: &RecoveryPolicy,
+    faults: &dyn SolveFault,
+) -> Result<SweptSamples, NumError> {
+    let points = sampling.points()?;
+    let (active, excitation) = match directions {
+        InputDirections::IdentityBlock => {
+            (points, Excitation::Shared(sys.input_matrix().to_complex()))
+        }
+        InputDirections::Correlated { u_samples, n_draws, corr_tol, seed } => {
+            let (active, rhss) =
+                correlated_rhs(sys, &points, u_samples, *n_draws, *corr_tol, *seed)?;
+            (active, Excitation::PerNode(rhss))
+        }
+    };
+    let mut sp = obs::span("pmtbr.sample_sweep");
+    sp.field_u64("requested", active.len() as u64);
+    let shifts: Vec<c64> = active.iter().map(|p| p.s).collect();
+    let fwd: TolerantSweep = match &excitation {
+        Excitation::Shared(b) => sys.solve_shifted_many_tolerant(&shifts, b, policy, faults),
+        Excitation::PerNode(rhss) => {
+            sys.solve_shifted_pairs_tolerant(&shifts, rhss, policy, faults)?
+        }
+    };
+    debug_assert_eq!(fwd.reports.len(), active.len());
+    let trans: Option<TolerantSweep> = if two_sided {
+        let ct = sys.output_matrix().adjoint().to_complex();
+        Some(sys.solve_shifted_transpose_many_tolerant(&shifts, &ct, policy, faults))
+    } else {
+        None
+    };
+    // A node survives only if every required side solved; the report is
+    // the forward one unless only the transpose side dropped.
+    let requested = active.len();
+    let mut reports: Vec<ShiftReport> = Vec::with_capacity(requested);
+    let mut alive: Vec<bool> = Vec::with_capacity(requested);
+    for k in 0..requested {
+        let f_ok = fwd.solutions[k].is_some();
+        let t_ok = trans.as_ref().is_none_or(|t| t.solutions[k].is_some());
+        alive.push(f_ok && t_ok);
+        let rep = match &trans {
+            Some(t) if f_ok && !t_ok => t.reports[k].clone(),
+            _ => fwd.reports[k].clone(),
+        };
+        reports.push(rep);
+    }
+    let surviving = alive.iter().filter(|&&a| a).count();
+    if surviving == 0 {
+        return Err(NumError::InvalidArgument(
+            "every sample point was dropped by the fault-tolerance ladder",
+        ));
+    }
+    let total_weight: f64 = active.iter().map(|p| p.weight).sum();
+    let surviving_weight: f64 = active
+        .iter()
+        .zip(&alive)
+        .filter(|(_, &a)| a)
+        .map(|(p, _)| p.weight)
+        .sum();
+    let renorm = if surviving_weight > 0.0 { total_weight / surviving_weight } else { 1.0 };
+
+    // Weighted surviving columns, at the shifts actually solved.
+    let mut kept: Vec<SamplePoint> = Vec::with_capacity(surviving);
+    let mut weighted: Vec<ZMat> = Vec::with_capacity(surviving);
+    let mut weighted_l: Vec<ZMat> = Vec::with_capacity(if two_sided { surviving } else { 0 });
+    for k in 0..requested {
+        if !alive[k] {
+            continue;
+        }
+        if let Some(z) = &fwd.solutions[k] {
+            let w = active[k].weight * renorm;
+            kept.push(SamplePoint { s: reports[k].s_used, weight: w });
+            // 16 bytes per retained c64 sample entry.
+            obs::counters::add(obs::Counter::SampleBytes, (z.nrows() * z.ncols() * 16) as u64);
+            weighted.push(z.scale(w.sqrt()));
+            if let Some(t) = &trans {
+                if let Some(zl) = &t.solutions[k] {
+                    obs::counters::add(
+                        obs::Counter::SampleBytes,
+                        (zl.nrows() * zl.ncols() * 16) as u64,
+                    );
+                    weighted_l.push(zl.scale(w.sqrt()));
+                }
+            }
+        }
+    }
+    let n = sys.nstates();
+    let (zmat, blocks) = realify_blocks(n, &weighted)?;
+    let zl = if two_sided {
+        let (zl, _) = realify_blocks(n, &weighted_l)?;
+        Some(zl)
+    } else {
+        None
+    };
+    Ok(SweptSamples {
+        kept,
+        zmat,
+        blocks,
+        zl,
+        reports,
+        requested,
+        surviving,
+        renorm,
+        span: sp,
+    })
+}
+
+/// Stacks the realified weighted blocks into one matrix, recording each
+/// block's column range.
+fn realify_blocks(n: usize, weighted: &[ZMat]) -> Result<(DMat, Vec<(usize, usize)>), NumError> {
+    let total_cols: usize = weighted.iter().map(|zw| realified_ncols(zw, 1e-13)).sum();
+    if total_cols == 0 {
+        return Err(NumError::InvalidArgument("all surviving weighted samples vanished"));
+    }
+    let mut zmat = DMat::zeros(n, total_cols);
+    let mut blocks = Vec::with_capacity(weighted.len());
+    let mut col = 0;
+    for zw in weighted {
+        let wrote = realify_columns_into(zw, 1e-13, &mut zmat, col);
+        blocks.push((col, col + wrote));
+        col += wrote;
+    }
+    debug_assert_eq!(col, total_cols);
+    Ok((zmat, blocks))
+}
+
+/// Output of the compression stage, before order selection and
+/// projection.
+enum Compressed {
+    /// SVD of the controllability sample matrix.
+    Spectral { f: Svd<f64>, retried: bool },
+    /// Incremental QR with `R`-factor singular-value estimates.
+    Incremental { basis: IncrementalBasis, s: Vec<f64> },
+    /// SVD of the balancing product `Z_Lᵀ·Z_R`.
+    Balanced { f: Svd<f64>, retried: bool },
+    /// Joint basis `Q`, realified eigenbasis `T`, and eigenvalue moduli
+    /// of the compressed cross-Gramian.
+    Cross { q: DMat, t: DMat, moduli: Vec<f64>, retried: bool },
+}
+
+impl Compressed {
+    fn retried(&self) -> bool {
+        match self {
+            Compressed::Spectral { retried, .. }
+            | Compressed::Balanced { retried, .. }
+            | Compressed::Cross { retried, .. } => *retried,
+            Compressed::Incremental { .. } => false,
+        }
+    }
+}
+
+fn compress(
+    zmat: &DMat,
+    blocks: &[(usize, usize)],
+    zl: Option<&DMat>,
+    plan: &ReductionPlan,
+) -> Result<Compressed, NumError> {
+    match plan.compressor {
+        Compressor::JacobiSvd => {
+            let (f, retried) = robust_svd(zmat)?;
+            Ok(Compressed::Spectral { f, retried })
+        }
+        Compressor::Incremental => {
+            let mut basis = IncrementalBasis::new(zmat.nrows());
+            for &(c0, c1) in blocks {
+                basis.push_block(&zmat.block(0, zmat.nrows(), c0, c1))?;
+            }
+            let s = basis.singular_value_estimates()?;
+            Ok(Compressed::Incremental { basis, s })
+        }
+        Compressor::Balance => {
+            let zl = zl.ok_or(NumError::InvalidArgument("balance needs two-sided samples"))?;
+            // Square-root balancing: SVD of Z_Lᵀ·Z_R.
+            let m = &zl.transpose() * zmat;
+            let (f, retried) = robust_svd(&m)?;
+            Ok(Compressed::Balanced { f, retried })
+        }
+        Compressor::CrossGramian => {
+            let zl = zl.ok_or(NumError::InvalidArgument(
+                "cross-gramian needs two-sided samples",
+            ))?;
+            // Joint orthonormal basis Q of [Z_R | Z_L]. The stack is
+            // often wider than tall, so use an SVD with rank truncation
+            // rather than QR.
+            let joint = zmat.hstack(zl)?;
+            let (jf, retried) = robust_svd(&joint)?;
+            let rank = jf.rank(1e-12).max(1);
+            let q = jf.u.leading_cols(rank);
+            let k = q.ncols();
+            // Compressed eigenproblem: M = (Qᵀ·Z_R)·(Qᵀ·Z_L)ᵀ, k × k.
+            let rr = &q.transpose() * zmat;
+            let rl = &q.transpose() * zl;
+            let m = &rr * &rl.transpose();
+            let e = eig(&m)?;
+            // Realified dominant eigenbasis (conjugate pairs → [Re, Im]).
+            let mut t = DMat::zeros(k, k);
+            let mut moduli = Vec::with_capacity(k);
+            let mut j = 0;
+            let mut col = 0;
+            while j < k {
+                let lam = e.values[j];
+                let v = e.vectors.col(j);
+                if lam.im.abs() > 1e-12 * lam.abs().max(1e-300) && j + 1 < k {
+                    for i in 0..k {
+                        t[(i, col)] = v[i].re;
+                        t[(i, col + 1)] = v[i].im;
+                    }
+                    moduli.push(lam.abs());
+                    moduli.push(lam.abs());
+                    col += 2;
+                    j += 2;
+                } else {
+                    for i in 0..k {
+                        t[(i, col)] = v[i].re;
+                    }
+                    moduli.push(lam.abs());
+                    col += 1;
+                    j += 1;
+                }
+            }
+            Ok(Compressed::Cross { q, t, moduli, retried })
+        }
+    }
+}
+
+/// Chooses the reduced order from a (descending) singular spectrum.
+pub(crate) fn truncated_order(s: &[f64], order: &OrderControl) -> Result<usize, NumError> {
+    if s.is_empty() || s[0] == 0.0 {
+        return Err(NumError::InvalidArgument("sample basis is empty"));
+    }
+    match *order {
+        OrderControl::Tolerance { tolerance, max_order } => {
+            let by_tol = s.iter().take_while(|&&x| x > tolerance * s[0]).count().max(1);
+            Ok(max_order.map_or(by_tol, |cap| by_tol.min(cap)).min(s.len()))
+        }
+        OrderControl::Exact(q) => {
+            if q > s.len() {
+                return Err(NumError::InvalidArgument("requested order exceeds sampled subspace"));
+            }
+            Ok(q)
+        }
+    }
+}
+
+/// Order selection + projector assembly + congruence projection.
+fn project<S: LtiSystem + ?Sized>(
+    sys: &S,
+    zmat: &DMat,
+    zl: Option<&DMat>,
+    compressed: Compressed,
+    order: &OrderControl,
+) -> Result<PmtbrModel, NumError> {
+    let n = sys.nstates();
+    match compressed {
+        Compressed::Spectral { f, .. } => {
+            let q = truncated_order(&f.s, order)?;
+            let v = f.u.leading_cols(q);
+            let reduced: StateSpace = sys.project(&v, &v)?;
+            Ok(PmtbrModel {
+                reduced,
+                v,
+                singular_values: f.s.clone(),
+                order: q,
+                error_estimate: f.s.iter().skip(q).sum(),
+            })
+        }
+        Compressed::Incremental { basis, s } => {
+            let mut q = truncated_order(&s, order)?;
+            if matches!(order, OrderControl::Tolerance { .. }) {
+                // Tolerance picks from the (padded) spectrum; an exact
+                // request past the rank must error in dominant_basis.
+                q = q.min(basis.rank()).max(1);
+            }
+            let v = basis.dominant_basis(q)?;
+            let q = v.ncols();
+            let reduced: StateSpace = sys.project(&v, &v)?;
+            Ok(PmtbrModel {
+                reduced,
+                v,
+                singular_values: s.clone(),
+                order: q,
+                error_estimate: s.iter().skip(q).sum(),
+            })
+        }
+        Compressed::Balanced { f, .. } => {
+            let zl = zl.ok_or(NumError::InvalidArgument("balance needs two-sided samples"))?;
+            let rank = f.rank(1e-13).max(1);
+            let q = match *order {
+                OrderControl::Exact(q0) => {
+                    if q0.min(rank) < q0 {
+                        return Err(NumError::InvalidArgument(
+                            "requested order exceeds sampled Hankel rank",
+                        ));
+                    }
+                    q0
+                }
+                OrderControl::Tolerance { .. } => truncated_order(&f.s, order)?.min(rank),
+            };
+            let mut v = DMat::zeros(n, q);
+            let mut w = DMat::zeros(n, q);
+            for j in 0..q {
+                let scale = 1.0 / f.s[j].sqrt();
+                for i in 0..n {
+                    let mut acc_v = 0.0;
+                    for k in 0..zmat.ncols() {
+                        acc_v += zmat[(i, k)] * f.v[(k, j)];
+                    }
+                    v[(i, j)] = acc_v * scale;
+                    let mut acc_w = 0.0;
+                    for k in 0..zl.ncols() {
+                        acc_w += zl[(i, k)] * f.u[(k, j)];
+                    }
+                    w[(i, j)] = acc_w * scale;
+                }
+            }
+            let reduced: StateSpace = sys.project(&w, &v)?;
+            Ok(PmtbrModel {
+                reduced,
+                v,
+                singular_values: f.s.clone(),
+                order: q,
+                error_estimate: f.s.iter().skip(q).sum(),
+            })
+        }
+        Compressed::Cross { q, t, moduli, .. } => {
+            let k = q.ncols();
+            let target = match *order {
+                OrderControl::Exact(q0) => q0,
+                // validate() rejects this combination up front.
+                OrderControl::Tolerance { .. } => {
+                    return Err(NumError::InvalidArgument(
+                        "cross-gramian compression needs an exact target order",
+                    ));
+                }
+            };
+            if target > k {
+                return Err(NumError::InvalidArgument("requested order exceeds sampled subspace"));
+            }
+            // Don't split a conjugate pair at the boundary.
+            let mut q_ord = target.min(k);
+            if q_ord < k
+                && (moduli[q_ord - 1] - moduli[q_ord]).abs() < 1e-12 * moduli[0].max(1e-300)
+            {
+                q_ord += 1;
+            }
+            let rs = t.leading_cols(q_ord);
+            // Two-sided projection: V = Q·R_S, W = Q·(R_S⁻ᵀ columns), so
+            // WᵀV = I.
+            let tinv = Lu::new(t.clone())?.inverse()?;
+            let ws = tinv.transpose().leading_cols(q_ord);
+            let v = &q * &rs;
+            let w = &q * &ws;
+            let reduced: StateSpace = sys.project(&w, &v)?;
+            Ok(PmtbrModel {
+                reduced,
+                v,
+                singular_values: moduli.clone(),
+                order: q_ord,
+                error_estimate: moduli.iter().skip(q_ord).sum(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::rc_mesh;
+    use numkit::c64;
+
+    fn mesh() -> lti::Descriptor {
+        rc_mesh(4, 4, &[0, 15], 1.0, 1.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn plan_validation_rejects_degenerate_requests() {
+        let sampling = Sampling::Linear { omega_max: 10.0, n: 8 };
+        let err = run(&mesh(), &ReductionPlan::balanced(&sampling, 0)).unwrap_err();
+        assert!(matches!(err, NumError::InvalidArgument(_)));
+        let mut plan = ReductionPlan::cross_gramian(&sampling, 3);
+        plan.order = OrderControl::Tolerance { tolerance: 1e-10, max_order: None };
+        assert!(run(&mesh(), &plan).is_err());
+    }
+
+    #[test]
+    fn default_plan_matches_classic_pmtbr() {
+        let sys = mesh();
+        let opts = PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 15 }).with_max_order(6);
+        let classic = crate::pmtbr(&sys, &opts).unwrap();
+        let planned = run(&sys, &ReductionPlan::pmtbr(&opts)).unwrap();
+        assert_eq!(classic.order, planned.model.order);
+        assert_eq!(classic.singular_values, planned.model.singular_values);
+        assert!(!planned.diagnostics.is_degraded());
+    }
+
+    #[test]
+    fn incremental_compressor_matches_svd_subspace() {
+        let sys = mesh();
+        let opts = PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 12 }).with_max_order(5);
+        let svd_red = run(&sys, &ReductionPlan::pmtbr(&opts)).unwrap();
+        let inc_red = run(
+            &sys,
+            &ReductionPlan::pmtbr(&opts).with_compressor(Compressor::Incremental),
+        )
+        .unwrap();
+        assert_eq!(svd_red.model.order, inc_red.model.order);
+        // Same singular values (the R factor is exact) and same subspace.
+        for (a, b) in svd_red
+            .model
+            .singular_values
+            .iter()
+            .zip(&inc_red.model.singular_values)
+        {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a), "{a} vs {b}");
+        }
+        let angle =
+            numkit::max_principal_angle(&svd_red.model.v, &inc_red.model.v).unwrap();
+        assert!(angle < 1e-6, "subspace angle {angle}");
+    }
+
+    #[test]
+    fn two_sided_plans_survive_dropped_nodes() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let sys = mesh();
+        let sampling = Sampling::Linear { omega_max: 20.0, n: 16 };
+        let plan = ReductionPlan::balanced(&sampling, 4);
+        let faults = FaultPlan::new(7, 0.25, vec![FaultKind::Panic], 2);
+        let red = run_with(&sys, &plan, &RecoveryPolicy::default(), &faults).unwrap();
+        assert!(red.diagnostics.dropped() > 0, "plan must actually drop nodes");
+        assert_eq!(red.model.order, 4);
+        assert!(red.diagnostics.weight_renormalization > 1.0);
+        // The degraded two-sided model still tracks the transfer function.
+        let s = c64::new(0.0, 1.0);
+        let h = sys.transfer_function(s).unwrap()[(0, 0)];
+        let hr = red.model.reduced.transfer_function(s).unwrap()[(0, 0)];
+        assert!((h - hr).abs() < 5e-2 * h.abs().max(1e-12), "err {}", (h - hr).abs());
+    }
+}

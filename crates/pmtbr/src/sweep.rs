@@ -24,11 +24,11 @@
 //! degradation report and exit-code policy.
 
 use lti::{LtiSystem, RecoveryPolicy, ShiftOutcome, ShiftReport, SolveFault};
-use numkit::{c64, DMat, NumError};
+use numkit::NumError;
 
-use crate::algorithm::{reduce_with_basis, robust_svd, PmtbrModel, PmtbrOptions, SampleBasis};
-use crate::{SamplePoint, Sampling};
-use lti::{realified_ncols, realify_columns_into};
+use crate::algorithm::{robust_svd, PmtbrModel, PmtbrOptions, SampleBasis};
+use crate::pipeline::{InputDirections, ReductionPlan, SweptSamples};
+use crate::Sampling;
 
 /// The complete account of a fault-tolerant sampling sweep.
 #[derive(Debug, Clone)]
@@ -144,58 +144,24 @@ pub fn sample_basis_tolerant<S: LtiSystem + ?Sized>(
     policy: &RecoveryPolicy,
     faults: &dyn SolveFault,
 ) -> Result<(SampleBasis, SweepDiagnostics), NumError> {
-    let points = sampling.points()?;
-    let mut sp = obs::span("pmtbr.sample_sweep");
-    sp.field_u64("requested", points.len() as u64);
-    let b = sys.input_matrix().to_complex();
-    let shifts: Vec<c64> = points.iter().map(|p| p.s).collect();
-    let sweep = sys.solve_shifted_many_tolerant(&shifts, &b, policy, faults);
-    debug_assert_eq!(sweep.reports.len(), points.len());
-    let total_weight: f64 = points.iter().map(|p| p.weight).sum();
-    let surviving_weight: f64 = points
-        .iter()
-        .zip(&sweep.solutions)
-        .filter(|(_, z)| z.is_some())
-        .map(|(p, _)| p.weight)
-        .sum();
-    let surviving = sweep.surviving();
-    if surviving == 0 {
-        return Err(NumError::InvalidArgument(
-            "every sample point was dropped by the fault-tolerance ladder",
-        ));
-    }
-    let renorm = if surviving_weight > 0.0 { total_weight / surviving_weight } else { 1.0 };
-    // Weighted surviving columns, at the shifts actually solved.
-    let mut kept: Vec<SamplePoint> = Vec::with_capacity(surviving);
-    let mut weighted: Vec<numkit::ZMat> = Vec::with_capacity(surviving);
-    for ((pt, sol), rep) in points.iter().zip(&sweep.solutions).zip(&sweep.reports) {
-        if let Some(z) = sol {
-            let w = pt.weight * renorm;
-            kept.push(SamplePoint { s: rep.s_used, weight: w });
-            // 16 bytes per retained c64 sample entry.
-            obs::counters::add(obs::Counter::SampleBytes, (z.nrows() * z.ncols() * 16) as u64);
-            weighted.push(z.scale(w.sqrt()));
-        }
-    }
-    let total_cols: usize = weighted.iter().map(|zw| realified_ncols(zw, 1e-13)).sum();
-    if total_cols == 0 {
-        return Err(NumError::InvalidArgument("all surviving weighted samples vanished"));
-    }
-    let n = sys.nstates();
-    let mut zmat = DMat::zeros(n, total_cols);
-    let mut col = 0;
-    for zw in &weighted {
-        col += realify_columns_into(zw, 1e-13, &mut zmat, col);
-    }
-    debug_assert_eq!(col, total_cols);
+    let SweptSamples { kept, zmat, reports, requested, surviving, renorm, mut span, .. } =
+        crate::pipeline::sweep(
+            sys,
+            sampling,
+            &InputDirections::IdentityBlock,
+            false,
+            policy,
+            faults,
+        )?;
     let (svd, svd_retried) = robust_svd(&zmat)?;
-    sp.field_u64("surviving", surviving as u64);
-    sp.field_u64("total_cols", total_cols as u64);
-    sp.field_f64("renorm", renorm);
-    sp.field("svd_retried", obs::Value::Bool(svd_retried));
+    span.field_u64("surviving", surviving as u64);
+    span.field_u64("total_cols", zmat.ncols() as u64);
+    span.field_f64("renorm", renorm);
+    span.field("svd_retried", obs::Value::Bool(svd_retried));
+    drop(span);
     let diagnostics = SweepDiagnostics {
-        reports: sweep.reports,
-        requested: points.len(),
+        reports,
+        requested,
         surviving,
         weight_renormalization: renorm,
         svd_retried,
@@ -221,9 +187,8 @@ pub fn pmtbr_tolerant<S: LtiSystem + ?Sized>(
     policy: &RecoveryPolicy,
     faults: &dyn SolveFault,
 ) -> Result<(PmtbrModel, SweepDiagnostics), NumError> {
-    let (basis, diagnostics) = sample_basis_tolerant(sys, opts.sampling(), policy, faults)?;
-    let model = reduce_with_basis(sys, &basis, opts)?;
-    Ok((model, diagnostics))
+    let red = crate::pipeline::run_with(sys, &ReductionPlan::pmtbr(opts), policy, faults)?;
+    Ok((red.model, red.diagnostics))
 }
 
 #[cfg(test)]

@@ -28,4 +28,11 @@ echo "==> obs golden tests (trace determinism + counter accounting)"
 cargo test -q -p pmtbr-cli --test trace_golden
 cargo test -q --test obs_counters
 
+# Variant-coverage gate: every `reduce` method registry entry must
+# reduce the headline 1024-state mesh. Writes BENCH_variants.json
+# (order, in-band error, wall time per method).
+echo "==> variant coverage (every registry method on the 1024-state mesh)"
+cargo run --release -q -p bench --bin variants
+test -s BENCH_variants.json
+
 echo "check.sh: all gates passed"

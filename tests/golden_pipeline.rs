@@ -1,0 +1,138 @@
+//! Refactor-equivalence golden test: the unified pipeline behind the
+//! classic entry points must be *bit-identical* to the pre-refactor
+//! implementations, at every thread count.
+//!
+//! The fixture (`tests/fixtures/golden_pipeline.txt`) was blessed from
+//! the pre-pipeline code (PR 4 vintage): per-variant solve loops, strict
+//! engine sweeps, plain SVD. The entry points now route through
+//! `pmtbr::pipeline`, so this test is the proof that the refactor
+//! changed *structure*, not *numbers* — every f64 is compared by its
+//! bit pattern, not by tolerance.
+//!
+//! Re-bless (only for an intentional numerical change) with:
+//!
+//! ```text
+//! PMTBR_THREADS=1 PMTBR_BLESS=1 cargo test --test golden_pipeline
+//! ```
+
+use circuits::{rc_mesh, spread_ports};
+use lti::dithered_square_inputs;
+use numkit::DMat;
+use pmtbr::{
+    balanced_pmtbr, input_correlated_pmtbr, pmtbr, InputCorrelatedOptions, PmtbrModel,
+    PmtbrOptions, Sampling,
+};
+
+/// One named record: a matrix (or vector / scalar) as exact f64 bits.
+fn record(name: &str, nrows: usize, ncols: usize, data: impl Iterator<Item = f64>) -> String {
+    let mut line = format!("{name} {nrows} {ncols}");
+    for x in data {
+        line.push_str(&format!(" {:016x}", x.to_bits()));
+    }
+    line.push('\n');
+    line
+}
+
+fn mat(name: &str, m: &DMat) -> String {
+    let (r, c) = m.shape();
+    record(name, r, c, (0..r).flat_map(|i| (0..c).map(move |j| (i, j))).map(|ij| m[ij]))
+}
+
+fn model_records(tag: &str, m: &PmtbrModel) -> String {
+    let mut out = String::new();
+    out.push_str(&record(
+        &format!("{tag}.sv"),
+        1,
+        m.singular_values.len(),
+        m.singular_values.iter().copied(),
+    ));
+    out.push_str(&record(&format!("{tag}.order"), 1, 1, std::iter::once(m.order as f64)));
+    out.push_str(&record(
+        &format!("{tag}.error_estimate"),
+        1,
+        1,
+        std::iter::once(m.error_estimate),
+    ));
+    out.push_str(&mat(&format!("{tag}.a"), &m.reduced.a));
+    out.push_str(&mat(&format!("{tag}.b"), &m.reduced.b));
+    out.push_str(&mat(&format!("{tag}.c"), &m.reduced.c));
+    out.push_str(&mat(&format!("{tag}.d"), &m.reduced.d));
+    out
+}
+
+/// Runs all three golden variants and serializes every user-visible f64.
+fn run_all_variants() -> String {
+    let sys = rc_mesh(8, 8, &[0, 63], 1.0, 1.0, 2.0).expect("mesh");
+    let sampling = Sampling::Linear { omega_max: 50.0, n: 12 };
+
+    let base = pmtbr(&sys, &PmtbrOptions::new(sampling.clone()).with_max_order(6)).expect("pmtbr");
+    let bal = balanced_pmtbr(&sys, &sampling, 5).expect("balanced");
+
+    let ports = spread_ports(4, 8, 16);
+    let psys = rc_mesh(4, 8, &ports, 1.0, 1.0, 2.0).expect("port mesh");
+    let u = dithered_square_inputs(16, 200, 0.05, 4.0, 0.1, 1);
+    let mut iopts = InputCorrelatedOptions::new(Sampling::Linear { omega_max: 6.0, n: 12 });
+    iopts.n_draws = 24;
+    iopts.max_order = Some(5);
+    let corr = input_correlated_pmtbr(&psys, &u, &iopts).expect("input-correlated");
+
+    let mut out = String::new();
+    out.push_str(&model_records("pmtbr", &base));
+    out.push_str(&model_records("balanced", &bal));
+    out.push_str(&model_records("correlated", &corr));
+    out
+}
+
+#[test]
+fn pipeline_is_bit_identical_to_pre_refactor_fixture_at_any_thread_count() {
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden_pipeline.txt");
+
+    if std::env::var_os("PMTBR_BLESS").is_some() {
+        let text = run_all_variants();
+        std::fs::create_dir_all(fixture.parent().expect("fixture dir")).expect("mkdir");
+        std::fs::write(&fixture, text).expect("bless fixture");
+        return;
+    }
+
+    let blessed = std::fs::read_to_string(&fixture)
+        .expect("blessed fixture missing — run once with PMTBR_BLESS=1 to create it");
+
+    // `numkit::par::num_threads` reads PMTBR_THREADS dynamically, so one
+    // process can exercise serial, small-parallel, and oversubscribed
+    // fan-out. This test owns the env var: it is the only test in this
+    // binary that touches it.
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("PMTBR_THREADS", threads);
+        let got = run_all_variants();
+        assert!(
+            got == blessed,
+            "output diverged from the pre-refactor fixture at {threads} threads;\n\
+             first differing line:\n{}",
+            first_diff(&blessed, &got)
+        );
+    }
+    std::env::remove_var("PMTBR_THREADS");
+}
+
+fn first_diff(a: &str, b: &str) -> String {
+    for (la, lb) in a.lines().zip(b.lines()) {
+        if la != lb {
+            return format!("  blessed: {la}\n  got:     {lb}");
+        }
+    }
+    format!("(line count differs: {} vs {})", a.lines().count(), b.lines().count())
+}
+
+#[test]
+fn input_correlated_is_reproducible_for_a_fixed_seed() {
+    let ports = spread_ports(4, 8, 16);
+    let sys = rc_mesh(4, 8, &ports, 1.0, 1.0, 2.0).expect("mesh");
+    let u = dithered_square_inputs(16, 200, 0.05, 4.0, 0.1, 1);
+    let mut opts = InputCorrelatedOptions::new(Sampling::Linear { omega_max: 6.0, n: 12 });
+    opts.n_draws = 24;
+    opts.max_order = Some(5);
+    let a = input_correlated_pmtbr(&sys, &u, &opts).expect("run a");
+    let b = input_correlated_pmtbr(&sys, &u, &opts).expect("run b");
+    assert_eq!(model_records("x", &a), model_records("x", &b), "fixed seed must reproduce bits");
+}
