@@ -2,10 +2,17 @@
 //! with the whole PMTBR/Krylov family on the 1024-state RC mesh.
 //!
 //! Runs each entry of [`pmtbr_cli::METHODS`], records the achieved
-//! order, the in-band maximum relative transfer-function error, and the
-//! wall time, and writes `BENCH_variants.json` at the repository root.
+//! order, the in-band maximum relative transfer-function error, the
+//! wall time, and a per-stage breakdown (sweep / compress / project
+//! seconds, read off the pipeline's obs spans under a wall clock), and
+//! writes `BENCH_variants.json` at the repository root.
 //! `scripts/check.sh` runs this as the variant-coverage gate: a
-//! registry entry that cannot reduce its mesh fails the build.
+//! registry entry that cannot reduce its mesh fails the build, and so
+//! does a sampling-based method whose wall time regresses more than
+//! 1.5× against the committed baseline
+//! (`crates/bench/baselines/variants_wall.txt` — set
+//! `VARIANTS_NO_PERF_GATE=1` on machines whose absolute speed differs
+//! from the baseline's).
 //!
 //! All sampling-based methods (the seven pipeline variants plus the
 //! sparse Krylov baselines) run on `rc_mesh(32, 32)` with 16 ports —
@@ -14,10 +21,10 @@
 //! which takes tens of minutes at n = 1024 on a single core; as a gate
 //! they run on the 256-state jittered `rc_mesh(16, 16)` instead, where
 //! the same code path finishes in seconds (jitter splits the uniform
-//! mesh's degenerate spectrum, which `fltbr`'s band filter requires). Set `VARIANTS_FULL=1` to force every
-//! method onto the 1024-state mesh for a letter-complete (but slow)
-//! run. Each JSON record carries its `nstates` so the two regimes are
-//! never conflated.
+//! mesh's degenerate spectrum, which `fltbr`'s band filter requires).
+//! Set `VARIANTS_FULL=1` to force every method onto the 1024-state mesh
+//! for a letter-complete (but slow) run. Each JSON record carries its
+//! `nstates` so the two regimes are never conflated.
 //!
 //! ```text
 //! cargo run --release -p bench --bin variants
@@ -27,14 +34,33 @@ use std::time::Instant;
 
 use circuits::{rc_mesh_jittered, spread_ports};
 use lti::{frequency_response, linspace, max_rel_error, Descriptor, FreqResponse};
-use pmtbr_cli::{MethodOutput, ReduceRequest, METHODS};
+use pmtbr_cli::{Method, ReduceRequest, METHODS};
+
+/// Committed wall-time baseline, one `name seconds` line per method.
+/// Regenerate by copying `wall_s` from a fresh healthy
+/// `BENCH_variants.json` after an intentional perf change.
+const WALL_BASELINE: &str = include_str!("../../baselines/variants_wall.txt");
+
+/// Regression threshold for the perf trend gate: a sampling-based
+/// method may not exceed its committed baseline wall time by more than
+/// this factor.
+const MAX_WALL_RATIO: f64 = 1.5;
+
+#[derive(Default, Clone, Copy)]
+struct StageSeconds {
+    sweep_s: f64,
+    compress_s: f64,
+    project_s: f64,
+}
 
 struct VariantResult {
     name: String,
     nstates_full: usize,
+    samples: usize,
     order: usize,
     in_band_error: f64,
     wall_s: f64,
+    stages: StageSeconds,
     degraded: bool,
 }
 
@@ -42,6 +68,47 @@ struct VariantResult {
 /// matrix (exact-Gramian baselines), rather than sparse shifted solves.
 fn is_dense_gramian_baseline(name: &str) -> bool {
     matches!(name, "tbr" | "tbr-res" | "fltbr")
+}
+
+/// Per-stage wall seconds of one traced reduction, summed from the
+/// pipeline's span enter/exit pairs.
+///
+/// `pmtbr.compress` nests inside the still-open `pmtbr.sample_sweep`
+/// span (the sweep span closes only after compression so its summary
+/// fields can record the SVD outcome), so the sweep number subtracts
+/// the compression time: the three stages partition the pipeline.
+/// Methods that bypass the staged pipeline (Krylov and dense-Gramian
+/// baselines) report zeros.
+fn stage_seconds(trace: &obs::Trace) -> StageSeconds {
+    let mut open: std::collections::HashMap<(&str, u64), Vec<(String, u64)>> =
+        std::collections::HashMap::new();
+    let mut sweep_ns: u64 = 0;
+    let mut compress_ns: u64 = 0;
+    let mut project_ns: u64 = 0;
+    // Events are sorted by (unit, item, seq), so within one work item
+    // spans close LIFO and a per-item stack pairs enters with exits.
+    for ev in trace.events() {
+        if ev.is_enter() {
+            open.entry(ev.key()).or_default().push((ev.span_path().to_string(), ev.t()));
+        } else if ev.is_exit() {
+            let Some((path, t0)) = open.get_mut(&ev.key()).and_then(|s| s.pop()) else {
+                continue;
+            };
+            let dur = ev.t().saturating_sub(t0);
+            match path.rsplit('/').next() {
+                Some("pmtbr.sample_sweep") => sweep_ns += dur,
+                Some("pmtbr.compress") => compress_ns += dur,
+                Some("pmtbr.project") => project_ns += dur,
+                _ => {}
+            }
+        }
+    }
+    let secs = |ns: u64| ns as f64 * 1e-9;
+    StageSeconds {
+        sweep_s: secs(sweep_ns.saturating_sub(compress_ns)),
+        compress_s: secs(compress_ns),
+        project_s: secs(project_ns),
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -58,17 +125,25 @@ fn write_json(path: &std::path::Path, results: &[VariantResult]) -> std::io::Res
                 "    {{\n",
                 "      \"name\": \"{}\",\n",
                 "      \"nstates_full\": {},\n",
+                "      \"samples\": {},\n",
                 "      \"order\": {},\n",
                 "      \"in_band_max_rel_error\": {:.6e},\n",
                 "      \"wall_s\": {:.6},\n",
+                "      \"sweep_s\": {:.6},\n",
+                "      \"compress_s\": {:.6},\n",
+                "      \"project_s\": {:.6},\n",
                 "      \"degraded\": {}\n",
                 "    }}{}\n",
             ),
             json_escape(&r.name),
             r.nstates_full,
+            r.samples,
             r.order,
             r.in_band_error,
             r.wall_s,
+            r.stages.sweep_s,
+            r.stages.compress_s,
+            r.stages.project_s,
             r.degraded,
             if i + 1 < results.len() { "," } else { "" },
         ));
@@ -78,8 +153,15 @@ fn write_json(path: &std::path::Path, results: &[VariantResult]) -> std::io::Res
         "  \"notes\": \"Every pmtbr-cli reduce method registry entry, run with identical \
          band/samples/order requests. in_band_max_rel_error is the max relative \
          transfer-function error over a 20-point grid inside the band, against the \
-         full model of nstates_full states. The input-correlated variant optimizes \
-         for a training workload rather than uniform in-band error, so its number \
+         full model of nstates_full states. sweep_s/compress_s/project_s are the \
+         pipeline stage times read off the obs spans under a wall clock (zero for \
+         methods that bypass the staged pipeline); sweep_s excludes the nested \
+         compression span. The -n24 records rerun the compression-heavy variants \
+         with 24 quadrature nodes (a 768-column realified sample stack) to pin \
+         the large-SVD regime; cross-n24 runs only under VARIANTS_FULL=1 because \
+         its compress is a square 768x768 eigenproblem (minutes on one core). \
+         The input-correlated variant optimizes for a \
+         training workload rather than uniform in-band error, so its number \
          reads worse by construction. The dense exact-Gramian baselines (tbr, \
          tbr-res, fltbr) default to a 256-state mesh with 5% parameter jitter: \
          their O(n^3) dense Schur/eig takes tens of minutes at n=1024 on one \
@@ -110,6 +192,93 @@ fn build_case(
     Ok(Case { sys, grid, h_full })
 }
 
+/// Runs one registry method on `case` with `samples` quadrature nodes,
+/// tracing the run under a wall clock to attribute stage times.
+fn run_method(
+    record_name: &str,
+    m: &Method,
+    case: &Case,
+    omega_max: f64,
+    samples: usize,
+) -> Result<VariantResult, String> {
+    let mut req = ReduceRequest::new(omega_max, samples);
+    req.order = Some(10);
+    assert!(obs::install(obs::ClockKind::Wall), "a trace collector is already installed");
+    let t0 = Instant::now();
+    let run_res = (m.run)(&case.sys, &req);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let trace = obs::drain().ok_or("trace collector vanished mid-run")?;
+    let out = run_res.map_err(|e| format!("{record_name}: {e}"))?;
+    let h_red = frequency_response(&out.reduced, &case.grid).map_err(|e| e.to_string())?;
+    let in_band_error = max_rel_error(&case.h_full, &h_red);
+    let r = VariantResult {
+        name: record_name.to_string(),
+        nstates_full: case.sys.nstates(),
+        samples,
+        order: out.reduced.nstates(),
+        in_band_error,
+        wall_s,
+        stages: stage_seconds(&trace),
+        degraded: out.diagnostics.as_ref().is_some_and(|d| d.is_degraded()),
+    };
+    println!(
+        "  {:<12} n {:>4}  order {:>3}  in-band err {:>10.3e}  {:>8.3}s  \
+         (sweep {:.3} + compress {:.3} + project {:.3}){}",
+        r.name,
+        r.nstates_full,
+        r.order,
+        r.in_band_error,
+        r.wall_s,
+        r.stages.sweep_s,
+        r.stages.compress_s,
+        r.stages.project_s,
+        if r.degraded { "  (degraded)" } else { "" }
+    );
+    if !r.in_band_error.is_finite() {
+        return Err(format!("{record_name}: in-band error must be finite"));
+    }
+    Ok(r)
+}
+
+/// Perf trend gate: every sampling-based method listed in the committed
+/// baseline must stay within [`MAX_WALL_RATIO`] of its baseline wall
+/// time. Dense-Gramian baselines are exempt — their `O(n³)` dense eig
+/// dominates and its wall time is a property of the BLAS-free kernels,
+/// not of the sampled pipeline this gate protects.
+fn enforce_wall_baseline(results: &[VariantResult]) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for line in WALL_BASELINE.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(base)) = (parts.next(), parts.next()) else {
+            return Err(format!("malformed baseline line: {line:?}"));
+        };
+        let base: f64 = base
+            .parse()
+            .map_err(|_| format!("unparseable baseline seconds in line: {line:?}"))?;
+        if is_dense_gramian_baseline(name) {
+            continue;
+        }
+        let Some(r) = results.iter().find(|r| r.name == name) else {
+            return Err(format!("baseline method {name} missing from this run"));
+        };
+        if r.wall_s > MAX_WALL_RATIO * base {
+            failures.push(format!(
+                "{name}: {:.3}s exceeds {MAX_WALL_RATIO}x the committed baseline {base:.3}s",
+                r.wall_s
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("perf trend gate failed:\n  {}", failures.join("\n  ")))
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full_mode = std::env::var("VARIANTS_FULL").is_ok_and(|v| v == "1");
     let omega_max = 10.0;
@@ -136,41 +305,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(s) if is_dense_gramian_baseline(m.name) => s,
             _ => &big,
         };
-        // 8 nodes × 16 ports realifies to a ~256-column stacked matrix:
-        // enough to exercise every stage, small enough that the Jacobi
-        // SVD stays in seconds (24 nodes would mean a 768-column SVD,
-        // minutes of single-core work, for a gate that only asserts
-        // end-to-end coverage).
-        let mut req = ReduceRequest::new(omega_max, 8);
-        req.order = Some(10);
-        let t0 = Instant::now();
-        let out: MethodOutput = (m.run)(&case.sys, &req).map_err(|e| format!("{}: {e}", m.name))?;
-        let wall_s = t0.elapsed().as_secs_f64();
-        let h_red = frequency_response(&out.reduced, &case.grid)?;
-        let in_band_error = max_rel_error(&case.h_full, &h_red);
-        let r = VariantResult {
-            name: m.name.to_string(),
-            nstates_full: case.sys.nstates(),
-            order: out.reduced.nstates(),
-            in_band_error,
-            wall_s,
-            degraded: out.diagnostics.as_ref().is_some_and(|d| d.is_degraded()),
-        };
+        // 8 nodes is the headline request: its error numbers are pinned
+        // by the committed JSON, so downstream consumers can diff them
+        // across commits. The larger-node regime gets its own records
+        // below.
+        results.push(run_method(m.name, m, case, omega_max, 8)?);
+    }
+
+    // Large-SVD stress records: 24 nodes × 16 ports realifies to a
+    // 768-column stacked sample matrix. The two-stage-preconditioned
+    // parallel Jacobi runs that compression in seconds (it used to be
+    // minutes of single-core work, which is why the gate historically
+    // stopped at 8 nodes), so the compression-heavy variants now
+    // exercise it on every run. `cross` is the exception: its
+    // large-sample compress is dominated by a square 768×768
+    // eigenproblem the SVD preconditioner does not cover (~3 min on one
+    // core), so its stress record only runs under VARIANTS_FULL=1.
+    let stress: &[&str] = if full_mode { &["pmtbr", "balanced", "cross"] } else { &["pmtbr", "balanced"] };
+    for name in stress {
+        let m = pmtbr_cli::find(name).ok_or_else(|| format!("no registry method {name}"))?;
+        results.push(run_method(&format!("{name}-n24"), m, &big, omega_max, 24)?);
+    }
+
+    if std::env::var("VARIANTS_NO_PERF_GATE").is_ok_and(|v| v == "1") {
+        println!("perf trend gate skipped (VARIANTS_NO_PERF_GATE=1)");
+    } else {
+        enforce_wall_baseline(&results)?;
         println!(
-            "  {:<11} n {:>4}  order {:>3}  in-band err {:>10.3e}  {:>8.3}s{}",
-            r.name,
-            r.nstates_full,
-            r.order,
-            r.in_band_error,
-            r.wall_s,
-            if r.degraded { "  (degraded)" } else { "" }
+            "perf trend gate passed (all sampling-based methods within {MAX_WALL_RATIO}x of baseline)"
         );
-        assert!(
-            r.in_band_error.is_finite(),
-            "{}: in-band error must be finite",
-            r.name
-        );
-        results.push(r);
     }
 
     // crates/bench/ → repository root.

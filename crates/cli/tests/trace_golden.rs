@@ -9,6 +9,13 @@
 //! clock every stamp is a per-item event ordinal, so two runs that do
 //! the same numerical work produce the same bytes.
 //!
+//! Last re-bless: the parallel blocked compression kernels. The trace
+//! gained the `pmtbr.compress` / `pmtbr.project` stage spans and the
+//! `svd.jacobi` span's QR-precondition and tournament-round fields
+//! (plus the `SVD_ROUNDS` / `SVD_QR_PRECOND` counters), and SVD
+//! rotation counts changed because the preconditioned Jacobi runs on
+//! the R factor in tournament order.
+//!
 //! Re-bless intentionally after a behavior-changing commit with:
 //!
 //! ```text

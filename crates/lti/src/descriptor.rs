@@ -377,14 +377,22 @@ fn reduce_pencil(
 }
 
 /// Multiplies a sparse CSR matrix by a dense matrix.
+///
+/// Streams contiguous row slices of the row-major operands: each output
+/// row accumulates `mv · v.row(cidx)` with slice iterators instead of
+/// per-entry indexing, keeping one `out` row and one `v` row hot in
+/// cache per nonzero. The `j`-accumulation order is unchanged (ascending
+/// per nonzero, nonzeros in CSR order), so results are bit-identical to
+/// the indexed loop this replaces.
 pub(crate) fn sparse_times_dense(m: &Csr<f64>, v: &DMat) -> DMat {
     assert_eq!(m.ncols(), v.nrows(), "sparse_times_dense: shape mismatch");
     let mut out = DMat::zeros(m.nrows(), v.ncols());
     for i in 0..m.nrows() {
         let (cols, vals) = m.row(i);
+        let orow = out.row_mut(i);
         for (&cidx, &mv) in cols.iter().zip(vals) {
-            for j in 0..v.ncols() {
-                out[(i, j)] += mv * v[(cidx, j)];
+            for (o, &x) in orow.iter_mut().zip(v.row(cidx)) {
+                *o += mv * x;
             }
         }
     }

@@ -26,7 +26,7 @@
 
 use numkit::par::{num_threads, par_map_with, try_par_map_with};
 use numkit::{c64, NumError, ZMat};
-use sparsekit::{residual_norm, SparseLu, SymbolicLu};
+use sparsekit::{residual_norm, residual_norm_transpose, SparseLu, SymbolicLu};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
@@ -223,7 +223,40 @@ impl ShiftSolveEngine {
         policy: &RecoveryPolicy,
         faults: &dyn SolveFault,
     ) -> TolerantSweep {
-        self.tolerant_driver(shifts, SweepRhs::Shared(rhs), threads, policy, faults)
+        self.tolerant_driver(shifts, SweepRhs::Shared(rhs), None, threads, policy, faults).0
+    }
+
+    /// Fault-tolerant *two-sided* multipoint solve sharing one
+    /// factorization per shift: at every shift the ladder factors the
+    /// forward pencil `s·E − A` once, solves it against `rhs` for the
+    /// controllability side, and solves the *transposed* system
+    /// `(s·E − A)ᵀ·Z = rhs_t` through the same `P·A = L·U`
+    /// ([`sparsekit::SparseLu::solve_mat_transpose`]) for the
+    /// observability side — halving the LU work of the balanced and
+    /// cross-Gramian double sweeps.
+    ///
+    /// A rung is accepted only when *both* sides certify their residual,
+    /// so the two returned sweeps drop the same shifts, carry identical
+    /// reports, and use the same (possibly perturbed) `s_used` on both
+    /// sides — eliminating the side-mismatch a pair of independent
+    /// sweeps could produce under perturbation.
+    ///
+    /// Determinism matches [`ShiftSolveEngine::solve_many_tolerant`]:
+    /// index-ordered, bit-identical for every thread count.
+    pub fn solve_two_sided_tolerant(
+        &self,
+        shifts: &[c64],
+        rhs: &ZMat,
+        rhs_t: &ZMat,
+        threads: usize,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> (TolerantSweep, TolerantSweep) {
+        let (fwd, trans) =
+            self.tolerant_driver(shifts, SweepRhs::Shared(rhs), Some(rhs_t), threads, policy, faults);
+        // The driver always produces the transpose sweep when rhs_t is
+        // given; an empty sweep can only mean an empty shift list.
+        (fwd, trans.unwrap_or(TolerantSweep { solutions: Vec::new(), reports: Vec::new() }))
     }
 
     /// Fault-tolerant multipoint solve with a per-shift right-hand side
@@ -251,21 +284,28 @@ impl ShiftSolveEngine {
                 right: (rhss.len(), 1),
             });
         }
-        Ok(self.tolerant_driver(shifts, SweepRhs::PerShift(rhss), threads, policy, faults))
+        Ok(self
+            .tolerant_driver(shifts, SweepRhs::PerShift(rhss), None, threads, policy, faults)
+            .0)
     }
 
-    /// Shared tolerant driver behind the shared-rhs and per-shift-rhs
-    /// entry points.
+    /// Shared tolerant driver behind the shared-rhs, per-shift-rhs, and
+    /// two-sided entry points. When `trans_rhs` is given, every accepted
+    /// shift also carries an observability solution computed through the
+    /// same factorization, returned as a second sweep with cloned
+    /// reports.
     fn tolerant_driver(
         &self,
         shifts: &[c64],
         rhs: SweepRhs<'_>,
+        trans_rhs: Option<&ZMat>,
         threads: usize,
         policy: &RecoveryPolicy,
         faults: &dyn SolveFault,
-    ) -> TolerantSweep {
+    ) -> (TolerantSweep, Option<TolerantSweep>) {
         let n = shifts.len();
         let mut solutions: Vec<Option<ZMat>> = Vec::with_capacity(n);
+        let mut solutions_t: Vec<Option<ZMat>> = Vec::with_capacity(n);
         let mut reports: Vec<ShiftReport> = Vec::with_capacity(n);
         // Sequential priming: ladder shifts on the calling thread until
         // one succeeds with a fresh factorization (recording symbolic +
@@ -273,10 +313,11 @@ impl ShiftSolveEngine {
         let mut k = 0;
         while k < n && !self.is_primed() {
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                self.ladder(k, shifts[k], rhs.get(k), policy, faults, true)
+                self.ladder(k, shifts[k], rhs.get(k), trans_rhs, policy, faults, true)
             }));
-            let (sol, rep) = attempt.unwrap_or_else(|_| {
+            let (sol, sol_t, rep) = attempt.unwrap_or_else(|_| {
                 (
+                    None,
                     None,
                     ShiftReport::dropped(
                         k,
@@ -286,20 +327,22 @@ impl ShiftSolveEngine {
                 )
             });
             solutions.push(sol);
+            solutions_t.push(sol_t);
             reports.push(rep);
             k += 1;
         }
         // Fan out the rest; workers only read the primed state.
         let rest = try_par_map_with(n - k, threads, |i| {
-            Ok(self.ladder(k + i, shifts[k + i], rhs.get(k + i), policy, faults, false))
+            Ok(self.ladder(k + i, shifts[k + i], rhs.get(k + i), trans_rhs, policy, faults, false))
         });
         for (i, r) in rest.into_iter().enumerate() {
             let index = k + i;
-            let (sol, rep) = match r {
-                Ok(pair) => pair,
+            let (sol, sol_t, rep) = match r {
+                Ok(triple) => triple,
                 // The worker panicked (contained by the pool): the
                 // sample is dropped with the panic recorded.
                 Err(_) => (
+                    None,
                     None,
                     ShiftReport::dropped(
                         index,
@@ -309,24 +352,31 @@ impl ShiftSolveEngine {
                 ),
             };
             solutions.push(sol);
+            solutions_t.push(sol_t);
             reports.push(rep);
         }
-        TolerantSweep { solutions, reports }
+        let trans = trans_rhs
+            .map(|_| TolerantSweep { solutions: solutions_t, reports: reports.clone() });
+        (TolerantSweep { solutions, reports }, trans)
     }
 
     /// One shift through the escalation ladder. `prime` is true only
     /// during the sequential priming phase; an accepted fresh
     /// factorization then records the engine's symbolic analysis and
-    /// primer cache.
+    /// primer cache. With `trans_rhs`, a rung must also certify the
+    /// transposed solve through the same factorization before it is
+    /// accepted.
+    #[allow(clippy::too_many_arguments)]
     fn ladder(
         &self,
         index: usize,
         s_req: c64,
         rhs: &ZMat,
+        trans_rhs: Option<&ZMat>,
         policy: &RecoveryPolicy,
         faults: &dyn SolveFault,
         prime: bool,
-    ) -> (Option<ZMat>, ShiftReport) {
+    ) -> (Option<ZMat>, Option<ZMat>, ShiftReport) {
         #[derive(Clone, Copy, PartialEq)]
         enum Cand {
             Reuse,
@@ -445,6 +495,47 @@ impl ShiftSolveEngine {
                 }
                 last_residual = residual;
                 if residual.is_finite() && residual <= policy.residual_tol {
+                    // Two-sided rungs: the observability side must
+                    // certify through the SAME factorization (transpose
+                    // solve + refinement) or the rung escalates as a
+                    // whole, keeping both sides at one s_used.
+                    let mut x_t: Option<ZMat> = None;
+                    if let Some(bt) = trans_rhs {
+                        let mut xt = match f.solve_mat_transpose(bt) {
+                            Ok(xt) => xt,
+                            Err(e) => {
+                                last_err = Some(e);
+                                continue;
+                            }
+                        };
+                        let mut res_t = residual_norm_transpose(&a, &xt, bt);
+                        let mut steps_t = 0;
+                        while res_t.is_finite()
+                            && res_t > policy.residual_tol
+                            && steps_t < policy.refine_steps
+                        {
+                            match f.refine_mat_transpose(&a, bt, &mut xt) {
+                                Ok(next) => {
+                                    steps_t += 1;
+                                    if !(next < res_t) {
+                                        res_t = next.min(res_t);
+                                        break;
+                                    }
+                                    res_t = next;
+                                }
+                                Err(e) => {
+                                    last_err = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        if !(res_t.is_finite() && res_t <= policy.residual_tol) {
+                            last_residual = res_t;
+                            continue;
+                        }
+                        sp.field_f64("residual_t", res_t);
+                        x_t = Some(xt);
+                    }
                     let outcome = if level > 0 {
                         ShiftOutcome::Perturbed { attempts: level }
                     } else if refine_steps > 0 {
@@ -492,7 +583,7 @@ impl ShiftSolveEngine {
                         refine_steps,
                         error: None,
                     };
-                    return (Some(x), report);
+                    return (Some(x), x_t, report);
                 }
             }
         }
@@ -501,7 +592,7 @@ impl ShiftSolveEngine {
         sp.field_f64("residual", last_residual);
         let mut report = ShiftReport::dropped(index, s_req, last_err);
         report.residual = last_residual;
-        (None, report)
+        (None, None, report)
     }
 }
 

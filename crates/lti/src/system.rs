@@ -141,6 +141,30 @@ pub trait LtiSystem {
         )
     }
 
+    /// Fault-tolerant *two-sided* sweep: controllability samples
+    /// `(sₖ·E − A)⁻¹·R` and observability samples `(sₖ·E − A)⁻ᵀ·Rₜ` at
+    /// the same shifts, as one forward sweep plus one transposed sweep.
+    ///
+    /// The default runs the two sweeps independently (each factoring its
+    /// own pencil); sparse implementations override this with the
+    /// shared-factorization engine
+    /// ([`crate::ShiftSolveEngine::solve_two_sided_tolerant`]), which
+    /// factors `s·E − A` once per shift and produces both sides from it.
+    /// Either way both returned sweeps are index-aligned with `shifts`
+    /// and deterministic for every thread count.
+    fn solve_shifted_two_sided_tolerant(
+        &self,
+        shifts: &[c64],
+        rhs: &ZMat,
+        rhs_t: &ZMat,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> (TolerantSweep, TolerantSweep) {
+        let fwd = self.solve_shifted_many_tolerant(shifts, rhs, policy, faults);
+        let trans = self.solve_shifted_transpose_many_tolerant(shifts, rhs_t, policy, faults);
+        (fwd, trans)
+    }
+
     /// Solves `(sₖ·E − A)·Zₖ = R` at every shift against one shared
     /// right-hand side, returning the solutions in shift order.
     ///
@@ -383,6 +407,27 @@ impl LtiSystem for Descriptor {
         crate::ShiftSolveEngine::new_transposed(self).solve_many_tolerant(
             shifts,
             rhs,
+            numkit::par::num_threads(),
+            policy,
+            faults,
+        )
+    }
+    /// Sparse two-sided ladder: ONE forward factorization per shift
+    /// produces both the controllability and (via the transpose solve
+    /// `UᵀLᵀPx = b`) the observability samples, halving the LU work of
+    /// balanced / cross-Gramian sweeps.
+    fn solve_shifted_two_sided_tolerant(
+        &self,
+        shifts: &[c64],
+        rhs: &ZMat,
+        rhs_t: &ZMat,
+        policy: &RecoveryPolicy,
+        faults: &dyn SolveFault,
+    ) -> (TolerantSweep, TolerantSweep) {
+        crate::ShiftSolveEngine::new(self).solve_two_sided_tolerant(
+            shifts,
+            rhs,
+            rhs_t,
             numkit::par::num_threads(),
             policy,
             faults,

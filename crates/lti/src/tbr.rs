@@ -147,22 +147,16 @@ pub fn tbr_from_gramians(
     // Numerical rank of the Hankel spectrum limits the realizable order.
     let rank = f.rank(1e-13).max(1);
     let q = order.min(rank);
-    let mut v = DMat::zeros(sys.nstates(), q);
-    let mut w = DMat::zeros(sys.nstates(), q);
+    // V = Lx·V_svd·Σ^{-1/2}, W = Ly·U_svd·Σ^{-1/2}, as blocked matmuls
+    // (ascending-k accumulation: bit-identical to the per-entry loops)
+    // followed by the balancing column scaling.
+    let mut v = lx.matmul(&f.v.leading_cols(q))?;
+    let mut w = ly.matmul(&f.u.leading_cols(q))?;
     for j in 0..q {
         let scale = 1.0 / f.s[j].sqrt();
-        // V = Lx·V_svd·Σ^{-1/2}, W = Ly·U_svd·Σ^{-1/2}.
         for i in 0..sys.nstates() {
-            let mut acc_v = 0.0;
-            for k in 0..lx.ncols() {
-                acc_v += lx[(i, k)] * f.v[(k, j)];
-            }
-            v[(i, j)] = acc_v * scale;
-            let mut acc_w = 0.0;
-            for k in 0..ly.ncols() {
-                acc_w += ly[(i, k)] * f.u[(k, j)];
-            }
-            w[(i, j)] = acc_w * scale;
+            v[(i, j)] *= scale;
+            w[(i, j)] *= scale;
         }
     }
     let reduced = sys.project(&w, &v)?;
@@ -217,21 +211,15 @@ pub fn tbr_residualized(sys: &StateSpace, order: usize) -> Result<TbrModel, NumE
     }
     // Full balanced coordinates up to the numerical rank.
     let n = sys.nstates();
-    let mut v = DMat::zeros(n, rank);
-    let mut w = DMat::zeros(n, rank);
+    // Same blocked balanced-coordinate assembly as [`tbr_from_gramians`],
+    // kept to the full numerical rank for the residualization split.
+    let mut v = lx.matmul(&f.v.leading_cols(rank))?;
+    let mut w = ly.matmul(&f.u.leading_cols(rank))?;
     for j in 0..rank {
         let scale = 1.0 / f.s[j].sqrt();
         for i in 0..n {
-            let mut acc_v = 0.0;
-            for k in 0..lx.ncols() {
-                acc_v += lx[(i, k)] * f.v[(k, j)];
-            }
-            v[(i, j)] = acc_v * scale;
-            let mut acc_w = 0.0;
-            for k in 0..ly.ncols() {
-                acc_w += ly[(i, k)] * f.u[(k, j)];
-            }
-            w[(i, j)] = acc_w * scale;
+            v[(i, j)] *= scale;
+            w[(i, j)] *= scale;
         }
     }
     let bal = sys.project(&w, &v)?;

@@ -75,21 +75,36 @@ fn reflector_vector<T: Scalar>(qr: &Mat<T>, k: usize) -> Vec<T> {
 
 /// Applies `H = I − τ·v·vᴴ` to columns `col_start..` of `target`, acting on
 /// rows `k..`.
+///
+/// Both passes (`w = vᴴ·A`, then `A −= τ·v·wᴴ`-style update) iterate
+/// row-by-row over the row-major storage, so the inner loops stream
+/// contiguous slices; each `w[j]` still accumulates its terms in
+/// ascending row order, which keeps the results bit-identical to the
+/// column-at-a-time formulation.
 fn apply_reflector<T: Scalar>(v: &[T], k: usize, tau: T, target: &mut Mat<T>, col_start: usize) {
     if tau == T::zero() {
         return;
     }
-    let m = target.nrows();
+    let (m, n) = target.shape();
     debug_assert_eq!(v.len(), m - k);
-    for j in col_start..target.ncols() {
-        let mut w = T::zero();
-        for (idx, &vi) in v.iter().enumerate() {
-            w += vi.conj() * target[(k + idx, j)];
+    if col_start >= n {
+        return;
+    }
+    let mut w = vec![T::zero(); n - col_start];
+    for (idx, &vi) in v.iter().enumerate() {
+        let row = &target.row(k + idx)[col_start..];
+        let vc = vi.conj();
+        for (acc, &x) in w.iter_mut().zip(row) {
+            *acc += vc * x;
         }
-        let tw = tau * w;
-        for (idx, &vi) in v.iter().enumerate() {
-            let t = target[(k + idx, j)];
-            target[(k + idx, j)] = t - tw * vi;
+    }
+    for acc in w.iter_mut() {
+        *acc = tau * *acc;
+    }
+    for (idx, &vi) in v.iter().enumerate() {
+        let row = &mut target.row_mut(k + idx)[col_start..];
+        for (&tw, x) in w.iter().zip(row.iter_mut()) {
+            *x -= tw * vi;
         }
     }
 }

@@ -1,0 +1,117 @@
+//! Thread-count determinism of the parallel Jacobi SVD.
+//!
+//! The workspace's standing contract: every kernel is bit-identical at
+//! any thread count. For the SVD this is guaranteed by construction —
+//! the tournament schedule rotates *disjoint* column pairs per round,
+//! so the rotations of a round commute exactly and the parallel driver
+//! performs the same arithmetic as the sequential one — and this test
+//! is the proof, on matrix shapes that cross the parallel cutover
+//! (≥ 48 columns): random tall, random wide, rank-deficient, and a
+//! graded spectrum spanning 12 orders of magnitude.
+//!
+//! A second group pins the QR-preconditioned path against the direct
+//! path to tight relative tolerance: preconditioning may legitimately
+//! change last-bit rounding (different rotation sequence on R), but
+//! never accuracy — Householder QR is columnwise backward stable, so
+//! even strongly column-scaled matrices keep relative accuracy.
+
+use numkit::{svd_with_opts, DMat, SplitMix64, SvdOptions};
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> DMat {
+    let mut rng = SplitMix64::new(seed);
+    DMat::from_fn(rows, cols, |_, _| rng.next_range(-1.0, 1.0))
+}
+
+/// A rank-deficient matrix: `cols` columns drawn from a `rank`-column
+/// generator via random mixing.
+fn rank_deficient_mat(rows: usize, cols: usize, rank: usize, seed: u64) -> DMat {
+    let gen = random_mat(rows, rank, seed);
+    let mix = random_mat(rank, cols, seed ^ 0x9e37_79b9_7f4a_7c15);
+    gen.matmul(&mix).expect("generator product")
+}
+
+/// Columns scaled by 10⁻ʲ so the spectrum spans ~12 orders.
+fn graded_mat(rows: usize, cols: usize, seed: u64) -> DMat {
+    let mut m = random_mat(rows, cols, seed);
+    for j in 0..cols {
+        let scale = 10f64.powi(-((j % 13) as i32));
+        for i in 0..rows {
+            m[(i, j)] *= scale;
+        }
+    }
+    m
+}
+
+fn assert_bit_identical_across_threads(name: &str, a: &DMat) {
+    let base = svd_with_opts(a, &SvdOptions { threads: Some(1), ..Default::default() })
+        .expect("svd at 1 thread");
+    for threads in [2usize, 8] {
+        let f = svd_with_opts(a, &SvdOptions { threads: Some(threads), ..Default::default() })
+            .expect("svd at n threads");
+        assert_eq!(base.s, f.s, "{name}: singular values differ at {threads} threads");
+        for (idx, (x, y)) in base.u.as_slice().iter().zip(f.u.as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{name}: U entry {idx} differs at {threads} threads: {x:e} vs {y:e}"
+            );
+        }
+        for (idx, (x, y)) in base.v.as_slice().iter().zip(f.v.as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{name}: V entry {idx} differs at {threads} threads: {x:e} vs {y:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_tall_matrix_is_bit_identical_at_1_2_8_threads() {
+    // 96 rows × 64 cols: tall enough to trigger QR preconditioning,
+    // wide enough (≥ 48 cols) to engage the parallel driver.
+    assert_bit_identical_across_threads("tall", &random_mat(96, 64, 0xA11CE));
+}
+
+#[test]
+fn random_wide_matrix_is_bit_identical_at_1_2_8_threads() {
+    // Wide inputs dispatch through the adjoint; the transposed problem
+    // is the tall one above, same guarantees.
+    assert_bit_identical_across_threads("wide", &random_mat(64, 96, 0xB0B));
+}
+
+#[test]
+fn rank_deficient_matrix_is_bit_identical_at_1_2_8_threads() {
+    assert_bit_identical_across_threads("rank-deficient", &rank_deficient_mat(96, 64, 17, 0xC0DE));
+}
+
+#[test]
+fn graded_matrix_is_bit_identical_at_1_2_8_threads() {
+    assert_bit_identical_across_threads("graded", &graded_mat(96, 64, 0xD1CE));
+}
+
+/// QR-preconditioned vs direct Jacobi: same singular values to tight
+/// relative tolerance on a graded matrix (the accuracy-critical case).
+#[test]
+fn qr_preconditioned_agrees_with_direct_jacobi() {
+    let a = graded_mat(96, 64, 0xFACE);
+    let direct = svd_with_opts(&a, &SvdOptions { qr_precondition: Some(false), ..Default::default() })
+        .expect("direct svd");
+    let pre = svd_with_opts(&a, &SvdOptions { qr_precondition: Some(true), ..Default::default() })
+        .expect("preconditioned svd");
+    assert_eq!(direct.s.len(), pre.s.len());
+    for (j, (&sd, &sp)) in direct.s.iter().zip(&pre.s).enumerate() {
+        let denom = sd.abs().max(1e-300);
+        assert!(
+            (sd - sp).abs() / denom < 1e-10,
+            "sigma {j}: direct {sd:e} vs preconditioned {sp:e}"
+        );
+    }
+    // Both factorizations must reconstruct A to the same (tight) level.
+    for f in [&direct, &pre] {
+        let recon = f.reconstruct();
+        let mut err_max = 0.0f64;
+        for (x, y) in a.as_slice().iter().zip(recon.as_slice()) {
+            err_max = err_max.max((x - y).abs());
+        }
+        assert!(err_max < 1e-12, "reconstruction error {err_max:e}");
+    }
+}

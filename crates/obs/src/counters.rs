@@ -35,12 +35,21 @@ pub enum Counter {
     SvdSweeps,
     /// Jacobi rotations applied across all SVD sweeps.
     SvdRotations,
+    /// Tournament rounds swept (sweeps × rounds-per-sweep). Each round is
+    /// a batch of disjoint column pairs — the unit of parallel fan-out —
+    /// so `SVD_ROUNDS / SVD_SWEEPS` is the per-sweep barrier count. The
+    /// value depends only on the matrix shapes and sweep counts, never on
+    /// the thread count.
+    SvdRounds,
+    /// Tall SVDs that took the QR-preconditioned path (Jacobi on the
+    /// `n × n` R factor instead of the full `m × n` matrix).
+    SvdQrPrecond,
     /// Bytes of retained (surviving, weighted) complex sample data.
     SampleBytes,
 }
 
 /// Every counter, in reporting order.
-pub const ALL: [Counter; 8] = [
+pub const ALL: [Counter; 10] = [
     Counter::LuSymbolic,
     Counter::LuFactor,
     Counter::LuReuseHit,
@@ -48,6 +57,8 @@ pub const ALL: [Counter; 8] = [
     Counter::ShiftDropped,
     Counter::SvdSweeps,
     Counter::SvdRotations,
+    Counter::SvdRounds,
+    Counter::SvdQrPrecond,
     Counter::SampleBytes,
 ];
 
@@ -62,6 +73,8 @@ impl Counter {
             Counter::ShiftDropped => "SHIFT_DROPPED",
             Counter::SvdSweeps => "SVD_SWEEPS",
             Counter::SvdRotations => "SVD_ROTATIONS",
+            Counter::SvdRounds => "SVD_ROUNDS",
+            Counter::SvdQrPrecond => "SVD_QR_PRECOND",
             Counter::SampleBytes => "SAMPLE_BYTES",
         }
     }
@@ -75,7 +88,9 @@ impl Counter {
             Counter::ShiftDropped => 4,
             Counter::SvdSweeps => 5,
             Counter::SvdRotations => 6,
-            Counter::SampleBytes => 7,
+            Counter::SvdRounds => 7,
+            Counter::SvdQrPrecond => 8,
+            Counter::SampleBytes => 9,
         }
     }
 }
@@ -83,6 +98,8 @@ impl Counter {
 const N: usize = ALL.len();
 
 static CELLS: [AtomicU64; N] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -179,6 +196,8 @@ mod tests {
                 "SHIFT_DROPPED",
                 "SVD_SWEEPS",
                 "SVD_ROTATIONS",
+                "SVD_ROUNDS",
+                "SVD_QR_PRECOND",
                 "SAMPLE_BYTES"
             ]
         );

@@ -122,6 +122,23 @@ impl Event {
     pub fn span_path(&self) -> &str {
         &self.span
     }
+
+    /// The event timestamp in the installed clock's unit (nanoseconds
+    /// under [`crate::WallClock`], a per-item event count under
+    /// [`crate::CounterClock`]).
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Whether this is a span-enter event.
+    pub fn is_enter(&self) -> bool {
+        self.kind == Kind::Enter
+    }
+
+    /// Whether this is a span-exit event.
+    pub fn is_exit(&self) -> bool {
+        self.kind == Kind::Exit
+    }
 }
 
 /// Per-root-span state: a private clock, sequence counter, and buffer.

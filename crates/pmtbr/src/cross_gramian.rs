@@ -3,10 +3,16 @@
 //! For nonsymmetric systems both Gramians matter. Rather than balancing
 //! two sampled Gramians, the cross-Gramian variant samples
 //! controllability vectors `z_R = (sE − A)⁻¹·B` *and* observability
-//! vectors `z_L = (sE − A)⁻ᵀ·Cᵀ`, compresses the (never formed)
-//! `Z_L·Z_Rᵀ` eigenproblem through a joint orthonormal basis `Q`, and
-//! projects onto the dominant eigenspace — a two-sided (Petrov–Galerkin)
-//! reduction whose trailing-eigenvalue sum bounds the Hankel tail.
+//! vectors `z_L = (sE − A)⁻ᵀ·Cᵀ` — one shared factorization per shift,
+//! the observability side via the transpose solve — and compresses the
+//! (never formed) cross Gramian `X = Z_R·Z_Lᵀ` through the small
+//! product `N = Z_Lᵀ·Z_R`: for `λ ≠ 0`, `N·w = λ·w` maps to
+//! `X·(Z_R·w) = λ·(Z_R·w)`, so one `c × c` eigenproblem (c = sample
+//! columns) replaces the `n`-row joint SVD and up-to-`2c` eigenproblem
+//! of the naive compression. Projection onto the dominant eigenspace is
+//! two-sided (Petrov–Galerkin), with the biorthogonal left basis
+//! `W = Z_L·(Λ⁻¹·T⁻¹)ᵀ` assembled from the same eigendecomposition;
+//! the trailing-eigenvalue sum bounds the Hankel tail.
 
 use lti::LtiSystem;
 use numkit::NumError;

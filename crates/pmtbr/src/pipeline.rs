@@ -414,19 +414,31 @@ pub(crate) fn sweep<S: LtiSystem + ?Sized>(
     let mut sp = obs::span("pmtbr.sample_sweep");
     sp.field_u64("requested", active.len() as u64);
     let shifts: Vec<c64> = active.iter().map(|p| p.s).collect();
-    let fwd: TolerantSweep = match &excitation {
-        Excitation::Shared(b) => sys.solve_shifted_many_tolerant(&shifts, b, policy, faults),
-        Excitation::PerNode(rhss) => {
-            sys.solve_shifted_pairs_tolerant(&shifts, rhss, policy, faults)?
+    // Two-sided sweeps with a shared excitation go through the
+    // factorization-sharing ladder: one LU per shift serves both the
+    // forward and the transposed solve. Per-node excitations keep the
+    // split sweeps (the pairs ladder has its own rhs per index).
+    let (fwd, trans): (TolerantSweep, Option<TolerantSweep>) = match (&excitation, two_sided) {
+        (Excitation::Shared(b), true) => {
+            let ct = sys.output_matrix().adjoint().to_complex();
+            let (f, t) = sys.solve_shifted_two_sided_tolerant(&shifts, b, &ct, policy, faults);
+            (f, Some(t))
+        }
+        (Excitation::Shared(b), false) => {
+            (sys.solve_shifted_many_tolerant(&shifts, b, policy, faults), None)
+        }
+        (Excitation::PerNode(rhss), _) => {
+            let f = sys.solve_shifted_pairs_tolerant(&shifts, rhss, policy, faults)?;
+            let t = if two_sided {
+                let ct = sys.output_matrix().adjoint().to_complex();
+                Some(sys.solve_shifted_transpose_many_tolerant(&shifts, &ct, policy, faults))
+            } else {
+                None
+            };
+            (f, t)
         }
     };
     debug_assert_eq!(fwd.reports.len(), active.len());
-    let trans: Option<TolerantSweep> = if two_sided {
-        let ct = sys.output_matrix().adjoint().to_complex();
-        Some(sys.solve_shifted_transpose_many_tolerant(&shifts, &ct, policy, faults))
-    } else {
-        None
-    };
     // A node survives only if every required side solved; the report is
     // the forward one unless only the transpose side dropped.
     let requested = active.len();
@@ -531,9 +543,34 @@ enum Compressed {
     Incremental { basis: IncrementalBasis, s: Vec<f64> },
     /// SVD of the balancing product `Z_Lᵀ·Z_R`.
     Balanced { f: Svd<f64>, retried: bool },
-    /// Joint basis `Q`, realified eigenbasis `T`, and eigenvalue moduli
-    /// of the compressed cross-Gramian.
-    Cross { q: DMat, t: DMat, moduli: Vec<f64>, retried: bool },
+    /// Realified eigenbasis `T` of the small cross-Gramian eigenproblem
+    /// `N = Z_Lᵀ·Z_R`, its eigenvalue block structure, and moduli.
+    Cross { t: DMat, eigs: Vec<CrossEig>, moduli: Vec<f64>, retried: bool },
+}
+
+/// One realified eigenvalue block of the compressed cross-Gramian
+/// eigenproblem: a real eigenvalue owns one column of `T`, a conjugate
+/// pair `a ± bi` owns two (`[Re v, Im v]`).
+enum CrossEig {
+    /// Real eigenvalue `λ` (one column).
+    Real(f64),
+    /// Conjugate pair `a ± bi` (two columns).
+    Pair {
+        /// Real part `a`.
+        re: f64,
+        /// Imaginary part `b` of the `+bi` member.
+        im: f64,
+    },
+}
+
+impl CrossEig {
+    /// Number of realified columns this block owns.
+    fn width(&self) -> usize {
+        match self {
+            CrossEig::Real(_) => 1,
+            CrossEig::Pair { .. } => 2,
+        }
+    }
 }
 
 impl Compressed {
@@ -553,12 +590,16 @@ fn compress(
     zl: Option<&DMat>,
     plan: &ReductionPlan,
 ) -> Result<Compressed, NumError> {
+    let mut sp = obs::span("pmtbr.compress");
+    sp.field_u64("cols", zmat.ncols() as u64);
     match plan.compressor {
         Compressor::JacobiSvd => {
+            sp.field_str("method", "jacobi-svd");
             let (f, retried) = robust_svd(zmat)?;
             Ok(Compressed::Spectral { f, retried })
         }
         Compressor::Incremental => {
+            sp.field_str("method", "incremental-qr");
             let mut basis = IncrementalBasis::new(zmat.nrows());
             for &(c0, c1) in blocks {
                 basis.push_block(&zmat.block(0, zmat.nrows(), c0, c1))?;
@@ -567,56 +608,67 @@ fn compress(
             Ok(Compressed::Incremental { basis, s })
         }
         Compressor::Balance => {
+            sp.field_str("method", "balance");
             let zl = zl.ok_or(NumError::InvalidArgument("balance needs two-sided samples"))?;
             // Square-root balancing: SVD of Z_Lᵀ·Z_R.
-            let m = &zl.transpose() * zmat;
+            let m = zl.transpose().matmul(zmat)?;
             let (f, retried) = robust_svd(&m)?;
             Ok(Compressed::Balanced { f, retried })
         }
         Compressor::CrossGramian => {
+            sp.field_str("method", "cross-gramian");
             let zl = zl.ok_or(NumError::InvalidArgument(
                 "cross-gramian needs two-sided samples",
             ))?;
-            // Joint orthonormal basis Q of [Z_R | Z_L]. The stack is
-            // often wider than tall, so use an SVD with rank truncation
-            // rather than QR.
-            let joint = zmat.hstack(zl)?;
-            let (jf, retried) = robust_svd(&joint)?;
-            let rank = jf.rank(1e-12).max(1);
-            let q = jf.u.leading_cols(rank);
-            let k = q.ncols();
-            // Compressed eigenproblem: M = (Qᵀ·Z_R)·(Qᵀ·Z_L)ᵀ, k × k.
-            let rr = &q.transpose() * zmat;
-            let rl = &q.transpose() * zl;
-            let m = &rr * &rl.transpose();
-            let e = eig(&m)?;
-            // Realified dominant eigenbasis (conjugate pairs → [Re, Im]).
-            let mut t = DMat::zeros(k, k);
-            let mut moduli = Vec::with_capacity(k);
+            if zl.ncols() != zmat.ncols() {
+                return Err(NumError::ShapeMismatch {
+                    operation: "cross-gramian sample stacks",
+                    left: zl.shape(),
+                    right: zmat.shape(),
+                });
+            }
+            // The sampled cross Gramian X = Z_R·Z_Lᵀ (n × n, never
+            // formed) shares its nonzero spectrum with the small product
+            // N = Z_Lᵀ·Z_R (c × c, c = sample columns): for λ ≠ 0,
+            // N·w = λ·w gives X·(Z_R·w) = λ·(Z_R·w). Diagonalizing N
+            // directly replaces the former joint-stack SVD plus k × k
+            // (k up to 2c) eigenproblem with one c × c eigenproblem and
+            // two tall matmuls in `project` — the dominant cost of the
+            // old cross path.
+            let nmat = zl.transpose().matmul(zmat)?;
+            let c = nmat.ncols();
+            let e = eig(&nmat)?;
+            // Realified dominant eigenbasis (conjugate pairs → [Re, Im]),
+            // in the engine's decreasing-modulus order.
+            let mut t = DMat::zeros(c, c);
+            let mut eigs = Vec::with_capacity(c);
+            let mut moduli = Vec::with_capacity(c);
             let mut j = 0;
             let mut col = 0;
-            while j < k {
+            while j < c {
                 let lam = e.values[j];
                 let v = e.vectors.col(j);
-                if lam.im.abs() > 1e-12 * lam.abs().max(1e-300) && j + 1 < k {
-                    for i in 0..k {
+                if lam.im.abs() > 1e-12 * lam.abs().max(1e-300) && j + 1 < c {
+                    for i in 0..c {
                         t[(i, col)] = v[i].re;
                         t[(i, col + 1)] = v[i].im;
                     }
+                    eigs.push(CrossEig::Pair { re: lam.re, im: lam.im });
                     moduli.push(lam.abs());
                     moduli.push(lam.abs());
                     col += 2;
                     j += 2;
                 } else {
-                    for i in 0..k {
+                    for i in 0..c {
                         t[(i, col)] = v[i].re;
                     }
+                    eigs.push(CrossEig::Real(lam.re));
                     moduli.push(lam.abs());
                     col += 1;
                     j += 1;
                 }
             }
-            Ok(Compressed::Cross { q, t, moduli, retried })
+            Ok(Compressed::Cross { t, eigs, moduli, retried: false })
         }
     }
 }
@@ -648,8 +700,9 @@ fn project<S: LtiSystem + ?Sized>(
     compressed: Compressed,
     order: &OrderControl,
 ) -> Result<PmtbrModel, NumError> {
+    let mut sp = obs::span("pmtbr.project");
     let n = sys.nstates();
-    match compressed {
+    let model = match compressed {
         Compressed::Spectral { f, .. } => {
             let q = truncated_order(&f.s, order)?;
             let v = f.u.leading_cols(q);
@@ -694,21 +747,17 @@ fn project<S: LtiSystem + ?Sized>(
                 }
                 OrderControl::Tolerance { .. } => truncated_order(&f.s, order)?.min(rank),
             };
-            let mut v = DMat::zeros(n, q);
-            let mut w = DMat::zeros(n, q);
+            // Blocked congruence products Z_R·V_q and Z_L·U_q (the
+            // cache-blocked matmul sums ascending-k, bit-identical to
+            // the per-entry loops this replaces), then the balancing
+            // column scaling 1/√σⱼ.
+            let mut v = zmat.matmul(&f.v.leading_cols(q))?;
+            let mut w = zl.matmul(&f.u.leading_cols(q))?;
             for j in 0..q {
                 let scale = 1.0 / f.s[j].sqrt();
                 for i in 0..n {
-                    let mut acc_v = 0.0;
-                    for k in 0..zmat.ncols() {
-                        acc_v += zmat[(i, k)] * f.v[(k, j)];
-                    }
-                    v[(i, j)] = acc_v * scale;
-                    let mut acc_w = 0.0;
-                    for k in 0..zl.ncols() {
-                        acc_w += zl[(i, k)] * f.u[(k, j)];
-                    }
-                    w[(i, j)] = acc_w * scale;
+                    v[(i, j)] *= scale;
+                    w[(i, j)] *= scale;
                 }
             }
             let reduced: StateSpace = sys.project(&w, &v)?;
@@ -720,8 +769,10 @@ fn project<S: LtiSystem + ?Sized>(
                 error_estimate: f.s.iter().skip(q).sum(),
             })
         }
-        Compressed::Cross { q, t, moduli, .. } => {
-            let k = q.ncols();
+        Compressed::Cross { t, eigs, moduli, .. } => {
+            let zl = zl
+                .ok_or(NumError::InvalidArgument("cross-gramian needs two-sided samples"))?;
+            let c = t.ncols();
             let target = match *order {
                 OrderControl::Exact(q0) => q0,
                 // validate() rejects this combination up front.
@@ -731,23 +782,65 @@ fn project<S: LtiSystem + ?Sized>(
                     ));
                 }
             };
-            if target > k {
+            if target > c {
                 return Err(NumError::InvalidArgument("requested order exceeds sampled subspace"));
             }
-            // Don't split a conjugate pair at the boundary.
-            let mut q_ord = target.min(k);
-            if q_ord < k
-                && (moduli[q_ord - 1] - moduli[q_ord]).abs() < 1e-12 * moduli[0].max(1e-300)
-            {
-                q_ord += 1;
+            // Walk whole eigenvalue blocks so a conjugate pair is never
+            // split at the truncation boundary.
+            let mut q_ord = 0;
+            for blk in &eigs {
+                if q_ord >= target {
+                    break;
+                }
+                q_ord += blk.width();
             }
-            let rs = t.leading_cols(q_ord);
-            // Two-sided projection: V = Q·R_S, W = Q·(R_S⁻ᵀ columns), so
-            // WᵀV = I.
+            // Dominant right eigenvectors of X = Z_R·Z_Lᵀ: V = Z_R·T_q
+            // (N·w = λ·w maps to X·(Z_R·w) = λ·(Z_R·w)).
+            let v = zmat.matmul(&t.leading_cols(q_ord))?;
+            // Biorthogonal left basis: W = Z_L·K with K = (Λ⁻¹·T⁻¹)ᵀ,
+            // since then WᵀV = Λ⁻¹·T⁻¹·N·T = Λ⁻¹·Λ = I. Only the
+            // leading q_ord rows of Λ⁻¹·T⁻¹ are needed, so only the
+            // dominant (nonzero) eigenvalue blocks are ever inverted:
+            // 1×1 block λ, or the realified pair block
+            // [[a, b], [−b, a]]⁻¹ = [[a, −b], [b, a]] / (a² + b²).
             let tinv = Lu::new(t.clone())?.inverse()?;
-            let ws = tinv.transpose().leading_cols(q_ord);
-            let v = &q * &rs;
-            let w = &q * &ws;
+            let mut ksel = DMat::zeros(c, q_ord);
+            let mut row = 0;
+            for blk in &eigs {
+                if row >= q_ord {
+                    break;
+                }
+                match *blk {
+                    CrossEig::Real(lam) => {
+                        if lam == 0.0 {
+                            return Err(NumError::InvalidArgument(
+                                "cross-gramian eigenvalue vanished in the dominant block",
+                            ));
+                        }
+                        for i in 0..c {
+                            ksel[(i, row)] = tinv[(row, i)] / lam;
+                        }
+                        row += 1;
+                    }
+                    CrossEig::Pair { re, im } => {
+                        let d = re * re + im * im;
+                        if d == 0.0 {
+                            return Err(NumError::InvalidArgument(
+                                "cross-gramian eigenvalue vanished in the dominant block",
+                            ));
+                        }
+                        for i in 0..c {
+                            let x = tinv[(row, i)];
+                            let y = tinv[(row + 1, i)];
+                            ksel[(i, row)] = (re * x - im * y) / d;
+                            ksel[(i, row + 1)] = (im * x + re * y) / d;
+                        }
+                        row += 2;
+                    }
+                }
+            }
+            debug_assert_eq!(row, q_ord);
+            let w = zl.matmul(&ksel)?;
             let reduced: StateSpace = sys.project(&w, &v)?;
             Ok(PmtbrModel {
                 reduced,
@@ -757,7 +850,11 @@ fn project<S: LtiSystem + ?Sized>(
                 error_estimate: moduli.iter().skip(q_ord).sum(),
             })
         }
+    };
+    if let Ok(m) = &model {
+        sp.field_u64("order", m.order as u64);
     }
+    model
 }
 
 #[cfg(test)]

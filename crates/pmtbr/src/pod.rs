@@ -38,6 +38,11 @@ impl PodOptions {
 /// Snapshot-based (POD / empirical-Gramian) reduction of a descriptor
 /// system, driven by the representative input record `u` (`p × nt`).
 ///
+/// The snapshot stack is tall (`n` states × kept snapshots), so its SVD
+/// takes the QR-preconditioned parallel Jacobi path automatically —
+/// the factor-to-R-first trick keeps the rotation cost independent of
+/// the state count.
+///
 /// # Errors
 ///
 /// - Propagates simulation errors (shape mismatch, bad step).

@@ -40,6 +40,6 @@ mod triplet;
 
 pub use csc::Csc;
 pub use csr::Csr;
-pub use lu::{one_norm, residual_norm, SolveCert, SparseLu, SymbolicLu};
+pub use lu::{inf_norm, one_norm, residual_norm, residual_norm_transpose, SolveCert, SparseLu, SymbolicLu};
 pub use ordering::{permute_symmetric, rcm_ordering};
 pub use triplet::Triplet;

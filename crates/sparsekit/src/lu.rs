@@ -127,6 +127,88 @@ pub fn residual_norm<T: Scalar>(a: &Csc<T>, x: &numkit::Mat<T>, b: &numkit::Mat<
     }
 }
 
+/// The infinity-norm `‖A‖_∞ = ‖Aᵀ‖₁` (maximum row absolute sum) of a
+/// sparse matrix.
+pub fn inf_norm<T: Scalar>(a: &Csc<T>) -> f64 {
+    let mut row_sums = vec![0.0f64; a.nrows()];
+    for j in 0..a.ncols() {
+        let (rows, vals) = a.col(j);
+        for (&i, v) in rows.iter().zip(vals) {
+            row_sums[i] += v.abs();
+        }
+    }
+    row_sums.into_iter().fold(0.0f64, f64::max)
+}
+
+/// `y = Aᵀ·x` (plain transpose, no conjugation) for a CSC matrix: column
+/// `j` of `A` is row `j` of `Aᵀ`, so each output entry is one ready-made
+/// sparse dot product.
+fn transpose_mul_vec<T: Scalar>(a: &Csc<T>, x: &[T]) -> Vec<T> {
+    (0..a.ncols())
+        .map(|j| {
+            let (rows, vals) = a.col(j);
+            let mut acc = T::zero();
+            for (&i, &v) in rows.iter().zip(vals) {
+                acc += v * x[i];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Relative residual `‖B − Aᵀ·X‖_max / (‖Aᵀ‖₁·‖X‖_max + ‖B‖_max)` of a
+/// candidate solution `X` for the transposed system `Aᵀ·X = B`.
+///
+/// The transpose counterpart of [`residual_norm`], used to certify
+/// observability-side solves that reuse a forward factorization.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (callers pass matrices produced by
+/// [`SparseLu::solve_mat_transpose`], which already validated shapes).
+pub fn residual_norm_transpose<T: Scalar>(
+    a: &Csc<T>,
+    x: &numkit::Mat<T>,
+    b: &numkit::Mat<T>,
+) -> f64 {
+    assert_eq!(x.nrows(), a.nrows(), "residual_norm_transpose: x rows");
+    assert_eq!(b.nrows(), a.ncols(), "residual_norm_transpose: b rows");
+    assert_eq!(x.ncols(), b.ncols(), "residual_norm_transpose: column count");
+    let anorm = inf_norm(a);
+    let mut rmax = 0.0f64;
+    let mut xmax = 0.0f64;
+    let mut bmax = 0.0f64;
+    for j in 0..x.ncols() {
+        let xj = x.col(j);
+        let atx = transpose_mul_vec(a, &xj);
+        for i in 0..b.nrows() {
+            let r = (b[(i, j)] - atx[i]).abs();
+            if r.is_nan() {
+                return f64::NAN;
+            }
+            rmax = rmax.max(r);
+            bmax = bmax.max(b[(i, j)].abs());
+        }
+        for v in &xj {
+            let m = v.abs();
+            if m.is_nan() {
+                return f64::NAN;
+            }
+            xmax = xmax.max(m);
+        }
+    }
+    let denom = anorm * xmax + bmax;
+    if denom == 0.0 {
+        if rmax == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        rmax / denom
+    }
+}
+
 impl<T: Scalar> SparseLu<T> {
     /// Factors the square CSC matrix `a`.
     ///
@@ -464,6 +546,65 @@ impl<T: Scalar> SparseLu<T> {
             x[self.p[k]] = w[k];
         }
         Ok(x)
+    }
+
+    /// Solves `Aᵀ·X = B` for several right-hand sides given as columns,
+    /// using [`SparseLu::solve_transpose`] per column.
+    ///
+    /// This is what lets a *two-sided* sweep reuse one factorization per
+    /// shift: the observability samples `(sE − A)⁻ᵀ·Cᵀ` come out of the
+    /// same `P·A = L·U` that produced the controllability samples,
+    /// instead of factoring the transposed pencil from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] on a row-count mismatch.
+    pub fn solve_mat_transpose(&self, b: &numkit::Mat<T>) -> Result<numkit::Mat<T>, NumError> {
+        if b.nrows() != self.n {
+            return Err(NumError::ShapeMismatch {
+                operation: "sparse lu solve_mat_transpose",
+                left: (self.n, self.n),
+                right: b.shape(),
+            });
+        }
+        let mut out = numkit::Mat::zeros(self.n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = self.solve_transpose(&b.col(j))?;
+            out.set_col(j, &col);
+        }
+        Ok(out)
+    }
+
+    /// One step of iterative refinement for the transposed system:
+    /// `x += A⁻ᵀ·(b − Aᵀ·x)` column by column, returning the relative
+    /// residual of the refined solution (see [`residual_norm_transpose`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] on inconsistent shapes.
+    pub fn refine_mat_transpose(
+        &self,
+        a: &Csc<T>,
+        b: &numkit::Mat<T>,
+        x: &mut numkit::Mat<T>,
+    ) -> Result<f64, NumError> {
+        if b.nrows() != self.n || x.nrows() != self.n || b.ncols() != x.ncols() {
+            return Err(NumError::ShapeMismatch {
+                operation: "sparse lu refine_mat_transpose",
+                left: x.shape(),
+                right: b.shape(),
+            });
+        }
+        for j in 0..b.ncols() {
+            let xj = x.col(j);
+            let atx = transpose_mul_vec(a, &xj);
+            let r: Vec<T> = (0..self.n).map(|i| b[(i, j)] - atx[i]).collect();
+            let dx = self.solve_transpose(&r)?;
+            let refined: Vec<T> = xj.iter().zip(&dx).map(|(&xi, &di)| xi + di).collect();
+            x.set_col(j, &refined);
+        }
+        obs::counters::add(obs::Counter::RefineIters, 1);
+        Ok(residual_norm_transpose(a, x, b))
     }
 
     /// Cheap 1-norm reciprocal condition estimate `1 / (‖A‖₁·‖A⁻¹‖₁)`
