@@ -62,6 +62,27 @@ struct VariantResult {
     wall_s: f64,
     stages: StageSeconds,
     degraded: bool,
+    /// `Some` when the method failed to produce a model: the record is
+    /// kept (so the JSON stays registry-complete) and the failure is
+    /// reported after every method has run.
+    error: Option<String>,
+}
+
+impl VariantResult {
+    /// A registry-complete placeholder for a method that failed.
+    fn failed(name: &str, samples: usize, err: String) -> Self {
+        VariantResult {
+            name: name.to_string(),
+            nstates_full: 0,
+            samples,
+            order: 0,
+            in_band_error: f64::NAN,
+            wall_s: 0.0,
+            stages: StageSeconds::default(),
+            degraded: false,
+            error: Some(err),
+        }
+    }
 }
 
 /// Methods whose cost is a dense `O(n³)` Schur/eig of the full system
@@ -120,14 +141,27 @@ fn write_json(path: &std::path::Path, results: &[VariantResult]) -> std::io::Res
     out.push_str("  \"system\": \"rc_mesh_32x32 (1024 states, 16 ports); dense-Gramian baselines on jittered rc_mesh_16x16 (256 states, 8 ports) unless VARIANTS_FULL=1\",\n");
     out.push_str("  \"methods\": [\n");
     for (i, r) in results.iter().enumerate() {
+        // A failed method keeps its registry slot: `error` carries the
+        // message and the numeric fields go to null/zero (NaN is not
+        // valid JSON).
+        let in_band = if r.in_band_error.is_finite() {
+            format!("{:.6e}", r.in_band_error)
+        } else {
+            "null".to_string()
+        };
+        let error_line = match &r.error {
+            Some(e) => format!("      \"error\": \"{}\",\n", json_escape(e)),
+            None => String::new(),
+        };
         out.push_str(&format!(
             concat!(
                 "    {{\n",
                 "      \"name\": \"{}\",\n",
+                "{}",
                 "      \"nstates_full\": {},\n",
                 "      \"samples\": {},\n",
                 "      \"order\": {},\n",
-                "      \"in_band_max_rel_error\": {:.6e},\n",
+                "      \"in_band_max_rel_error\": {},\n",
                 "      \"wall_s\": {:.6},\n",
                 "      \"sweep_s\": {:.6},\n",
                 "      \"compress_s\": {:.6},\n",
@@ -136,10 +170,11 @@ fn write_json(path: &std::path::Path, results: &[VariantResult]) -> std::io::Res
                 "    }}{}\n",
             ),
             json_escape(&r.name),
+            error_line,
             r.nstates_full,
             r.samples,
             r.order,
-            r.in_band_error,
+            in_band,
             r.wall_s,
             r.stages.sweep_s,
             r.stages.compress_s,
@@ -220,6 +255,7 @@ fn run_method(
         wall_s,
         stages: stage_seconds(&trace),
         degraded: out.diagnostics.as_ref().is_some_and(|d| d.is_degraded()),
+        error: None,
     };
     println!(
         "  {:<12} n {:>4}  order {:>3}  in-band err {:>10.3e}  {:>8.3}s  \
@@ -265,6 +301,11 @@ fn enforce_wall_baseline(results: &[VariantResult]) -> Result<(), String> {
         let Some(r) = results.iter().find(|r| r.name == name) else {
             return Err(format!("baseline method {name} missing from this run"));
         };
+        if r.error.is_some() {
+            // The method failed outright; the failure gate below
+            // reports it — no wall time to compare.
+            continue;
+        }
         if r.wall_s > MAX_WALL_RATIO * base {
             failures.push(format!(
                 "{name}: {:.3}s exceeds {MAX_WALL_RATIO}x the committed baseline {base:.3}s",
@@ -308,8 +349,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // 8 nodes is the headline request: its error numbers are pinned
         // by the committed JSON, so downstream consumers can diff them
         // across commits. The larger-node regime gets its own records
-        // below.
-        results.push(run_method(m.name, m, case, omega_max, 8)?);
+        // below. A failing method is recorded and the run continues:
+        // one broken variant must not hide the numbers of the other
+        // ten (the failure still fails the gate at the end).
+        results.push(run_method(m.name, m, case, omega_max, 8).unwrap_or_else(|e| {
+            eprintln!("  {:<12} FAILED: {e}", m.name);
+            VariantResult::failed(m.name, 8, e)
+        }));
     }
 
     // Large-SVD stress records: 24 nodes × 16 ports realifies to a
@@ -324,7 +370,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stress: &[&str] = if full_mode { &["pmtbr", "balanced", "cross"] } else { &["pmtbr", "balanced"] };
     for name in stress {
         let m = pmtbr_cli::find(name).ok_or_else(|| format!("no registry method {name}"))?;
-        results.push(run_method(&format!("{name}-n24"), m, &big, omega_max, 24)?);
+        let record = format!("{name}-n24");
+        results.push(run_method(&record, m, &big, omega_max, 24).unwrap_or_else(|e| {
+            eprintln!("  {record:<12} FAILED: {e}");
+            VariantResult::failed(&record, 24, e)
+        }));
     }
 
     if std::env::var("VARIANTS_NO_PERF_GATE").is_ok_and(|v| v == "1") {
@@ -336,10 +386,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // crates/bench/ → repository root.
+    // crates/bench/ → repository root. The JSON is written before the
+    // failure gate so a broken method still leaves a registry-complete
+    // artifact to diagnose.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_variants.json");
     write_json(&path, &results)?;
     println!("wrote {}", path.display());
+
+    let failed: Vec<String> = results
+        .iter()
+        .filter_map(|r| r.error.as_ref().map(|e| format!("{}: {e}", r.name)))
+        .collect();
+    if !failed.is_empty() {
+        return Err(format!(
+            "{} method(s) failed (failure records kept in BENCH_variants.json):\n  {}",
+            failed.len(),
+            failed.join("\n  ")
+        )
+        .into());
+    }
     Ok(())
 }

@@ -20,7 +20,8 @@
 use lti::{Descriptor, StateSpace};
 use numkit::c64;
 use pmtbr::{
-    InputCorrelatedOptions, PmtbrOptions, ReductionPlan, Sampling, SweepDiagnostics,
+    Budget, InputCorrelatedOptions, PipelineReport, PmtbrOptions, ReductionPlan, Sampling,
+    SweepDiagnostics,
 };
 
 /// What `reduce` collected from the command line; method runners read
@@ -40,6 +41,10 @@ pub struct ReduceRequest {
     /// [`Method::needs_order`] refuse to run without it, the others
     /// treat it as a cap.
     pub order: Option<usize>,
+    /// Deterministic work budget (`--budget-*` flags); only the
+    /// pipeline-backed methods enforce it, the strict baselines ignore
+    /// it.
+    pub budget: Budget,
 }
 
 impl ReduceRequest {
@@ -51,6 +56,7 @@ impl ReduceRequest {
             samples,
             tol: 1e-8,
             order: None,
+            budget: Budget::default(),
         }
     }
 
@@ -82,6 +88,11 @@ pub struct MethodOutput {
     /// Sweep accounting for pipeline-backed methods; `None` for strict
     /// baselines. Drives the degraded/rejected exit-code policy.
     pub diagnostics: Option<SweepDiagnostics>,
+    /// Per-stage fault-containment outcomes for pipeline-backed
+    /// methods; `None` for strict baselines. A non-clean report is
+    /// echoed to stderr and budget exhaustion maps to its own exit
+    /// code.
+    pub pipeline: Option<PipelineReport>,
 }
 
 /// One `reduce --method` entry.
@@ -117,33 +128,36 @@ fn pipeline_report(label: &str, red: &pmtbr::Reduction) -> Vec<String> {
 fn run_plan(
     sys: &Descriptor,
     plan: &ReductionPlan,
+    req: &ReduceRequest,
     label: &str,
 ) -> Result<MethodOutput, String> {
-    let red = pmtbr::pipeline::run(sys, plan).map_err(|e| e.to_string())?;
+    let red =
+        pmtbr::pipeline::run_budgeted(sys, plan, &req.budget).map_err(|e| e.to_string())?;
     Ok(MethodOutput {
         report: pipeline_report(label, &red),
         reduced: red.model.reduced.clone(),
         diagnostics: Some(red.diagnostics),
+        pipeline: Some(red.report),
     })
 }
 
 fn run_pmtbr(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
-    run_plan(sys, &ReductionPlan::pmtbr(&req.pmtbr_options()), "pmtbr")
+    run_plan(sys, &ReductionPlan::pmtbr(&req.pmtbr_options()), req, "pmtbr")
 }
 
 fn run_balanced(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
     let q = req.order_required("balanced")?;
-    run_plan(sys, &ReductionPlan::balanced(&req.sampling(), q), "balanced-pmtbr")
+    run_plan(sys, &ReductionPlan::balanced(&req.sampling(), q), req, "balanced-pmtbr")
 }
 
 fn run_cross(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
     let q = req.order_required("cross")?;
-    run_plan(sys, &ReductionPlan::cross_gramian(&req.sampling(), q), "cross-gramian-pmtbr")
+    run_plan(sys, &ReductionPlan::cross_gramian(&req.sampling(), q), req, "cross-gramian-pmtbr")
 }
 
 fn run_fsel(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
     let plan = ReductionPlan::frequency_selective(&req.bands, req.samples, req.order, req.tol);
-    run_plan(sys, &plan, "frequency-selective-pmtbr")
+    run_plan(sys, &plan, req, "frequency-selective-pmtbr")
 }
 
 fn run_adaptive(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
@@ -174,6 +188,7 @@ fn run_adaptive(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, S
         reduced: m.model.reduced,
         report,
         diagnostics: Some(m.diagnostics),
+        pipeline: None,
     })
 }
 
@@ -195,6 +210,7 @@ fn run_correlated(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput,
     run_plan(
         sys,
         &ReductionPlan::input_correlated(&u, &opts),
+        req,
         "input-correlated-pmtbr",
     )
 }
@@ -209,6 +225,7 @@ fn run_prima(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, Stri
         ],
         reduced: m.reduced,
         diagnostics: None,
+        pipeline: None,
     })
 }
 
@@ -229,6 +246,7 @@ fn run_mpproj(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, Str
         ],
         reduced: m.reduced,
         diagnostics: None,
+        pipeline: None,
     })
 }
 
@@ -255,6 +273,7 @@ fn run_tbr_family(
         ],
         reduced: m.reduced,
         diagnostics: None,
+        pipeline: None,
     })
 }
 

@@ -43,14 +43,21 @@
 //! - `2` — degraded but accepted (drops within `--max-dropped-samples`,
 //!   default: any number as long as one point survives);
 //! - `3` — degradation rejected: drops exceeded `--max-dropped-samples`,
-//!   or `--strict` was set and any point was dropped or perturbed;
-//! - `1` — any other error (bad arguments, unreadable netlist, …).
+//!   or `--strict` was set and the pipeline recorded any accuracy
+//!   concession (dropped/perturbed points, downgraded compressor,
+//!   exhausted budget);
+//! - `4` — a `--budget-*` work budget ran out and the printed model is
+//!   best-effort (accepted, but explicitly marked);
+//! - `1` — any other error (bad arguments, unreadable netlist, a
+//!   malformed `PMTBR_FAULT` spec, …).
 //!
 //! (The canonical exit-code table lives in the repository README under
 //! "Error handling and exit codes"; keep the two in sync.)
 //!
 //! The `PMTBR_FAULT` environment variable injects deterministic faults
-//! for chaos-testing the ladder (see `pmtbr::FaultPlan::from_env`).
+//! for chaos-testing the ladder (see `pmtbr::FaultPlan::from_env`); a
+//! malformed spec is rejected up front with exit 1 rather than silently
+//! ignored.
 
 use std::process::ExitCode;
 
@@ -66,6 +73,8 @@ enum Status {
     /// The sampling sweep degraded (drops/perturbations) but stayed
     /// within the acceptance policy → exit 2.
     Degraded,
+    /// A `--budget-*` cap ran out and the model is best-effort → exit 4.
+    BudgetExhausted,
 }
 
 /// Why a command failed.
@@ -139,6 +148,15 @@ impl Args {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{name}: expected an integer, got `{v}`")),
         }
+    }
+
+    /// An optional `u64` cap: absent flag means "unlimited".
+    fn cap(&self, name: &str) -> Result<Option<u64>, String> {
+        self.flag_value(name)
+            .map(|v| {
+                v.parse().map_err(|_| format!("--{name}: expected an integer, got `{v}`"))
+            })
+            .transpose()
     }
 }
 
@@ -240,14 +258,45 @@ fn cmd_reduce(args: &Args) -> CmdResult {
     if let Some(spec) = args.flag_value("bands") {
         req.bands = parse_bands(spec)?;
     }
+    req.budget.max_lu_factors = args.cap("budget-lu")?;
+    req.budget.max_svd_sweeps = args.cap("budget-svd-sweeps")?;
+    req.budget.max_sample_bytes = args.cap("budget-sample-bytes")?;
     // PMTBR_FAULT (chaos testing) is the only fault source in
     // production; real solver failures flow through the same ladder and
     // the same degradation accounting inside the pipeline.
     let out = (method.run)(&sys, &req).map_err(Failure::Error)?;
 
     // The acceptance policy runs before any stdout so a rejected sweep
-    // never prints a half-report.
+    // never prints a half-report. The per-stage pipeline report goes to
+    // stderr whenever any stage deviated from a clean run.
     let mut status = Status::Clean;
+    if let Some(rep) = &out.pipeline {
+        if !rep.is_clean() {
+            eprintln!(
+                "pipeline: sweep={} compress={} project={} downgraded={}{}",
+                rep.sweep.label(),
+                rep.compress.label(),
+                rep.project.label(),
+                rep.compressor_downgraded,
+                match rep.budget_exhausted {
+                    Some(r) => format!(" budget_exhausted={r}"),
+                    None => String::new(),
+                }
+            );
+            for note in &rep.notes {
+                eprintln!("  note: {note}");
+            }
+        }
+        if strict && rep.is_degraded() {
+            return Err(Failure::Rejected(format!(
+                "--strict: pipeline degraded (sweep={} compress={} project={} downgraded={})",
+                rep.sweep.label(),
+                rep.compress.label(),
+                rep.project.label(),
+                rep.compressor_downgraded,
+            )));
+        }
+    }
     if let Some(diag) = &out.diagnostics {
         if diag.is_degraded() {
             eprintln!("degraded {}", diag.summary());
@@ -267,6 +316,9 @@ fn cmd_reduce(args: &Args) -> CmdResult {
             }
             status = Status::Degraded;
         }
+    }
+    if out.pipeline.as_ref().is_some_and(|r| r.budget_exhausted.is_some()) {
+        status = Status::BudgetExhausted;
     }
     for line in &out.report {
         println!("{line}");
@@ -340,7 +392,7 @@ fn cmd_transient(args: &Args) -> CmdResult {
 
 fn usage() -> String {
     let mut s = format!(
-        "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--bands lo:hi[,lo:hi...]] [--samples N] [--method {}] [--check N] [--max-dropped-samples N] [--strict]\nmethods:\n",
+        "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--bands lo:hi[,lo:hi...]] [--samples N] [--method {}] [--check N] [--max-dropped-samples N] [--strict] [--budget-lu N] [--budget-svd-sweeps N] [--budget-sample-bytes N]\nmethods:\n",
         pmtbr_cli::method_list()
     );
     for m in pmtbr_cli::METHODS {
@@ -352,7 +404,7 @@ fn usage() -> String {
         ));
     }
     s.push_str(
-        "global flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")",
+        "global flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nbudget flags (reduce, pipeline-backed methods only; counted off the\ndeterministic obs counters, never wall clock):\n  --budget-lu N            cap on LU factorizations\n  --budget-svd-sweeps N    cap on Jacobi SVD sweeps\n  --budget-sample-bytes N  cap on retained weighted sample bytes\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  4 budget exhausted, best-effort model  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")",
     );
     s
 }
@@ -364,6 +416,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let args = Args::parse(rest);
+    // Reject a malformed PMTBR_FAULT spec up front (satellite of the
+    // fault-containment work): a chaos run with a typo'd spec must fail
+    // loudly, not silently run without faults.
+    if let Err(e) = pmtbr::FaultPlan::from_env() {
+        eprintln!("error: invalid PMTBR_FAULT: {e}");
+        return ExitCode::FAILURE;
+    }
     if let Some(t) = args.flag_value("threads") {
         match t.parse::<usize>() {
             Ok(n) if n > 0 => std::env::set_var("PMTBR_THREADS", n.to_string()),
@@ -410,6 +469,7 @@ fn main() -> ExitCode {
     match result {
         Ok(Status::Clean) => ExitCode::SUCCESS,
         Ok(Status::Degraded) => ExitCode::from(2),
+        Ok(Status::BudgetExhausted) => ExitCode::from(4),
         Err(Failure::Rejected(e)) => {
             eprintln!("error: {e}");
             ExitCode::from(3)

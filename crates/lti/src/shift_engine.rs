@@ -387,6 +387,13 @@ impl ShiftSolveEngine {
         // still records the ladder's exit event (the guard flushes during
         // unwinding, and the fault plan is deterministic).
         let mut sp = obs::item_span("shift", index as u64, "ladder");
+        // Cooperative cancellation, polled once per sweep iteration:
+        // a raised token drops this shift before any factorization work.
+        if policy.is_cancelled() {
+            obs::counters::add(obs::Counter::ShiftDropped, 1);
+            sp.field_str("outcome", "dropped");
+            return (None, None, ShiftReport::dropped(index, s_req, Some(NumError::Cancelled)));
+        }
         if faults.inject_panic(index) {
             // numlint:allow(PANIC01, ERR01) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
             panic!("injected worker panic at shift index {index}");

@@ -28,7 +28,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use numkit::{c64, NumError, ZMat};
+use numkit::{c64, CancelToken, NumError, ZMat};
 
 use crate::LtiSystem;
 
@@ -53,6 +53,13 @@ pub struct RecoveryPolicy {
     /// Whether to attach a 1-norm reciprocal-condition estimate to each
     /// accepted sparse solve (a handful of extra triangular solves).
     pub estimate_condition: bool,
+    /// Cooperative cancellation token, polled once per sweep iteration
+    /// (i.e. per shift, before its ladder starts). A cancelled sweep
+    /// drops every not-yet-attempted shift with
+    /// [`NumError::Cancelled`] instead of solving it; shifts already
+    /// resolved keep their bit-identical results. `None` (the default)
+    /// never cancels.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RecoveryPolicy {
@@ -64,11 +71,17 @@ impl Default for RecoveryPolicy {
             perturb_eps: 1e-8,
             growth_limit: 1e8,
             estimate_condition: true,
+            cancel: None,
         }
     }
 }
 
 impl RecoveryPolicy {
+    /// `true` once the attached [`CancelToken`] (if any) is raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
     /// The shift actually attempted at perturbation level `j`:
     /// `s·(1 + j·ε)` for nonzero `s`, `j·ε` for `s = 0`. Level 0 is the
     /// requested shift unchanged.
@@ -356,6 +369,11 @@ pub(crate) fn generic_tolerant_sweep<S: LtiSystem + ?Sized>(
     let mut solutions = Vec::with_capacity(shifts.len());
     let mut reports = Vec::with_capacity(shifts.len());
     for (index, &s_req) in shifts.iter().enumerate() {
+        if policy.is_cancelled() {
+            solutions.push(None);
+            reports.push(ShiftReport::dropped(index, s_req, Some(NumError::Cancelled)));
+            continue;
+        }
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             generic_ladder(sys, index, s_req, rhs.get(index), side, policy, faults)
         }));

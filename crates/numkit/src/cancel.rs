@@ -1,0 +1,95 @@
+//! Cooperative cancellation for long-running kernels.
+//!
+//! A [`CancelToken`] is a shared flag that a caller (CLI signal handler,
+//! the future `pmtbr serve` daemon, a test harness) can raise to ask an
+//! in-flight reduction to stop at its next safe point. Cancellation is
+//! *cooperative*: kernels poll the token at deterministic places — stage
+//! boundaries and per-shift sweep iterations — and return
+//! [`crate::NumError::Cancelled`], so a cancelled run never tears down a
+//! thread mid-rotation and never produces a partially-written result.
+//!
+//! Polling sites are chosen so the *set of work observed between polls*
+//! is deterministic; whether a particular run is cancelled depends on
+//! when the flag was raised (inherently racy), but everything computed
+//! up to the poll that observed it is bit-identical to an uncancelled
+//! run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable cancellation flag (an `Arc<AtomicBool>`).
+///
+/// Clones observe the same flag; `cancel()` is sticky (there is no
+/// reset — create a fresh token per request instead).
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once any clone has called [`CancelToken::cancel`].
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Polling helper: `Err(NumError::Cancelled)` once cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NumError::Cancelled`] iff the flag is raised.
+    pub fn check(&self) -> Result<(), crate::NumError> {
+        if self.is_cancelled() {
+            Err(crate::NumError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken").field("cancelled", &self.is_cancelled()).finish()
+    }
+}
+
+/// Tokens compare equal when they share the same underlying flag —
+/// pointer identity, matching the "clones observe the same flag"
+/// semantics (a copied policy struct still refers to the same request).
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(crate::NumError::Cancelled));
+    }
+
+    #[test]
+    fn equality_is_flag_identity() {
+        let t = CancelToken::new();
+        assert_eq!(t, t.clone());
+        assert_ne!(t, CancelToken::new());
+    }
+}

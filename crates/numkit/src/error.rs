@@ -60,6 +60,16 @@ pub enum NumError {
         /// Index of the work item whose worker panicked.
         index: usize,
     },
+    /// The operation observed a raised [`crate::CancelToken`] at one of
+    /// its cooperative polling points and stopped early.
+    Cancelled,
+    /// A deterministic work budget (counted off `obs` counters, never
+    /// wall clock) ran out before the operation completed.
+    BudgetExhausted {
+        /// The resource whose cap was hit (e.g. `"lu-factorizations"`,
+        /// `"svd-sweeps"`, `"sample-bytes"`).
+        resource: &'static str,
+    },
 }
 
 impl fmt::Display for NumError {
@@ -86,6 +96,10 @@ impl fmt::Display for NumError {
             NumError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             NumError::WorkerPanicked { index } => {
                 write!(f, "worker thread panicked while computing index {index}")
+            }
+            NumError::Cancelled => write!(f, "operation cancelled by caller"),
+            NumError::BudgetExhausted { resource } => {
+                write!(f, "work budget exhausted: {resource} cap reached")
             }
         }
     }

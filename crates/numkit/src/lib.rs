@@ -42,6 +42,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod angles;
+mod cancel;
 mod cholesky;
 mod complex;
 mod eig;
@@ -59,6 +60,7 @@ mod svd;
 pub mod vec_ops;
 
 pub use angles::{max_principal_angle, principal_angles, vector_subspace_angle};
+pub use cancel::CancelToken;
 pub use cholesky::Cholesky;
 pub use complex::c64;
 pub use eig::{eig, eig_residual, Eig};

@@ -39,7 +39,8 @@
 //!   Convergence detection, the freeze threshold, and the sweep cap are
 //!   evaluated once per sweep at a barrier, identically in both drivers.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, PoisonError};
 
 use crate::{par, Mat, NumError, PivotedQr, Qr, Scalar};
@@ -138,6 +139,15 @@ pub struct SvdOptions {
     /// Both paths compute the same factorization up to roundoff; the
     /// explicit override exists for tests and diagnostics.
     pub qr_precondition: Option<bool>,
+    /// Chaos-testing hook: deterministically panic inside the Jacobi
+    /// sweep loop (worker 0 of the parallel driver, the calling thread
+    /// of the sequential one) at the start of the first sweep. The
+    /// parallel driver must contain the panic and surface it as
+    /// [`NumError::WorkerPanicked`]; the sequential driver lets it
+    /// unwind to the caller's containment layer. Never set in
+    /// production — this exists so the panic-containment path has a
+    /// real, injectable panic to exercise.
+    pub chaos_panic: bool,
 }
 
 /// Computes the thin SVD of `a`.
@@ -220,7 +230,7 @@ fn svd_tall<T: Scalar>(w: Mat<T>, opts: &SvdOptions) -> Result<Svd<T>, NumError>
         // converge on clustered, strongly graded sample stacks — see the
         // module docs for the measured sweep counts.
         let qr2 = Qr::new(qr1.r().adjoint())?;
-        let core = jacobi_svd(qr2.r().adjoint(), max_sweeps, threads, &mut sp)?;
+        let core = jacobi_svd(qr2.r().adjoint(), max_sweeps, threads, opts.chaos_panic, &mut sp)?;
         // R₂ᴴ = U₀·Σ·V₀ᴴ gives A·P = (Q₁·U₀)·Σ·(Q₂·V₀)ᴴ: row i of the
         // right factor Q₂·V₀ belongs to pivoted column i = original
         // column perm[i].
@@ -235,7 +245,7 @@ fn svd_tall<T: Scalar>(w: Mat<T>, opts: &SvdOptions) -> Result<Svd<T>, NumError>
         }
         Ok(Svd { u, s: core.s, v })
     } else {
-        jacobi_svd(w, max_sweeps, threads, &mut sp)
+        jacobi_svd(w, max_sweeps, threads, opts.chaos_panic, &mut sp)
     }
 }
 
@@ -255,6 +265,7 @@ fn jacobi_svd<T: Scalar>(
     w: Mat<T>,
     max_sweeps: usize,
     threads: usize,
+    chaos_panic: bool,
     sp: &mut obs::SpanGuard,
 ) -> Result<Svd<T>, NumError> {
     let (m, n) = w.shape();
@@ -277,10 +288,10 @@ fn jacobi_svd<T: Scalar>(
 
     let rounds = tournament_rounds(n);
     let workers = threads.min(n / 2).max(1);
-    let (sweeps, rotations, converged) = if workers > 1 && n >= PAR_MIN_COLS {
-        run_parallel(&mut cols, tol, max_sweeps, workers, rounds)
+    let (sweeps, rotations, converged, panicked) = if workers > 1 && n >= PAR_MIN_COLS {
+        run_parallel(&mut cols, tol, max_sweeps, workers, rounds, chaos_panic)
     } else {
-        run_sequential(&mut cols, tol, max_sweeps, rounds)
+        run_sequential(&mut cols, tol, max_sweeps, rounds, chaos_panic)
     };
     obs::counters::add(obs::Counter::SvdSweeps, sweeps);
     obs::counters::add(obs::Counter::SvdRotations, rotations);
@@ -288,6 +299,9 @@ fn jacobi_svd<T: Scalar>(
     sp.field_u64("sweeps", sweeps);
     sp.field_u64("rotations", rotations);
     sp.field_u64("rounds", rounds as u64);
+    if let Some(worker) = panicked {
+        return Err(NumError::WorkerPanicked { index: worker });
+    }
     if !converged {
         return Err(NumError::NotConverged { algorithm: "jacobi-svd", iterations: max_sweeps });
     }
@@ -424,19 +438,29 @@ fn split_pair<T>(cols: &mut [JacobiCol<T>], p: usize, q: usize) -> (&mut JacobiC
 
 /// Sequential tournament driver. Visits exactly the same pairs in the
 /// same round order as [`run_parallel`]; since rounds touch disjoint
-/// columns, the two produce identical bits.
+/// columns, the two produce identical bits. Returns
+/// `(sweeps, rotations, converged, panicked_worker)`; the sequential
+/// driver never contains a panic itself (`panicked_worker` is always
+/// `None`) — an injected chaos panic unwinds to the caller, whose
+/// containment layer (the compressor ladder, `try_par_map_with`, …) is
+/// responsible for it.
 fn run_sequential<T: Scalar>(
     cols: &mut [JacobiCol<T>],
     tol: f64,
     max_sweeps: usize,
     rounds: usize,
-) -> (u64, u64, bool) {
+    chaos_panic: bool,
+) -> (u64, u64, bool, Option<usize>) {
     let n = cols.len();
     let mut pairs = Vec::with_capacity(n / 2 + 1);
     let mut sweeps = 0u64;
     let mut rotations = 0u64;
     for _ in 0..max_sweeps {
         sweeps += 1;
+        if chaos_panic && sweeps == 1 {
+            // numlint:allow(PANIC01) deliberate chaos fault injection; the caller's containment layer turns this into NumError::WorkerPanicked
+            panic!("injected chaos panic in sequential jacobi sweep");
+        }
         let freeze_sq = freeze_threshold(cols);
         let mut rotated = false;
         for round in 0..rounds {
@@ -450,10 +474,10 @@ fn run_sequential<T: Scalar>(
             }
         }
         if !rotated {
-            return (sweeps, rotations, true);
+            return (sweeps, rotations, true, None);
         }
     }
-    (sweeps, rotations, false)
+    (sweeps, rotations, false, None)
 }
 
 fn lock<T>(cell: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -467,13 +491,24 @@ fn lock<T>(cell: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// change any result bit; the freeze threshold and the convergence check
 /// are evaluated by worker 0 alone between barriers, in the same order
 /// as the sequential driver.
+///
+/// Worker panics are contained the same way `lti::tolerant` contains
+/// shift-solve panics: every unit of work between barriers runs under
+/// [`catch_unwind`], so a panicking worker keeps honoring the barrier
+/// protocol (no deadlocked siblings), raises a shared flag, and the
+/// whole team stops together at the next sweep boundary. The caller
+/// then abandons the half-rotated columns and reports
+/// [`NumError::WorkerPanicked`] with the lowest panicking worker index
+/// (a deterministic choice when the panic itself is deterministic).
+/// Returns `(sweeps, rotations, converged, panicked_worker)`.
 fn run_parallel<T: Scalar>(
     cols: &mut Vec<JacobiCol<T>>,
     tol: f64,
     max_sweeps: usize,
     workers: usize,
     rounds: usize,
-) -> (u64, u64, bool) {
+    chaos_panic: bool,
+) -> (u64, u64, bool, Option<usize>) {
     let n = cols.len();
     let cells: Vec<Mutex<JacobiCol<T>>> = cols.drain(..).map(Mutex::new).collect();
     let barrier = Barrier::new(workers);
@@ -481,6 +516,8 @@ fn run_parallel<T: Scalar>(
     let rotations = AtomicU64::new(0);
     let rotated = AtomicBool::new(false);
     let converged = AtomicBool::new(false);
+    let panicked = AtomicUsize::new(usize::MAX);
+    let stop = AtomicBool::new(false);
     let freeze_bits = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for t in 0..workers {
@@ -490,17 +527,31 @@ fn run_parallel<T: Scalar>(
             let rotations = &rotations;
             let rotated = &rotated;
             let converged = &converged;
+            let panicked = &panicked;
+            let stop = &stop;
             let freeze_bits = &freeze_bits;
             scope.spawn(move || {
                 let mut pairs = Vec::with_capacity(n / 2 + 1);
                 for _ in 0..max_sweeps {
                     if t == 0 {
-                        let mut mx = 0.0f64;
-                        for cell in cells {
-                            let c = lock(cell);
-                            mx = mx.max(c.w.iter().map(|x| x.abs_sq()).sum::<f64>());
+                        let guarded = catch_unwind(AssertUnwindSafe(|| {
+                            if chaos_panic && sweeps.load(Ordering::Relaxed) == 0 {
+                                // numlint:allow(PANIC01) deliberate chaos fault injection; contained below as NumError::WorkerPanicked
+                                panic!("injected chaos panic in parallel jacobi worker 0");
+                            }
+                            let mut mx = 0.0f64;
+                            for cell in cells {
+                                let c = lock(cell);
+                                mx = mx.max(c.w.iter().map(|x| x.abs_sq()).sum::<f64>());
+                            }
+                            mx
+                        }));
+                        match guarded {
+                            Ok(mx) => freeze_bits.store((mx * 1e-34).to_bits(), Ordering::Relaxed),
+                            Err(_) => {
+                                panicked.fetch_min(t, Ordering::Relaxed);
+                            }
                         }
-                        freeze_bits.store((mx * 1e-34).to_bits(), Ordering::Relaxed);
                         rotated.store(false, Ordering::Relaxed);
                         sweeps.fetch_add(1, Ordering::Relaxed);
                     }
@@ -510,27 +561,40 @@ fn run_parallel<T: Scalar>(
                     barrier.wait();
                     let freeze_sq = f64::from_bits(freeze_bits.load(Ordering::Relaxed));
                     for round in 0..rounds {
-                        tournament_pairs(n, round, &mut pairs);
-                        for (k, &(p, q)) in pairs.iter().enumerate() {
-                            if k % workers != t {
-                                continue;
+                        // Containment boundary: a panic anywhere in this
+                        // worker's share of the round must not skip the
+                        // round's barrier, or the siblings deadlock.
+                        let guarded = catch_unwind(AssertUnwindSafe(|| {
+                            tournament_pairs(n, round, &mut pairs);
+                            for (k, &(p, q)) in pairs.iter().enumerate() {
+                                if k % workers != t {
+                                    continue;
+                                }
+                                // Locks are uncontended: pairs in a round are
+                                // disjoint and each pair has one owner.
+                                let mut cp = lock(&cells[p]);
+                                let mut cq = lock(&cells[q]);
+                                if rotate_pair(&mut cp, &mut cq, tol, freeze_sq) {
+                                    rotated.store(true, Ordering::Relaxed);
+                                    rotations.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
-                            // Locks are uncontended: pairs in a round are
-                            // disjoint and each pair has one owner.
-                            let mut cp = lock(&cells[p]);
-                            let mut cq = lock(&cells[q]);
-                            if rotate_pair(&mut cp, &mut cq, tol, freeze_sq) {
-                                rotated.store(true, Ordering::Relaxed);
-                                rotations.fetch_add(1, Ordering::Relaxed);
-                            }
+                        }));
+                        if guarded.is_err() {
+                            panicked.fetch_min(t, Ordering::Relaxed);
                         }
                         barrier.wait();
                     }
-                    if t == 0 && !rotated.load(Ordering::Relaxed) {
-                        converged.store(true, Ordering::Relaxed);
+                    if t == 0 {
+                        if panicked.load(Ordering::Relaxed) != usize::MAX {
+                            stop.store(true, Ordering::Relaxed);
+                        } else if !rotated.load(Ordering::Relaxed) {
+                            converged.store(true, Ordering::Relaxed);
+                            stop.store(true, Ordering::Relaxed);
+                        }
                     }
                     barrier.wait();
-                    if converged.load(Ordering::Relaxed) {
+                    if stop.load(Ordering::Relaxed) {
                         break;
                     }
                 }
@@ -541,10 +605,15 @@ fn run_parallel<T: Scalar>(
         .into_iter()
         .map(|c| c.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
+    let panicked_worker = match panicked.load(Ordering::Relaxed) {
+        usize::MAX => None,
+        w => Some(w),
+    };
     (
         sweeps.load(Ordering::Relaxed),
         rotations.load(Ordering::Relaxed),
         converged.load(Ordering::Relaxed),
+        panicked_worker,
     )
 }
 
@@ -790,6 +859,37 @@ mod tests {
             other => panic!("expected NotConverged at cap 1, got {other:?}"),
         }
         assert!(svd_with_sweeps(&a, 100).is_ok());
+    }
+
+    #[test]
+    fn parallel_worker_panic_is_contained_as_worker_panicked() {
+        // Wide enough to engage the parallel driver (n ≥ PAR_MIN_COLS)
+        // with 2 workers; the injected panic in worker 0 must not
+        // deadlock the barrier protocol or unwind across the scope.
+        let a = DMat::from_fn(60, 48, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
+        let opts = SvdOptions {
+            threads: Some(2),
+            qr_precondition: Some(false),
+            chaos_panic: true,
+            ..SvdOptions::default()
+        };
+        match svd_with_opts(&a, &opts) {
+            Err(NumError::WorkerPanicked { index: 0 }) => {}
+            other => panic!("expected contained worker panic, got {other:?}"),
+        }
+        // The same factorization without the chaos hook succeeds.
+        assert!(svd_with_opts(&a, &SvdOptions { threads: Some(2), ..SvdOptions::default() })
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected chaos panic in sequential jacobi sweep")]
+    fn sequential_chaos_panic_unwinds_to_caller() {
+        // Small matrices take the sequential driver, where containment
+        // is the caller's job (the compressor ladder catches it).
+        let a = DMat::from_fn(6, 4, |i, j| (i + j) as f64);
+        let opts = SvdOptions { threads: Some(1), chaos_panic: true, ..SvdOptions::default() };
+        let _ = svd_with_opts(&a, &opts);
     }
 
     #[test]

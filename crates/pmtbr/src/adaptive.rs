@@ -130,7 +130,7 @@ pub fn adaptive_pmtbr<S: LtiSystem + ?Sized>(
     max_order: Option<usize>,
 ) -> Result<AdaptiveModel, NumError> {
     match FaultPlan::from_env() {
-        Some(plan) => adaptive_driver(
+        Ok(Some(plan)) => adaptive_driver(
             sys,
             omega_lo,
             omega_hi,
@@ -140,7 +140,7 @@ pub fn adaptive_pmtbr<S: LtiSystem + ?Sized>(
             &RecoveryPolicy::default(),
             &plan,
         ),
-        None => adaptive_driver(
+        Ok(None) => adaptive_driver(
             sys,
             omega_lo,
             omega_hi,
@@ -150,6 +150,10 @@ pub fn adaptive_pmtbr<S: LtiSystem + ?Sized>(
             &RecoveryPolicy::default(),
             &NoFaults,
         ),
+        Err(_) => Err(NumError::InvalidArgument(
+            "malformed PMTBR_FAULT spec: fix or unset it (the pmtbr CLI prints the detailed \
+             parse error)",
+        )),
     }
 }
 

@@ -28,14 +28,16 @@ use crate::{SamplePoint, Sampling};
 pub(crate) fn robust_svd(a: &DMat) -> Result<(Svd<f64>, bool), NumError> {
     match svd(a) {
         Ok(f) => Ok((f, false)),
-        Err(NumError::NotConverged { .. }) => equilibrated_svd(a).map(|f| (f, true)),
+        Err(NumError::NotConverged { .. }) => equilibrated_svd(a, 400).map(|f| (f, true)),
         Err(e) => Err(e),
     }
 }
 
-/// The equilibrated retry behind [`robust_svd`]: factor `A·D` with unit
-/// columns, then recombine exactly through a second small SVD.
-fn equilibrated_svd(a: &DMat) -> Result<Svd<f64>, NumError> {
+/// The equilibrated retry behind [`robust_svd`] (and rung 2 of the
+/// pipeline's compressor ladder): factor `A·D` with unit columns, then
+/// recombine exactly through a second small SVD. Both internal SVDs run
+/// under `max_sweeps`, so a work budget can clamp the retry.
+pub(crate) fn equilibrated_svd(a: &DMat, max_sweeps: usize) -> Result<Svd<f64>, NumError> {
     let (n, c) = a.shape();
     let norms: Vec<f64> = (0..c)
         .map(|j| (0..n).map(|i| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt())
@@ -47,7 +49,7 @@ fn equilibrated_svd(a: &DMat) -> Result<Svd<f64>, NumError> {
             0.0
         }
     });
-    let f1 = svd_with_sweeps(&ad, 400)?;
+    let f1 = svd_with_sweeps(&ad, max_sweeps)?;
     // Truncate stage 1 to its numerical rank: below it, the rows of the
     // middle factor are pure noise and would hand the second SVD
     // non-orthogonal null directions.
@@ -58,7 +60,7 @@ fn equilibrated_svd(a: &DMat) -> Result<Svd<f64>, NumError> {
     let f1 = f1.truncated(r);
     // Middle factor M = S₁·V₁ᵀ·D⁻¹ (r × c, small).
     let m = DMat::from_fn(r, c, |i, j| f1.s[i] * f1.v[(j, i)] * norms[j]);
-    let f2 = svd_with_sweeps(&m, 400)?;
+    let f2 = svd_with_sweeps(&m, max_sweeps)?;
     Ok(Svd { u: f1.u.matmul(&f2.u)?, s: f2.s, v: f2.v })
 }
 
@@ -201,6 +203,7 @@ pub fn sample_basis<S: LtiSystem + ?Sized>(
             false,
             &RecoveryPolicy::default(),
             &NoFaults,
+            None,
         )?;
     if surviving < requested {
         // Strict contract: a dropped node is an error, not degradation.
@@ -309,7 +312,7 @@ mod tests {
             scale * ((i * 7 + 1) as f64 * (0.37 + 0.11 * j as f64)).sin()
         });
         let direct = svd(&a).unwrap();
-        let equil = super::equilibrated_svd(&a).unwrap();
+        let equil = super::equilibrated_svd(&a, 400).unwrap();
         assert_eq!(direct.s.len(), equil.s.len());
         for (d, e) in direct.s.iter().zip(&equil.s) {
             assert!((d - e).abs() <= 1e-10 * direct.s[0], "{d} vs {e}");
@@ -340,7 +343,7 @@ mod tests {
             let scale = 10f64.powi(-3 * j as i32);
             scale * ((i * 7 + j * 3 + 1) as f64 * 0.37).sin()
         });
-        let equil = super::equilibrated_svd(&a).unwrap();
+        let equil = super::equilibrated_svd(&a, 400).unwrap();
         let k = equil.s.len();
         assert!(k < 5, "noise directions must be truncated: {:?}", equil.s);
         assert!(equil.s[1] > 1e-12 * equil.s[0], "both true directions kept");

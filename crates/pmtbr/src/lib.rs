@@ -64,6 +64,7 @@
 mod adaptive;
 mod balanced;
 mod algorithm;
+mod budget;
 mod cross_gramian;
 pub mod fault;
 mod frequency_selective;
@@ -81,9 +82,13 @@ pub use algorithm::{pmtbr, reduce_with_basis, sample_basis, PmtbrModel, PmtbrOpt
 pub use cross_gramian::cross_gramian_pmtbr;
 pub use frequency_selective::frequency_selective_pmtbr;
 pub use input_correlated::{input_correlated_pmtbr, InputCorrelatedOptions};
+pub use budget::Budget;
 pub use order_control::IncrementalBasis;
-pub use fault::{FaultKind, FaultPlan};
-pub use pipeline::{Compressor, InputDirections, OrderControl, Reduction, ReductionPlan};
+pub use fault::{FaultKind, FaultPlan, FaultStage, StageFault};
+pub use pipeline::{
+    Compressor, InputDirections, OrderControl, PipelineReport, Reduction, ReductionPlan,
+    StageOutcome,
+};
 pub use pod::{pod_reduce, PodOptions};
 pub use sampling::{SamplePoint, Sampling};
 pub use sweep::{pmtbr_tolerant, sample_basis_tolerant, SweepDiagnostics};

@@ -29,23 +29,54 @@
 //!   ([`ReductionPlan::balanced`]) or the joint cross-Gramian
 //!   eigenproblem ([`ReductionPlan::cross_gramian`]).
 //!
-//! Because there is exactly one execution core ([`run_with`]), every
-//! variant inherits the same guarantees: the parallel
+//! Because there is exactly one execution core ([`run_guarded`]),
+//! every variant inherits the same guarantees: the parallel
 //! factorization-reusing `ShiftSolveEngine`, the fault-tolerance
-//! escalation ladder with [`SweepDiagnostics`], `PMTBR_FAULT` chaos
-//! testing ([`run`]), `obs` tracing, and bit-identical results at any
-//! thread count.
+//! escalation ladders with [`SweepDiagnostics`] and [`PipelineReport`],
+//! `PMTBR_FAULT` chaos testing ([`run`]), deterministic work budgets
+//! with cooperative cancellation ([`Budget`]), `obs` tracing, and
+//! bit-identical results at any thread count.
+//!
+//! ## Fault containment beyond the sweep
+//!
+//! The sweep stage has always degraded gracefully (its per-shift
+//! escalation ladder drops nodes instead of aborting). [`run_guarded`]
+//! extends the same discipline to the other two stages:
+//!
+//! - **compress** escalates through a deterministic ladder — plain SVD
+//!   → raised sweep cap → column equilibration → direct
+//!   (unpreconditioned) Jacobi — and, when the ladder is exhausted,
+//!   *downgrades*: the eig-based [`Compressor::CrossGramian`] and the
+//!   two-sided [`Compressor::Balance`] fall back to a one-sided
+//!   spectral compression of the controllability samples, and any
+//!   spectral failure falls back to the SVD-free
+//!   [`Compressor::Incremental`] basis. Every rung is traced as a
+//!   `rung` event and every downgrade is recorded in the report.
+//! - **project** retries injected faults (chaos testing) and records
+//!   its outcome; real projection errors still fail the run.
+//!
+//! Worker panics anywhere inside a rung are contained by the same
+//! `catch_unwind` discipline `lti::tolerant` uses for shift solves and
+//! surface as [`NumError::WorkerPanicked`] escalations, never as an
+//! aborted process.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lti::{
     input_correlation_svd, realified_ncols, realify_columns_into, LtiSystem, NoFaults,
-    RecoveryPolicy, ShiftReport, SolveFault, StateSpace, TolerantSweep,
+    RecoveryPolicy, ShiftOutcome, ShiftReport, SolveFault, StateSpace, TolerantSweep,
 };
-use numkit::{c64, eig, DMat, Lu, NumError, SplitMix64, Svd, ZMat};
+use numkit::{
+    c64, eig, svd, svd_with_opts, svd_with_sweeps, DMat, Lu, NumError, SplitMix64, Svd,
+    SvdOptions, ZMat,
+};
 
-use crate::algorithm::robust_svd;
+use crate::algorithm::equilibrated_svd;
+use crate::budget::BudgetTracker;
+use crate::fault::{FaultStage, StageFault};
 use crate::{
-    IncrementalBasis, InputCorrelatedOptions, PmtbrModel, PmtbrOptions, SamplePoint, Sampling,
-    SweepDiagnostics,
+    Budget, IncrementalBasis, InputCorrelatedOptions, PmtbrModel, PmtbrOptions, SamplePoint,
+    Sampling, SweepDiagnostics,
 };
 
 /// What to excite at each sample node (the paper's `B·d` choice).
@@ -222,39 +253,194 @@ impl ReductionPlan {
     }
 }
 
+/// How one pipeline stage ultimately resolved, in increasing severity.
+///
+/// The derived `Ord` follows severity, so `a.max(b)` is "the worse of
+/// the two" — which is how [`PipelineReport::worst`] folds stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum StageOutcome {
+    /// First attempt succeeded with no recovery work.
+    #[default]
+    Clean,
+    /// The stage succeeded after its recovery ladder escalated (raised
+    /// caps, equilibration, refinement, perturbation, retried injected
+    /// faults) without losing accuracy guarantees.
+    Recovered,
+    /// The stage completed best-effort with a recorded accuracy
+    /// concession: dropped sample nodes, a downgraded compressor, or a
+    /// budget truncation.
+    Degraded,
+    /// The stage could not produce a result; the run errored.
+    Failed,
+}
+
+impl StageOutcome {
+    /// Short lower-case label (`"clean"`, `"recovered"`, `"degraded"`,
+    /// `"failed"`) used in traces and CLI reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageOutcome::Clean => "clean",
+            StageOutcome::Recovered => "recovered",
+            StageOutcome::Degraded => "degraded",
+            StageOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// Structured per-stage account of one pipeline run: what each stage's
+/// recovery ladder had to do, whether the compressor was downgraded,
+/// and whether a work budget ran dry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineReport {
+    /// Outcome of the sampling sweep stage.
+    pub sweep: StageOutcome,
+    /// Outcome of the compression stage.
+    pub compress: StageOutcome,
+    /// Outcome of the projection stage.
+    pub project: StageOutcome,
+    /// `true` when the compressor fell back to a lower-accuracy scheme
+    /// (two-sided → one-sided spectral, or spectral → incremental QR).
+    pub compressor_downgraded: bool,
+    /// The budgeted resource that ran out (`"lu-factorizations"`,
+    /// `"svd-sweeps"`, `"sample-bytes"`), if any.
+    pub budget_exhausted: Option<&'static str>,
+    /// Human-readable notes explaining each recovery and downgrade.
+    pub notes: Vec<String>,
+}
+
+impl PipelineReport {
+    /// The worst stage outcome of the run.
+    pub fn worst(&self) -> StageOutcome {
+        self.sweep.max(self.compress).max(self.project)
+    }
+
+    /// `true` when every stage was clean and no budget ran out.
+    pub fn is_clean(&self) -> bool {
+        self.worst() == StageOutcome::Clean
+            && !self.compressor_downgraded
+            && self.budget_exhausted.is_none()
+    }
+
+    /// `true` when the model carries a recorded accuracy concession
+    /// (dropped nodes, downgraded compressor, or exhausted budget).
+    pub fn is_degraded(&self) -> bool {
+        self.worst() >= StageOutcome::Degraded
+            || self.compressor_downgraded
+            || self.budget_exhausted.is_some()
+    }
+}
+
 /// The result of executing a [`ReductionPlan`]: the reduced model plus
-/// the complete per-node account of the tolerant sweep.
+/// the complete per-node account of the tolerant sweep and the
+/// per-stage pipeline report.
 #[derive(Debug, Clone)]
 pub struct Reduction {
     /// The reduced model and spectra.
     pub model: PmtbrModel,
     /// The fate of every sample node, including weight renormalization.
     pub diagnostics: SweepDiagnostics,
+    /// Per-stage outcomes, downgrades, and budget accounting.
+    pub report: PipelineReport,
 }
 
-/// Executes a plan with the default [`RecoveryPolicy`] and the fault
-/// plan from the `PMTBR_FAULT` environment variable (none when unset) —
-/// so chaos testing applies uniformly to every variant.
+/// Executes a plan with the default [`RecoveryPolicy`], no budget, and
+/// the fault plan from the `PMTBR_FAULT` environment variable (none
+/// when unset) — so chaos testing applies uniformly to every variant.
 ///
 /// # Errors
 ///
-/// See [`run_with`].
+/// - [`NumError::InvalidArgument`] when `PMTBR_FAULT` is set but
+///   malformed — a bad spec must never run silently unfaulted. (The
+///   CLI validates the variable up front and prints the detailed parse
+///   error; this in-library error is deliberately static.)
+/// - See [`run_guarded`] for the rest.
 pub fn run<S: LtiSystem + ?Sized>(sys: &S, plan: &ReductionPlan) -> Result<Reduction, NumError> {
+    run_budgeted(sys, plan, &Budget::default())
+}
+
+/// [`run`] with an explicit work budget: default policy, `PMTBR_FAULT`
+/// chaos faults, budget caps, and cooperative cancellation. This is
+/// what the CLI's `--budget-*` flags call.
+///
+/// # Errors
+///
+/// See [`run`] and [`run_guarded`].
+pub fn run_budgeted<S: LtiSystem + ?Sized>(
+    sys: &S,
+    plan: &ReductionPlan,
+    budget: &Budget,
+) -> Result<Reduction, NumError> {
+    let policy = RecoveryPolicy::default();
     match crate::fault::FaultPlan::from_env() {
-        Some(p) => run_with(sys, plan, &RecoveryPolicy::default(), &p),
-        None => run_with(sys, plan, &RecoveryPolicy::default(), &NoFaults),
+        Ok(Some(p)) => run_guarded(sys, plan, &policy, &p, budget),
+        Ok(None) => run_guarded(sys, plan, &policy, &NoFaults, budget),
+        Err(_) => Err(NumError::InvalidArgument(
+            "malformed PMTBR_FAULT spec: fix or unset it (the pmtbr CLI prints the detailed \
+             parse error)",
+        )),
     }
 }
 
+/// Executes a plan with an explicit recovery policy and sweep-level
+/// fault hook, no stage-level fault injection, and no budget.
+///
+/// Kept for callers that only need the sweep-stage [`SolveFault`]
+/// surface; [`run_guarded`] is the full execution core.
+///
+/// # Errors
+///
+/// See [`run_guarded`].
+pub fn run_with<S: LtiSystem + ?Sized>(
+    sys: &S,
+    plan: &ReductionPlan,
+    policy: &RecoveryPolicy,
+    faults: &dyn SolveFault,
+) -> Result<Reduction, NumError> {
+    run_guarded(sys, plan, policy, &SweepOnly(faults), &Budget::default())
+}
+
+/// Adapts a sweep-only [`SolveFault`] to the [`StageFault`] surface
+/// (stage hooks inert).
+struct SweepOnly<'a>(&'a dyn SolveFault);
+
+impl SolveFault for SweepOnly<'_> {
+    fn inject_error(&self, index: usize, attempt: usize) -> Option<NumError> {
+        self.0.inject_error(index, attempt)
+    }
+
+    fn corrupt(&self, index: usize, attempt: usize, z: &mut ZMat) {
+        self.0.corrupt(index, attempt, z);
+    }
+
+    fn inject_panic(&self, index: usize) -> bool {
+        self.0.inject_panic(index)
+    }
+}
+
+impl StageFault for SweepOnly<'_> {}
+
 /// Executes a plan: sweep → compress → project, with an explicit
-/// recovery policy and fault hook.
+/// recovery policy, stage-level fault hook, and deterministic work
+/// budget.
 ///
 /// This is the single execution core behind every reduction entry
 /// point. All shifted solves go through the tolerant multipoint sweep
 /// ([`LtiSystem::solve_shifted_many_tolerant`] and friends), so sparse
-/// systems get the factorization-reusing parallel engine, failures
-/// degrade the quadrature instead of aborting it, and the whole run is
-/// traced under the `pmtbr.sample_sweep` span.
+/// systems get the factorization-reusing parallel engine; failures
+/// degrade the quadrature instead of aborting it; compression and
+/// projection failures escalate through deterministic recovery ladders
+/// (see the module docs); and the whole run is traced under the
+/// `pmtbr.sample_sweep` / `pmtbr.compress` / `pmtbr.project` spans with
+/// per-stage outcomes.
+///
+/// The budget's caps are enforced off the deterministic `obs` counters
+/// (never wall clock): the sweep attempts at most the remaining
+/// LU-factorization cap's worth of nodes, the compressor ladder clamps
+/// its sweep caps to the remaining SVD budget, and exhaustion yields a
+/// best-effort [`StageOutcome::Degraded`] model with the resource
+/// recorded in [`PipelineReport::budget_exhausted`]. The budget's
+/// [`numkit::CancelToken`] is polled at stage boundaries and once per
+/// sweep shift.
 ///
 /// # Errors
 ///
@@ -262,14 +448,34 @@ pub fn run<S: LtiSystem + ?Sized>(sys: &S, plan: &ReductionPlan) -> Result<Reduc
 /// - [`NumError::InvalidArgument`] if every node was dropped, all
 ///   weighted samples vanished, or the sampled subspace cannot support
 ///   an exact-order request.
-/// - Propagates SVD/eigen/projection errors.
-pub fn run_with<S: LtiSystem + ?Sized>(
+/// - [`NumError::BudgetExhausted`] when a budget leaves room for no
+///   work at all (e.g. zero remaining LU factorizations before the
+///   sweep).
+/// - [`NumError::Cancelled`] when the budget's token is raised.
+/// - Propagates unrecoverable SVD/eigen/projection errors (after the
+///   compressor ladder and fallbacks are exhausted).
+pub fn run_guarded<S: LtiSystem + ?Sized>(
     sys: &S,
     plan: &ReductionPlan,
     policy: &RecoveryPolicy,
-    faults: &dyn SolveFault,
+    faults: &dyn StageFault,
+    budget: &Budget,
 ) -> Result<Reduction, NumError> {
     plan.validate()?;
+    let tracker = BudgetTracker::start(budget);
+    tracker.check_cancelled()?;
+    let mut report = PipelineReport::default();
+    // Thread the budget's cancellation token into the sweep policy when
+    // the caller didn't set one, so a single token stops every stage.
+    let policy_with_cancel;
+    let policy = match (policy.cancel.is_none(), tracker.cancel()) {
+        (true, Some(token)) => {
+            policy_with_cancel =
+                RecoveryPolicy { cancel: Some(token.clone()), ..policy.clone() };
+            &policy_with_cancel
+        }
+        _ => policy,
+    };
     let SweptSamples {
         kept: _,
         zmat,
@@ -279,16 +485,42 @@ pub fn run_with<S: LtiSystem + ?Sized>(
         requested,
         surviving,
         renorm,
+        budget_truncated,
         mut span,
-    } = sweep(sys, &plan.sampling, &plan.directions, plan.compressor.is_two_sided(), policy, faults)?;
-    let compressed = compress(&zmat, &blocks, zl.as_ref(), plan)?;
+    } = sweep(
+        sys,
+        &plan.sampling,
+        &plan.directions,
+        plan.compressor.is_two_sided(),
+        policy,
+        faults,
+        tracker.node_cap(),
+    )?;
+    if budget_truncated > 0 {
+        report.budget_exhausted = Some("lu-factorizations");
+        report.notes.push(format!(
+            "lu-factorization budget truncated the sweep: {budget_truncated} of {requested} \
+             nodes were never attempted"
+        ));
+    }
+    report.sweep = sweep_outcome(&reports);
+    tracker.check_cancelled()?;
+    let compressed = compress(&zmat, &blocks, zl.as_ref(), plan, faults, &tracker, &mut report)?;
     let svd_retried = compressed.retried();
     span.field_u64("surviving", surviving as u64);
     span.field_u64("total_cols", zmat.ncols() as u64);
     span.field_f64("renorm", renorm);
     span.field("svd_retried", obs::Value::Bool(svd_retried));
+    span.field_str("outcome", report.sweep.label());
     drop(span);
-    let model = project(sys, &zmat, zl.as_ref(), compressed, &plan.order)?;
+    tracker.check_cancelled()?;
+    let model = project(sys, &zmat, zl.as_ref(), compressed, &plan.order, faults, &mut report)?;
+    if report.budget_exhausted.is_none() {
+        report.budget_exhausted = tracker.exhausted();
+        if let Some(resource) = report.budget_exhausted {
+            report.notes.push(format!("{resource} budget exceeded during the run"));
+        }
+    }
     Ok(Reduction {
         model,
         diagnostics: SweepDiagnostics {
@@ -298,7 +530,26 @@ pub fn run_with<S: LtiSystem + ?Sized>(
             weight_renormalization: renorm,
             svd_retried,
         },
+        report,
     })
+}
+
+/// Folds per-shift reports into the sweep stage's outcome: dropped
+/// nodes degrade the quadrature; refinement/perturbation acceptances
+/// are recoveries; reuse/refactor/refresh are the clean paths.
+fn sweep_outcome(reports: &[ShiftReport]) -> StageOutcome {
+    let mut outcome = StageOutcome::Clean;
+    for r in reports {
+        let this = match r.outcome {
+            ShiftOutcome::Reused | ShiftOutcome::Refactored | ShiftOutcome::Refreshed => {
+                StageOutcome::Clean
+            }
+            ShiftOutcome::Refined | ShiftOutcome::Perturbed { .. } => StageOutcome::Recovered,
+            ShiftOutcome::Dropped => StageOutcome::Degraded,
+        };
+        outcome = outcome.max(this);
+    }
+    outcome
 }
 
 /// The sampled, weighted, realified output of the sweep stage, with the
@@ -322,6 +573,10 @@ pub(crate) struct SweptSamples {
     pub(crate) surviving: usize,
     /// Uniform quadrature-weight renormalization factor.
     pub(crate) renorm: f64,
+    /// Nodes never attempted because the LU-factorization budget ran
+    /// out (they are reported as dropped with
+    /// [`NumError::BudgetExhausted`]).
+    pub(crate) budget_truncated: usize,
     /// The open `pmtbr.sample_sweep` span.
     pub(crate) span: obs::SpanGuard,
 }
@@ -392,6 +647,12 @@ fn correlated_rhs<S: LtiSystem + ?Sized>(
 /// The sweep stage: resolve directions, run the tolerant engine sweep
 /// (both pencils for two-sided compressors), coordinate survivors,
 /// renormalize quadrature weights, and realify into the sample matrix.
+///
+/// `node_cap` is the LU-factorization budget's a-priori node limit:
+/// only the first `node_cap` nodes are attempted; the rest are
+/// reported as dropped with [`NumError::BudgetExhausted`] and
+/// renormalization spreads their quadrature weight over the survivors
+/// (best-effort degradation instead of an open-ended run).
 pub(crate) fn sweep<S: LtiSystem + ?Sized>(
     sys: &S,
     sampling: &Sampling,
@@ -399,6 +660,7 @@ pub(crate) fn sweep<S: LtiSystem + ?Sized>(
     two_sided: bool,
     policy: &RecoveryPolicy,
     faults: &dyn SolveFault,
+    node_cap: Option<usize>,
 ) -> Result<SweptSamples, NumError> {
     let points = sampling.points()?;
     let (active, excitation) = match directions {
@@ -411,9 +673,21 @@ pub(crate) fn sweep<S: LtiSystem + ?Sized>(
             (active, Excitation::PerNode(rhss))
         }
     };
+    let cap = node_cap.unwrap_or(usize::MAX);
+    if cap == 0 {
+        return Err(NumError::BudgetExhausted { resource: "lu-factorizations" });
+    }
+    let attempted = active.len().min(cap);
+    let excitation = match excitation {
+        Excitation::PerNode(mut rhss) => {
+            rhss.truncate(attempted);
+            Excitation::PerNode(rhss)
+        }
+        shared => shared,
+    };
     let mut sp = obs::span("pmtbr.sample_sweep");
     sp.field_u64("requested", active.len() as u64);
-    let shifts: Vec<c64> = active.iter().map(|p| p.s).collect();
+    let shifts: Vec<c64> = active[..attempted].iter().map(|p| p.s).collect();
     // Two-sided sweeps with a shared excitation go through the
     // factorization-sharing ladder: one LU per shift serves both the
     // forward and the transposed solve. Per-node excitations keep the
@@ -438,13 +712,13 @@ pub(crate) fn sweep<S: LtiSystem + ?Sized>(
             (f, t)
         }
     };
-    debug_assert_eq!(fwd.reports.len(), active.len());
+    debug_assert_eq!(fwd.reports.len(), attempted);
     // A node survives only if every required side solved; the report is
     // the forward one unless only the transpose side dropped.
     let requested = active.len();
     let mut reports: Vec<ShiftReport> = Vec::with_capacity(requested);
     let mut alive: Vec<bool> = Vec::with_capacity(requested);
-    for k in 0..requested {
+    for k in 0..attempted {
         let f_ok = fwd.solutions[k].is_some();
         let t_ok = trans.as_ref().is_none_or(|t| t.solutions[k].is_some());
         alive.push(f_ok && t_ok);
@@ -453,6 +727,17 @@ pub(crate) fn sweep<S: LtiSystem + ?Sized>(
             _ => fwd.reports[k].clone(),
         };
         reports.push(rep);
+    }
+    // Nodes beyond the LU budget were never attempted: account for them
+    // as budget-dropped so renormalization spreads their weight.
+    for (off, pt) in active[attempted..].iter().enumerate() {
+        obs::counters::add(obs::Counter::ShiftDropped, 1);
+        reports.push(ShiftReport::dropped(
+            attempted + off,
+            pt.s,
+            Some(NumError::BudgetExhausted { resource: "lu-factorizations" }),
+        ));
+        alive.push(false);
     }
     let surviving = alive.iter().filter(|&&a| a).count();
     if surviving == 0 {
@@ -511,6 +796,7 @@ pub(crate) fn sweep<S: LtiSystem + ?Sized>(
         requested,
         surviving,
         renorm,
+        budget_truncated: requested - attempted,
         span: sp,
     })
 }
@@ -584,36 +870,265 @@ impl Compressed {
     }
 }
 
+/// Hard cap on fault-poisoned attempts per stage, so a pathological
+/// [`StageFault`] cannot spin a recovery loop forever. Far above any
+/// real ladder depth; purely a determinism-preserving backstop.
+const MAX_STAGE_ATTEMPTS: usize = 32;
+
+/// Raised Jacobi sweep cap used by the escalation rungs (the clean
+/// first rung keeps the default cap).
+const RAISED_SWEEP_CAP: usize = 400;
+
+/// `true` for errors the compressor ladder may escalate past; anything
+/// else (shape mismatches, invalid arguments) propagates immediately.
+fn ladder_recoverable(e: &NumError) -> bool {
+    matches!(
+        e,
+        NumError::NotConverged { .. }
+            | NumError::NotFinite
+            | NumError::WorkerPanicked { .. }
+            | NumError::Singular { .. }
+            | NumError::BudgetExhausted { .. }
+    )
+}
+
+/// Emits one compressor-ladder `rung` trace event (mirrors the sweep
+/// ladder's per-rung events, with the pipeline stage attached).
+fn rung_event(stage: FaultStage, cand: &'static str, attempt: usize) {
+    if obs::is_enabled() {
+        obs::event(
+            "rung",
+            vec![
+                ("stage", obs::Value::Str(stage.label().to_string())),
+                ("cand", obs::Value::Str(cand.to_string())),
+                ("attempt", obs::Value::U64(attempt as u64)),
+            ],
+        );
+    }
+}
+
+/// Runs one stage attempt's injected faults, if any: `Some(Err(..))`
+/// when the attempt is poisoned (error- or panic-kind), `None` when
+/// the attempt should run for real. Injected panics actually unwind
+/// and are contained here — the same `catch_unwind` discipline the
+/// sweep ladder uses for worker panics.
+fn injected_outcome(
+    faults: &dyn StageFault,
+    stage: FaultStage,
+    attempt: usize,
+) -> Option<NumError> {
+    if let Some(e) = faults.stage_error(stage, attempt) {
+        return Some(e);
+    }
+    if faults.stage_panics(stage, attempt) {
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            // numlint:allow(PANIC01, ERR01) deliberate fault injection; the
+            // surrounding catch_unwind contains it as WorkerPanicked.
+            panic!("injected chaos panic in pipeline stage {}", stage.label());
+        }));
+        debug_assert!(unwound.is_err());
+        return Some(NumError::WorkerPanicked { index: attempt });
+    }
+    None
+}
+
+/// The spectral compressor's escalation ladder: plain SVD → raised
+/// sweep cap → column equilibration → direct (QR-preconditioning off)
+/// Jacobi. Rung 0 is computationally identical to the pre-ladder clean
+/// path. Each rung clamps its sweep cap to the remaining SVD budget;
+/// a dry budget errors with [`NumError::BudgetExhausted`] so the
+/// caller can fall back to the SVD-free incremental compressor.
+///
+/// Returns the factorization and the rung that certified it.
+fn spectral_ladder(
+    a: &DMat,
+    faults: &dyn StageFault,
+    tracker: &BudgetTracker,
+    attempt: &mut usize,
+) -> Result<(Svd<f64>, usize), NumError> {
+    const RUNGS: [&str; 4] = ["svd", "raise-cap", "equilibrate", "direct-jacobi"];
+    let mut last = NumError::NotConverged { algorithm: "compress-ladder", iterations: 0 };
+    for (rung, cand) in RUNGS.iter().enumerate() {
+        let this_attempt = *attempt;
+        *attempt += 1;
+        rung_event(FaultStage::Compress, cand, this_attempt);
+        let result = match injected_outcome(faults, FaultStage::Compress, this_attempt) {
+            Some(e) => Err(e),
+            None => {
+                // Clamp the rung's sweep cap to the remaining budget
+                // (None = unlimited, keep each rung's own default).
+                let cap = match tracker.remaining_svd_sweeps() {
+                    Some(0) => {
+                        return Err(NumError::BudgetExhausted { resource: "svd-sweeps" })
+                    }
+                    Some(rem) => Some((rem as usize).min(RAISED_SWEEP_CAP)),
+                    None => None,
+                };
+                match rung {
+                    0 => match cap {
+                        None => svd(a),
+                        Some(c) => svd_with_sweeps(a, c),
+                    },
+                    1 => svd_with_sweeps(a, cap.unwrap_or(RAISED_SWEEP_CAP)),
+                    2 => equilibrated_svd(a, cap.unwrap_or(RAISED_SWEEP_CAP)),
+                    _ => svd_with_opts(
+                        a,
+                        &SvdOptions {
+                            max_sweeps: Some(cap.unwrap_or(RAISED_SWEEP_CAP)),
+                            qr_precondition: Some(false),
+                            ..SvdOptions::default()
+                        },
+                    ),
+                }
+            }
+        };
+        match result {
+            Ok(f) => return Ok((f, rung)),
+            Err(e) if ladder_recoverable(&e) => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+/// The terminal compressor fallback: the SVD-free incremental QR basis.
+/// Always records an accuracy downgrade in the report.
+fn incremental_fallback(
+    zmat: &DMat,
+    blocks: &[(usize, usize)],
+    report: &mut PipelineReport,
+    cause: &NumError,
+) -> Result<Compressed, NumError> {
+    report.compress = StageOutcome::Degraded;
+    report.compressor_downgraded = true;
+    report
+        .notes
+        .push(format!("compressor downgraded to incremental QR after: {cause}"));
+    let mut basis = IncrementalBasis::new(zmat.nrows());
+    for &(c0, c1) in blocks {
+        basis.push_block(&zmat.block(0, zmat.nrows(), c0, c1))?;
+    }
+    let s = basis.singular_value_estimates()?;
+    Ok(Compressed::Incremental { basis, s })
+}
+
+/// Spectral compression of the one-sided sample stack, used both by
+/// [`Compressor::JacobiSvd`] and as the downgrade target for the
+/// two-sided compressors. Falls back to [`incremental_fallback`] when
+/// the ladder is exhausted.
+fn spectral_or_incremental(
+    zmat: &DMat,
+    blocks: &[(usize, usize)],
+    faults: &dyn StageFault,
+    tracker: &BudgetTracker,
+    report: &mut PipelineReport,
+    attempt: &mut usize,
+) -> Result<Compressed, NumError> {
+    match spectral_ladder(zmat, faults, tracker, attempt) {
+        Ok((f, rung)) => {
+            if rung > 0 {
+                report.compress = report.compress.max(StageOutcome::Recovered);
+                report.notes.push(format!(
+                    "spectral compressor recovered on ladder rung {rung}"
+                ));
+            }
+            Ok(Compressed::Spectral { f, retried: rung > 0 })
+        }
+        Err(e) if ladder_recoverable(&e) => {
+            if let NumError::BudgetExhausted { resource } = e {
+                report.budget_exhausted.get_or_insert(resource);
+            }
+            incremental_fallback(zmat, blocks, report, &e)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn compress(
     zmat: &DMat,
     blocks: &[(usize, usize)],
     zl: Option<&DMat>,
     plan: &ReductionPlan,
+    faults: &dyn StageFault,
+    tracker: &BudgetTracker,
+    report: &mut PipelineReport,
 ) -> Result<Compressed, NumError> {
     let mut sp = obs::span("pmtbr.compress");
     sp.field_u64("cols", zmat.ncols() as u64);
-    match plan.compressor {
+    let mut attempt = 0usize;
+    let result = match plan.compressor {
         Compressor::JacobiSvd => {
             sp.field_str("method", "jacobi-svd");
-            let (f, retried) = robust_svd(zmat)?;
-            Ok(Compressed::Spectral { f, retried })
+            spectral_or_incremental(zmat, blocks, faults, tracker, report, &mut attempt)
         }
         Compressor::Incremental => {
             sp.field_str("method", "incremental-qr");
-            let mut basis = IncrementalBasis::new(zmat.nrows());
-            for &(c0, c1) in blocks {
-                basis.push_block(&zmat.block(0, zmat.nrows(), c0, c1))?;
+            // No ladder to escalate through: retry past injected
+            // faults, then build the basis for real.
+            let mut last = None;
+            while attempt < MAX_STAGE_ATTEMPTS {
+                let this_attempt = attempt;
+                attempt += 1;
+                rung_event(FaultStage::Compress, "incremental", this_attempt);
+                match injected_outcome(faults, FaultStage::Compress, this_attempt) {
+                    Some(e) => last = Some(e),
+                    None => {
+                        last = None;
+                        break;
+                    }
+                }
             }
-            let s = basis.singular_value_estimates()?;
-            Ok(Compressed::Incremental { basis, s })
+            match last {
+                Some(e) => Err(e),
+                None => {
+                    if attempt > 1 {
+                        report.compress = report.compress.max(StageOutcome::Recovered);
+                        report.notes.push(format!(
+                            "incremental compressor recovered after {} injected fault(s)",
+                            attempt - 1
+                        ));
+                    }
+                    let mut basis = IncrementalBasis::new(zmat.nrows());
+                    for &(c0, c1) in blocks {
+                        basis.push_block(&zmat.block(0, zmat.nrows(), c0, c1))?;
+                    }
+                    let s = basis.singular_value_estimates()?;
+                    Ok(Compressed::Incremental { basis, s })
+                }
+            }
         }
         Compressor::Balance => {
             sp.field_str("method", "balance");
             let zl = zl.ok_or(NumError::InvalidArgument("balance needs two-sided samples"))?;
-            // Square-root balancing: SVD of Z_Lᵀ·Z_R.
+            // Square-root balancing: SVD of Z_Lᵀ·Z_R, through the same
+            // escalation ladder as the spectral path.
             let m = zl.transpose().matmul(zmat)?;
-            let (f, retried) = robust_svd(&m)?;
-            Ok(Compressed::Balanced { f, retried })
+            match spectral_ladder(&m, faults, tracker, &mut attempt) {
+                Ok((f, rung)) => {
+                    if rung > 0 {
+                        report.compress = report.compress.max(StageOutcome::Recovered);
+                        report.notes.push(format!(
+                            "balance compressor recovered on ladder rung {rung}"
+                        ));
+                    }
+                    Ok(Compressed::Balanced { f, retried: rung > 0 })
+                }
+                Err(e) if ladder_recoverable(&e) => {
+                    // Downgrade: one-sided spectral compression of the
+                    // controllability samples (loses the two-sided
+                    // balancing accuracy, keeps the run alive).
+                    if let NumError::BudgetExhausted { resource } = e {
+                        report.budget_exhausted.get_or_insert(resource);
+                    }
+                    report.compress = StageOutcome::Degraded;
+                    report.compressor_downgraded = true;
+                    report.notes.push(format!(
+                        "balance compressor downgraded to one-sided jacobi-svd after: {e}"
+                    ));
+                    spectral_or_incremental(zmat, blocks, faults, tracker, report, &mut attempt)
+                }
+                Err(e) => Err(e),
+            }
         }
         Compressor::CrossGramian => {
             sp.field_str("method", "cross-gramian");
@@ -636,41 +1151,107 @@ fn compress(
             // two tall matmuls in `project` — the dominant cost of the
             // old cross path.
             let nmat = zl.transpose().matmul(zmat)?;
-            let c = nmat.ncols();
-            let e = eig(&nmat)?;
-            // Realified dominant eigenbasis (conjugate pairs → [Re, Im]),
-            // in the engine's decreasing-modulus order.
-            let mut t = DMat::zeros(c, c);
-            let mut eigs = Vec::with_capacity(c);
-            let mut moduli = Vec::with_capacity(c);
-            let mut j = 0;
-            let mut col = 0;
-            while j < c {
-                let lam = e.values[j];
-                let v = e.vectors.col(j);
-                if lam.im.abs() > 1e-12 * lam.abs().max(1e-300) && j + 1 < c {
-                    for i in 0..c {
-                        t[(i, col)] = v[i].re;
-                        t[(i, col + 1)] = v[i].im;
+            let mut eig_result = None;
+            let mut last_err = None;
+            let mut poisoned = 0usize;
+            while attempt < MAX_STAGE_ATTEMPTS {
+                let this_attempt = attempt;
+                attempt += 1;
+                rung_event(FaultStage::Compress, "eig", this_attempt);
+                match injected_outcome(faults, FaultStage::Compress, this_attempt) {
+                    Some(e) => {
+                        // Injected: retry the eigensolve on the next
+                        // attempt until the fault's depth is spent.
+                        last_err = Some(e);
+                        poisoned += 1;
                     }
-                    eigs.push(CrossEig::Pair { re: lam.re, im: lam.im });
-                    moduli.push(lam.abs());
-                    moduli.push(lam.abs());
-                    col += 2;
-                    j += 2;
-                } else {
-                    for i in 0..c {
-                        t[(i, col)] = v[i].re;
-                    }
-                    eigs.push(CrossEig::Real(lam.re));
-                    moduli.push(lam.abs());
-                    col += 1;
-                    j += 1;
+                    None => match eig(&nmat) {
+                        Ok(e) => {
+                            eig_result = Some(e);
+                            break;
+                        }
+                        Err(e) if ladder_recoverable(&e) => {
+                            // A real eigensolve failure is not worth
+                            // retrying verbatim: downgrade below.
+                            last_err = Some(e);
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    },
                 }
             }
-            Ok(Compressed::Cross { t, eigs, moduli, retried: false })
+            match eig_result {
+                Some(e) => {
+                    if poisoned > 0 {
+                        report.compress = report.compress.max(StageOutcome::Recovered);
+                        report.notes.push(format!(
+                            "cross-gramian eigensolve recovered after {poisoned} injected \
+                             fault(s)"
+                        ));
+                    }
+                    let c = nmat.ncols();
+                    // Realified dominant eigenbasis (conjugate pairs →
+                    // [Re, Im]), in the engine's decreasing-modulus order.
+                    let mut t = DMat::zeros(c, c);
+                    let mut eigs = Vec::with_capacity(c);
+                    let mut moduli = Vec::with_capacity(c);
+                    let mut j = 0;
+                    let mut col = 0;
+                    while j < c {
+                        let lam = e.values[j];
+                        let v = e.vectors.col(j);
+                        if lam.im.abs() > 1e-12 * lam.abs().max(1e-300) && j + 1 < c {
+                            for i in 0..c {
+                                t[(i, col)] = v[i].re;
+                                t[(i, col + 1)] = v[i].im;
+                            }
+                            eigs.push(CrossEig::Pair { re: lam.re, im: lam.im });
+                            moduli.push(lam.abs());
+                            moduli.push(lam.abs());
+                            col += 2;
+                            j += 2;
+                        } else {
+                            for i in 0..c {
+                                t[(i, col)] = v[i].re;
+                            }
+                            eigs.push(CrossEig::Real(lam.re));
+                            moduli.push(lam.abs());
+                            col += 1;
+                            j += 1;
+                        }
+                    }
+                    Ok(Compressed::Cross { t, eigs, moduli, retried: poisoned > 0 })
+                }
+                None => {
+                    // Downgrade the eig-based compressor to one-sided
+                    // spectral compression (then incremental if even
+                    // that fails).
+                    let cause = last_err.unwrap_or(NumError::NotConverged {
+                        algorithm: "cross-gramian-eig",
+                        iterations: MAX_STAGE_ATTEMPTS,
+                    });
+                    report.compress = StageOutcome::Degraded;
+                    report.compressor_downgraded = true;
+                    report.notes.push(format!(
+                        "cross-gramian compressor downgraded to one-sided jacobi-svd after: \
+                         {cause}"
+                    ));
+                    spectral_or_incremental(zmat, blocks, faults, tracker, report, &mut attempt)
+                }
+            }
+        }
+    };
+    match &result {
+        Ok(_) => {
+            sp.field_str("outcome", report.compress.label());
+            sp.field("downgraded", obs::Value::Bool(report.compressor_downgraded));
+        }
+        Err(_) => {
+            report.compress = StageOutcome::Failed;
+            sp.field_str("outcome", StageOutcome::Failed.label());
         }
     }
+    result
 }
 
 /// Chooses the reduced order from a (descending) singular spectrum.
@@ -693,14 +1274,37 @@ pub(crate) fn truncated_order(s: &[f64], order: &OrderControl) -> Result<usize, 
 }
 
 /// Order selection + projector assembly + congruence projection.
+///
+/// Injected stage faults (chaos testing) poison whole attempts: each
+/// poisoned attempt is retried until the fault's depth is spent, then
+/// the real projection runs. Real projection errors still fail the run
+/// (there is no meaningful lower-accuracy projection to downgrade to).
 fn project<S: LtiSystem + ?Sized>(
     sys: &S,
     zmat: &DMat,
     zl: Option<&DMat>,
     compressed: Compressed,
     order: &OrderControl,
+    faults: &dyn StageFault,
+    report: &mut PipelineReport,
 ) -> Result<PmtbrModel, NumError> {
     let mut sp = obs::span("pmtbr.project");
+    let mut poisoned = 0usize;
+    while poisoned < MAX_STAGE_ATTEMPTS {
+        match injected_outcome(faults, FaultStage::Project, poisoned) {
+            Some(_) => {
+                rung_event(FaultStage::Project, "retry", poisoned);
+                poisoned += 1;
+            }
+            None => break,
+        }
+    }
+    if poisoned > 0 {
+        report.project = StageOutcome::Recovered;
+        report
+            .notes
+            .push(format!("projection recovered after {poisoned} injected fault(s)"));
+    }
     let n = sys.nstates();
     let model = match compressed {
         Compressed::Spectral { f, .. } => {
@@ -851,8 +1455,15 @@ fn project<S: LtiSystem + ?Sized>(
             })
         }
     };
-    if let Ok(m) = &model {
-        sp.field_u64("order", m.order as u64);
+    match &model {
+        Ok(m) => {
+            sp.field_u64("order", m.order as u64);
+            sp.field_str("outcome", report.project.label());
+        }
+        Err(_) => {
+            report.project = StageOutcome::Failed;
+            sp.field_str("outcome", StageOutcome::Failed.label());
+        }
     }
     model
 }
@@ -911,6 +1522,238 @@ mod tests {
         let angle =
             numkit::max_principal_angle(&svd_red.model.v, &inc_red.model.v).unwrap();
         assert!(angle < 1e-6, "subspace angle {angle}");
+    }
+
+    #[test]
+    fn compress_ladder_escalates_one_rung_per_fault_depth() {
+        use crate::fault::{FaultKind, FaultPlan, FaultStage};
+        let sys = mesh();
+        let opts =
+            PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 10 }).with_max_order(4);
+        let plan = ReductionPlan::pmtbr(&opts);
+        let clean = run(&sys, &plan).unwrap();
+        // Depth d poisons the first d rungs (drift ⇒ NotConverged), so
+        // the ladder certifies on rung d: 1 = raised cap, 2 =
+        // equilibration, 3 = direct Jacobi.
+        for depth in 1..=3 {
+            let faults = FaultPlan::new(11, 1.0, vec![FaultKind::Drift], depth)
+                .with_stages(vec![FaultStage::Compress]);
+            let red = run_guarded(
+                &sys,
+                &plan,
+                &RecoveryPolicy::default(),
+                &faults,
+                &Budget::default(),
+            )
+            .unwrap();
+            assert_eq!(red.report.compress, StageOutcome::Recovered, "depth {depth}");
+            assert!(!red.report.compressor_downgraded, "depth {depth}");
+            assert!(
+                red.report.notes.iter().any(|n| n.contains(&format!("rung {depth}"))),
+                "depth {depth}: missing rung note in {:?}",
+                red.report.notes
+            );
+            assert_eq!(red.model.order, clean.model.order, "depth {depth}");
+            for (a, b) in clean
+                .model
+                .singular_values
+                .iter()
+                .zip(&red.model.singular_values)
+            {
+                assert!((a - b).abs() < 1e-7 * (1.0 + a), "depth {depth}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_spectral_ladder_downgrades_to_incremental() {
+        use crate::fault::{FaultKind, FaultPlan, FaultStage};
+        let sys = mesh();
+        let opts =
+            PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 10 }).with_max_order(4);
+        let plan = ReductionPlan::pmtbr(&opts);
+        // Depth 4 poisons every spectral rung: the compressor must fall
+        // back to the SVD-free incremental basis and record the
+        // downgrade instead of erroring.
+        let faults = FaultPlan::new(11, 1.0, vec![FaultKind::Drift], 4)
+            .with_stages(vec![FaultStage::Compress]);
+        let red = run_guarded(
+            &sys,
+            &plan,
+            &RecoveryPolicy::default(),
+            &faults,
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(red.report.compress, StageOutcome::Degraded);
+        assert!(red.report.compressor_downgraded);
+        assert!(red.report.is_degraded());
+        assert!(red
+            .report
+            .notes
+            .iter()
+            .any(|n| n.contains("downgraded to incremental QR")));
+        assert!(red.model.singular_values.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn injected_compress_panic_is_contained_and_recovered() {
+        use crate::fault::{FaultKind, FaultPlan, FaultStage};
+        let sys = mesh();
+        let opts =
+            PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 10 }).with_max_order(4);
+        let plan = ReductionPlan::pmtbr(&opts);
+        let faults = FaultPlan::new(3, 1.0, vec![FaultKind::Panic], 1)
+            .with_stages(vec![FaultStage::Compress]);
+        // The injected panic unwinds inside the stage's catch_unwind;
+        // the ladder records it as a contained worker panic and
+        // certifies on the next rung.
+        let red = run_guarded(
+            &sys,
+            &plan,
+            &RecoveryPolicy::default(),
+            &faults,
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(red.report.compress, StageOutcome::Recovered);
+        assert!(!red.report.compressor_downgraded);
+    }
+
+    #[test]
+    fn balance_compressor_downgrades_to_one_sided() {
+        use crate::fault::{FaultKind, FaultPlan, FaultStage};
+        let sys = mesh();
+        let sampling = Sampling::Linear { omega_max: 20.0, n: 12 };
+        let plan = ReductionPlan::balanced(&sampling, 4);
+        // Depth 4 exhausts the balance product's whole spectral ladder;
+        // the shared attempt counter then lets the one-sided downgrade
+        // succeed on its first (fifth overall) attempt.
+        let faults = FaultPlan::new(11, 1.0, vec![FaultKind::Drift], 4)
+            .with_stages(vec![FaultStage::Compress]);
+        let red = run_guarded(
+            &sys,
+            &plan,
+            &RecoveryPolicy::default(),
+            &faults,
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(red.report.compress, StageOutcome::Degraded);
+        assert!(red.report.compressor_downgraded);
+        assert!(red
+            .report
+            .notes
+            .iter()
+            .any(|n| n.contains("balance compressor downgraded to one-sided")));
+        assert_eq!(red.model.order, 4);
+    }
+
+    #[test]
+    fn cross_gramian_eigensolve_retries_past_injected_faults() {
+        use crate::fault::{FaultKind, FaultPlan, FaultStage};
+        let sys = mesh();
+        let sampling = Sampling::Linear { omega_max: 20.0, n: 12 };
+        let plan = ReductionPlan::cross_gramian(&sampling, 3);
+        let clean = run(&sys, &plan).unwrap();
+        let faults = FaultPlan::new(5, 1.0, vec![FaultKind::Nan], 2)
+            .with_stages(vec![FaultStage::Compress]);
+        let red = run_guarded(
+            &sys,
+            &plan,
+            &RecoveryPolicy::default(),
+            &faults,
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(red.report.compress, StageOutcome::Recovered);
+        assert!(!red.report.compressor_downgraded);
+        // Retried attempts re-run the identical eigensolve: the model
+        // must match the clean run bit for bit.
+        assert_eq!(red.model.singular_values, clean.model.singular_values);
+        assert_eq!(red.model.order, clean.model.order);
+    }
+
+    #[test]
+    fn project_stage_retries_injected_faults() {
+        use crate::fault::{FaultKind, FaultPlan, FaultStage};
+        let sys = mesh();
+        let opts =
+            PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 10 }).with_max_order(4);
+        let plan = ReductionPlan::pmtbr(&opts);
+        let clean = run(&sys, &plan).unwrap();
+        let faults = FaultPlan::new(9, 1.0, vec![FaultKind::Singular], 2)
+            .with_stages(vec![FaultStage::Project]);
+        let red = run_guarded(
+            &sys,
+            &plan,
+            &RecoveryPolicy::default(),
+            &faults,
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(red.report.project, StageOutcome::Recovered);
+        assert_eq!(red.report.compress, StageOutcome::Clean);
+        // Poisoned attempts never touch the data: bit-identical model.
+        assert_eq!(red.model.singular_values, clean.model.singular_values);
+    }
+
+    #[test]
+    fn lu_budget_truncates_sweep_into_degraded_model() {
+        let sys = mesh();
+        let opts =
+            PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 10 }).with_max_order(4);
+        let plan = ReductionPlan::pmtbr(&opts);
+        let budget = Budget::default().with_max_lu_factors(4);
+        // Counters are process-global and other tests factor LUs
+        // concurrently, so the effective cap may shrink below 4 — a
+        // budget run must then still terminate with either a best-effort
+        // degraded model or an explicit exhaustion error, never a hang.
+        match run_guarded(&sys, &plan, &RecoveryPolicy::default(), &NoFaults, &budget) {
+            Ok(red) => {
+                assert_eq!(red.report.budget_exhausted, Some("lu-factorizations"));
+                assert_eq!(red.report.sweep, StageOutcome::Degraded);
+                assert!(red.report.is_degraded());
+                assert!(red.diagnostics.dropped() > 0);
+                assert!(red.model.singular_values.iter().all(|s| s.is_finite()));
+            }
+            Err(NumError::BudgetExhausted { resource }) => {
+                assert_eq!(resource, "lu-factorizations");
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn svd_budget_exhaustion_falls_back_to_incremental() {
+        let sys = mesh();
+        let opts =
+            PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 10 }).with_max_order(4);
+        let plan = ReductionPlan::pmtbr(&opts);
+        // A zero SVD budget dries the spectral ladder immediately; the
+        // run still completes on the SVD-free incremental compressor
+        // with the exhaustion recorded.
+        let budget = Budget::default().with_max_svd_sweeps(0);
+        let red = run_guarded(&sys, &plan, &RecoveryPolicy::default(), &NoFaults, &budget)
+            .unwrap();
+        assert_eq!(red.report.budget_exhausted, Some("svd-sweeps"));
+        assert!(red.report.compressor_downgraded);
+        assert!(red.report.is_degraded());
+        assert!(red.model.singular_values.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn pre_cancelled_run_stops_at_first_checkpoint() {
+        let sys = mesh();
+        let opts =
+            PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 10 }).with_max_order(4);
+        let plan = ReductionPlan::pmtbr(&opts);
+        let token = numkit::CancelToken::new();
+        token.cancel();
+        let budget = Budget::default().with_cancel(token);
+        let err = run_guarded(&sys, &plan, &RecoveryPolicy::default(), &NoFaults, &budget)
+            .unwrap_err();
+        assert_eq!(err, NumError::Cancelled);
     }
 
     #[test]

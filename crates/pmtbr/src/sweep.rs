@@ -152,6 +152,7 @@ pub fn sample_basis_tolerant<S: LtiSystem + ?Sized>(
             false,
             policy,
             faults,
+            None,
         )?;
     let (svd, svd_retried) = robust_svd(&zmat)?;
     span.field_u64("surviving", surviving as u64);

@@ -28,6 +28,16 @@ echo "==> obs golden tests (trace determinism + counter accounting)"
 cargo test -q -p pmtbr-cli --test trace_golden
 cargo test -q --test obs_counters
 
+# Quick chaos gate: the CLI binary under a 25% deterministic fault rate
+# across every registry method, every injectable stage, and 1/2/8
+# worker threads. Asserts containment (exit codes within the documented
+# set, no escaped panics, finite output) and bit-identical stdout per
+# thread count at a fixed fault seed, plus budget-exhaustion exit codes.
+# Runs as part of `cargo test -q` too; named here so a containment
+# regression is called out explicitly.
+echo "==> chaos gate (PMTBR_FAULT matrix: methods x stages x 1/2/8 threads)"
+cargo test -q -p pmtbr-cli --test chaos
+
 # Variant-coverage + perf trend gate: every `reduce` method registry
 # entry must reduce the headline 1024-state mesh, and no sampling-based
 # method may regress its wall time more than 1.5x against the committed

@@ -27,7 +27,9 @@ fn frequency_selective_and_input_correlated_degrade_gracefully_under_faults() {
     // Guard the seed choice: the spec must actually fault some of the
     // first few sweep indices, or the degradation assertions below are
     // vacuous.
-    let plan = FaultPlan::parse_spec(FAULT_SPEC).expect("spec parses");
+    let plan = FaultPlan::parse_spec(FAULT_SPEC)
+        .expect("spec parses")
+        .expect("spec is not `off`");
     let faulted = (0..12).filter(|&i| plan.fault_for(i).is_some()).count();
     assert!(faulted > 0, "seed must fault at least one of the first 12 indices");
 
