@@ -395,7 +395,7 @@ impl ShiftSolveEngine {
             return (None, None, ShiftReport::dropped(index, s_req, Some(NumError::Cancelled)));
         }
         if faults.inject_panic(index) {
-            // numlint:allow(PANIC01, ERR01) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
+            // numlint:allow(PANIC01, ERR01, PANIC02) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
             panic!("injected worker panic at shift index {index}");
         }
         // `attempt` counts factorization attempts for the fault hooks:

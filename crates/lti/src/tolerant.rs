@@ -399,7 +399,7 @@ fn generic_ladder<S: LtiSystem + ?Sized>(
     // the ladder's exit event.
     let mut sp = obs::item_span("shift", index as u64, "ladder");
     if faults.inject_panic(index) {
-        // numlint:allow(PANIC01, ERR01) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
+        // numlint:allow(PANIC01, ERR01, PANIC02) deliberate fault injection; contained by the pool as NumError::WorkerPanicked
         panic!("injected worker panic at shift index {index}");
     }
     let mut last_err: Option<NumError> = None;

@@ -458,7 +458,7 @@ fn run_sequential<T: Scalar>(
     for _ in 0..max_sweeps {
         sweeps += 1;
         if chaos_panic && sweeps == 1 {
-            // numlint:allow(PANIC01) deliberate chaos fault injection; the caller's containment layer turns this into NumError::WorkerPanicked
+            // numlint:allow(PANIC01, PANIC02) deliberate chaos fault injection; the caller's containment layer turns this into NumError::WorkerPanicked
             panic!("injected chaos panic in sequential jacobi sweep");
         }
         let freeze_sq = freeze_threshold(cols);

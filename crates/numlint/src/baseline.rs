@@ -1,26 +1,39 @@
-//! Count-based finding baseline.
+//! Finding baseline, v2: fingerprint-granular.
 //!
-//! The baseline records, per `(rule, file)`, how many findings existed
-//! when the gate was introduced, so legacy call sites can be burned
-//! down incrementally while *new* findings are hard errors. Counts are
-//! deliberately line-number-free: editing an unrelated part of a file
-//! must not invalidate the baseline, and the count can only stay equal
-//! or shrink — `--update-baseline` refuses nothing, but the checked-in
-//! file makes any growth visible in review.
-//!
-//! Format (one entry per line, `#` comments, sorted):
+//! The baseline absorbs legacy findings so new code is gated hard while
+//! old sites are burned down incrementally. v1 stored a *count* per
+//! `(rule, file)`, which let a fixed finding in one function mask a
+//! brand-new finding elsewhere in the same file — the count stayed
+//! equal. v2 stores one entry per finding, keyed by a fingerprint of
+//! `(rule, path, message)`:
 //!
 //! ```text
-//! PANIC01 crates/numkit/src/mat.rs 1
+//! PANIC01 crates/numkit/src/mat.rs @a3f09b2c41d7e865
 //! ```
+//!
+//! Messages are deliberately line-number-free (every rule phrases its
+//! message from the offending tokens, not positions), so fingerprints
+//! survive unrelated edits to the same file; any change to the finding
+//! itself — different call, different identifier — produces a new
+//! fingerprint and fails the gate. Identical findings (two `.unwrap()`
+//! calls in one file yield identical messages) are a multiset: each
+//! occurrence needs its own baseline line.
+//!
+//! Legacy `RULE path count` lines still parse and absorb by count, so
+//! pre-v2 baselines keep working until regenerated with
+//! `scripts/numlint-baseline.sh`.
 
+use crate::cache::fnv64;
 use crate::engine::Diagnostic;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Baselined finding counts keyed by `(rule, workspace-relative path)`.
+/// Baselined findings: fingerprint entries (v2) plus legacy counts.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
+    /// v2 entries: `(rule, path, fingerprint)` → occurrence count.
+    prints: BTreeMap<(String, String, u64), usize>,
+    /// Legacy v1 entries: `(rule, path)` → count.
     counts: BTreeMap<(String, String), usize>,
 }
 
@@ -31,98 +44,139 @@ pub struct BaselineParseError {
     pub message: String,
 }
 
+/// The stable identity of one finding. Excludes line/column (and the
+/// witness chain of interprocedural findings): both shift under
+/// unrelated refactors, and the message already pins *what* was found.
+pub fn fingerprint(rule: &str, path: &str, message: &str) -> u64 {
+    let mut buf = Vec::with_capacity(rule.len() + path.len() + message.len() + 2);
+    buf.extend_from_slice(rule.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(path.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(message.as_bytes());
+    fnv64(&buf)
+}
+
 impl Baseline {
-    /// Parses the baseline file format.
+    /// Parses the baseline file format (v2 `@fingerprint` entries and
+    /// legacy `count` entries, freely mixed).
     pub fn parse(text: &str) -> Result<Baseline, BaselineParseError> {
-        let mut counts = BTreeMap::new();
+        let mut b = Baseline::default();
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let mut it = line.split_whitespace();
-            let entry = (|| {
+            let ok = (|| {
                 let rule = it.next()?.to_string();
                 let path = it.next()?.to_string();
-                let count: usize = it.next()?.parse().ok()?;
-                if it.next().is_some() || count == 0 {
+                let third = it.next()?;
+                if it.next().is_some() {
                     return None;
                 }
-                Some(((rule, path), count))
+                if let Some(hex) = third.strip_prefix('@') {
+                    if hex.len() != 16 {
+                        return None;
+                    }
+                    let fp = u64::from_str_radix(hex, 16).ok()?;
+                    *b.prints.entry((rule, path, fp)).or_insert(0) += 1;
+                } else {
+                    let count: usize = third.parse().ok()?;
+                    if count == 0 {
+                        return None;
+                    }
+                    b.counts.insert((rule, path), count);
+                }
+                Some(())
             })();
-            match entry {
-                Some((key, count)) => {
-                    counts.insert(key, count);
-                }
-                None => {
-                    return Err(BaselineParseError {
-                        line: idx + 1,
-                        message: format!(
-                            "expected `RULE_ID path count` with count > 0, got `{line}`"
-                        ),
-                    })
-                }
+            if ok.is_none() {
+                return Err(BaselineParseError {
+                    line: idx + 1,
+                    message: format!(
+                        "expected `RULE_ID path @fingerprint` (or legacy `RULE_ID path count`), \
+                         got `{line}`"
+                    ),
+                });
             }
         }
-        Ok(Baseline { counts })
+        Ok(b)
     }
 
-    /// Builds a baseline covering every current finding.
+    /// Builds a v2 baseline covering every current finding.
     pub fn from_findings(findings: &[(String, Diagnostic)]) -> Baseline {
-        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut b = Baseline::default();
         for (path, d) in findings {
-            *counts.entry((d.rule.to_string(), path.clone())).or_insert(0) += 1;
+            let fp = fingerprint(d.rule, path, &d.message);
+            *b.prints.entry((d.rule.to_string(), path.clone(), fp)).or_insert(0) += 1;
         }
-        Baseline { counts }
+        b
     }
 
-    /// Serializes in the checked-in format.
+    /// Serializes in the checked-in format (always v2 entries).
     pub fn render(&self) -> String {
         let mut s = String::from(
-            "# numlint baseline — legacy finding counts per (rule, file).\n\
+            "# numlint baseline — one `RULE path @fingerprint` line per legacy finding\n\
+             # (fingerprint = fnv64 of rule+path+message, line-number-free).\n\
              # Regenerate deliberately with scripts/numlint-baseline.sh;\n\
-             # new findings beyond these counts are hard errors.\n",
+             # findings not fingerprinted here are hard errors.\n",
         );
+        for ((rule, path, fp), count) in &self.prints {
+            for _ in 0..*count {
+                let _ = writeln!(s, "{rule} {path} @{fp:016x}");
+            }
+        }
+        // Legacy entries survive a render untouched only by re-parsing;
+        // a regenerated baseline is always pure v2.
         for ((rule, path), count) in &self.counts {
             let _ = writeln!(s, "{rule} {path} {count}");
         }
         s
     }
 
-    /// Splits `findings` into (reported, baselined-away). For each
-    /// `(rule, file)` group, up to the baselined count of findings are
-    /// absorbed (the *first* ones in line order — which subset is
-    /// immaterial, only the count is contractual); the excess is
-    /// reported.
+    /// Splits `findings` into (reported, absorbed-count). A finding is
+    /// absorbed if its fingerprint has remaining occurrences in the v2
+    /// entries, or — for legacy baselines — if its `(rule, file)` count
+    /// has headroom.
     pub fn apply(
         &self,
         findings: Vec<(String, Diagnostic)>,
     ) -> (Vec<(String, Diagnostic)>, usize) {
-        let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut prints_used: BTreeMap<(String, String, u64), usize> = BTreeMap::new();
+        let mut counts_used: BTreeMap<(String, String), usize> = BTreeMap::new();
         let mut reported = Vec::new();
         let mut absorbed = 0usize;
         for (path, d) in findings {
-            let key = (d.rule.to_string(), path.clone());
-            let cap = self.counts.get(&key).copied().unwrap_or(0);
-            let u = used.entry(key).or_insert(0);
-            if *u < cap {
-                *u += 1;
+            let fp = fingerprint(d.rule, &path, &d.message);
+            let pkey = (d.rule.to_string(), path.clone(), fp);
+            let pcap = self.prints.get(&pkey).copied().unwrap_or(0);
+            let pu = prints_used.entry(pkey).or_insert(0);
+            if *pu < pcap {
+                *pu += 1;
                 absorbed += 1;
-            } else {
-                reported.push((path, d));
+                continue;
             }
+            let ckey = (d.rule.to_string(), path.clone());
+            let ccap = self.counts.get(&ckey).copied().unwrap_or(0);
+            let cu = counts_used.entry(ckey).or_insert(0);
+            if *cu < ccap {
+                *cu += 1;
+                absorbed += 1;
+                continue;
+            }
+            reported.push((path, d));
         }
         (reported, absorbed)
     }
 
-    /// Number of baselined entries (sum of counts).
+    /// Number of baselined findings (v2 occurrences + legacy counts).
     pub fn total(&self) -> usize {
-        self.counts.values().sum()
+        self.prints.values().sum::<usize>() + self.counts.values().sum::<usize>()
     }
 
-    /// True if no entries are baselined.
+    /// True if no findings are baselined.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.prints.is_empty() && self.counts.is_empty()
     }
 }
 
@@ -130,34 +184,64 @@ impl Baseline {
 mod tests {
     use super::*;
 
-    fn d(rule: &'static str, line: usize) -> Diagnostic {
-        Diagnostic { line, col: 1, rule, message: "m".into() }
+    fn d(rule: &'static str, line: usize, message: &str) -> Diagnostic {
+        Diagnostic { line, col: 1, rule, message: message.into(), chain: Vec::new() }
     }
 
     #[test]
     fn roundtrip_and_apply() {
         let findings = vec![
-            ("a.rs".to_string(), d("PANIC01", 1)),
-            ("a.rs".to_string(), d("PANIC01", 2)),
-            ("b.rs".to_string(), d("FLOAT01", 3)),
+            ("a.rs".to_string(), d("PANIC01", 1, "`.unwrap()` in library code")),
+            ("a.rs".to_string(), d("PANIC01", 2, "`.unwrap()` in library code")),
+            ("b.rs".to_string(), d("FLOAT01", 3, "exact `==`")),
         ];
         let b = Baseline::from_findings(&findings);
         assert_eq!(b.total(), 3);
         let parsed = Baseline::parse(&b.render()).expect("roundtrip");
         assert_eq!(parsed, b);
 
-        // Same counts: everything absorbed.
-        let (rep, absorbed) = parsed.apply(findings.clone());
+        // Same findings: everything absorbed (line moves are fine).
+        let moved: Vec<_> =
+            findings.iter().map(|(p, x)| (p.clone(), d(x.rule, x.line + 40, &x.message))).collect();
+        let (rep, absorbed) = parsed.apply(moved);
         assert!(rep.is_empty());
         assert_eq!(absorbed, 3);
 
-        // One extra PANIC01 in a.rs: exactly one reported.
+        // A *different* finding in an already-baselined file is NOT
+        // masked — this is the v2 fix over count-based baselines.
         let mut grown = findings;
-        grown.insert(2, ("a.rs".to_string(), d("PANIC01", 9)));
+        grown.insert(2, ("a.rs".to_string(), d("PANIC01", 9, "`panic!` in library code")));
         let (rep, absorbed) = parsed.apply(grown);
         assert_eq!(absorbed, 3);
         assert_eq!(rep.len(), 1);
-        assert_eq!(rep[0].1.rule, "PANIC01");
+        assert_eq!(rep[0].1.message, "`panic!` in library code");
+    }
+
+    #[test]
+    fn duplicate_findings_need_one_entry_each() {
+        let one = vec![("a.rs".to_string(), d("PANIC01", 1, "`.unwrap()`"))];
+        let b = Baseline::from_findings(&one);
+        let two = vec![
+            ("a.rs".to_string(), d("PANIC01", 1, "`.unwrap()`")),
+            ("a.rs".to_string(), d("PANIC01", 2, "`.unwrap()`")),
+        ];
+        let (rep, absorbed) = b.apply(two);
+        assert_eq!(absorbed, 1);
+        assert_eq!(rep.len(), 1);
+    }
+
+    #[test]
+    fn legacy_count_entries_still_absorb() {
+        let b = Baseline::parse("PANIC01 a.rs 2\n").expect("legacy parse");
+        assert_eq!(b.total(), 2);
+        let findings = vec![
+            ("a.rs".to_string(), d("PANIC01", 1, "x")),
+            ("a.rs".to_string(), d("PANIC01", 2, "y")),
+            ("a.rs".to_string(), d("PANIC01", 3, "z")),
+        ];
+        let (rep, absorbed) = b.apply(findings);
+        assert_eq!(absorbed, 2);
+        assert_eq!(rep.len(), 1);
     }
 
     #[test]
@@ -165,6 +249,8 @@ mod tests {
         assert!(Baseline::parse("PANIC01 a.rs zero").is_err());
         assert!(Baseline::parse("PANIC01 a.rs 0").is_err());
         assert!(Baseline::parse("PANIC01 a.rs 1 extra").is_err());
-        assert!(Baseline::parse("# comment\n\nPANIC01 a.rs 2\n").is_ok());
+        assert!(Baseline::parse("PANIC01 a.rs @short").is_err());
+        assert!(Baseline::parse("PANIC01 a.rs @zzzzzzzzzzzzzzzz").is_err());
+        assert!(Baseline::parse("# comment\n\nPANIC01 a.rs 2\nF01 b.rs @00000000000000ab\n").is_ok());
     }
 }

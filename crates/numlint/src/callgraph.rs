@@ -1,0 +1,297 @@
+//! The workspace call graph: resolves the syntactic call sites from
+//! `symbols` against the global function table and materializes edges.
+//!
+//! Resolution policy (conservative toward *more* edges, never fewer,
+//! within the workspace):
+//!
+//! - **Method calls** (`recv.name(…)`) have no receiver types on a
+//!   token stream, so they resolve to the union of every *library-crate*
+//!   method named `name`. A call that might hit a panicking method is
+//!   treated as if it does. Methods in tooling crates (cli, bench,
+//!   numlint) are excluded from the union: their names (`parse`, `load`,
+//!   `run`) collide with std methods constantly, and they make no
+//!   PANIC02/DET03 promises that reaching them could break.
+//! - **Qualified calls** (`a::b::name(…)`) expand `use` aliases and
+//!   `crate` / `self` / `super` / `Self` prefixes, then match the path
+//!   as a suffix of fully qualified names. A leading workspace crate
+//!   name pins the candidate crate.
+//! - **Bare calls** (`name(…)`) try the alias map, then the caller's
+//!   own module, then the caller's crate — the three places Rust's own
+//!   resolution could find a callable without an import.
+//! - Calls that resolve to nothing are std/core/macro territory and
+//!   contribute no workspace effects; *direct* effect seeds (the panic
+//!   and clock token classes) already cover what matters there.
+
+use crate::engine::{FileAnalysis, LIBRARY_CRATES};
+use crate::symbols::FnSym;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Callee index into [`CallGraph::fns`].
+    pub callee: usize,
+    /// Call-site line in the caller's file.
+    pub line: usize,
+    /// True if the call sits inside a `catch_unwind(...)` argument:
+    /// panic-class effects do not cross this edge.
+    pub contained: bool,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Flattened function table, in deterministic (file, line) order.
+    pub fns: Vec<FnSym>,
+    /// Outgoing edges per function, sorted and deduplicated.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Builds the call graph from per-file analyses (keyed by
+/// workspace-relative path, so iteration order — and therefore fn ids,
+/// edge order, and every downstream diagnostic — is deterministic).
+pub fn build(files: &BTreeMap<String, FileAnalysis>) -> CallGraph {
+    let mut fns: Vec<FnSym> = Vec::new();
+    let mut aliases: BTreeMap<&str, BTreeMap<&str, &str>> = BTreeMap::new();
+    for (path, fa) in files {
+        fns.extend(fa.symbols.fns.iter().cloned());
+        let map = aliases.entry(path.as_str()).or_default();
+        for (alias, full) in &fa.symbols.aliases {
+            map.insert(alias.as_str(), full.as_str());
+        }
+    }
+
+    // Name-keyed candidate indices.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut crates: BTreeSet<&str> = BTreeSet::new();
+    for (id, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(id);
+        if let Some(c) = f.qual.split("::").next() {
+            crates.insert(c);
+        }
+    }
+
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+    for (id, f) in fns.iter().enumerate() {
+        let file_aliases = aliases.get(f.file.as_str());
+        let mut set: BTreeSet<Edge> = BTreeSet::new();
+        for call in &f.calls {
+            for callee in resolve(call.is_method, &call.path, f, &fns, &by_name, &crates, file_aliases)
+            {
+                if callee != id {
+                    set.insert(Edge { callee, line: call.line, contained: call.contained });
+                }
+            }
+        }
+        edges[id] = set.into_iter().collect();
+    }
+    CallGraph { fns, edges }
+}
+
+/// Resolves one call site to its candidate callee ids (sorted).
+fn resolve(
+    is_method: bool,
+    path: &str,
+    caller: &FnSym,
+    fns: &[FnSym],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    crates: &BTreeSet<&str>,
+    aliases: Option<&BTreeMap<&str, &str>>,
+) -> Vec<usize> {
+    let mut segs: Vec<String> = path.split("::").map(str::to_string).collect();
+    let name = match segs.last() {
+        Some(n) => n.clone(),
+        None => return Vec::new(),
+    };
+    let Some(candidates) = by_name.get(name.as_str()) else { return Vec::new() };
+
+    if is_method {
+        // Union of every library-crate method with this name; tooling
+        // crates are excluded (see the module doc's resolution policy).
+        return candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !fns[i].self_ty.is_empty()
+                    && fns[i]
+                        .qual
+                        .split("::")
+                        .next()
+                        .is_some_and(|c| LIBRARY_CRATES.contains(&c))
+            })
+            .collect();
+    }
+
+    // Expand a leading alias (`use numkit::svd::jacobi;` → bare
+    // `jacobi(…)`, `use numkit::svd;` → `svd::jacobi(…)`).
+    if let Some(map) = aliases {
+        if let Some(full) = map.get(segs[0].as_str()) {
+            let mut expanded: Vec<String> = full.split("::").map(str::to_string).collect();
+            expanded.extend(segs.drain(1..));
+            segs = expanded;
+        }
+    }
+    // Normalize crate-relative prefixes against the caller's position.
+    let caller_crate = caller.qual.split("::").next().unwrap_or("").to_string();
+    match segs[0].as_str() {
+        "crate" => segs[0] = caller_crate.clone(),
+        "self" => {
+            let mut pre: Vec<String> = caller.module.split("::").map(str::to_string).collect();
+            pre.extend(segs.drain(1..));
+            segs = pre;
+        }
+        "super" => {
+            let mut pre: Vec<String> = caller.module.split("::").map(str::to_string).collect();
+            while segs.first().is_some_and(|s| s == "super") {
+                segs.remove(0);
+                pre.pop();
+            }
+            pre.append(&mut segs);
+            segs = pre;
+        }
+        "Self" if !caller.self_ty.is_empty() => segs[0] = caller.self_ty.clone(),
+        "std" | "core" | "alloc" => return Vec::new(),
+        _ => {}
+    }
+
+    if segs.len() == 1 {
+        // Bare call: the caller's module first, then the caller's crate.
+        let in_module: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].self_ty.is_empty() && fns[i].module == caller.module)
+            .collect();
+        if !in_module.is_empty() {
+            return in_module;
+        }
+        return candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                fns[i].self_ty.is_empty()
+                    && fns[i].qual.split("::").next() == Some(caller_crate.as_str())
+            })
+            .collect();
+    }
+
+    // Qualified call: suffix-match against fully qualified names. A
+    // leading workspace crate name additionally pins the crate.
+    let suffix = segs.join("::");
+    let crate_pin =
+        if crates.contains(segs[0].as_str()) { Some(segs[0].clone()) } else { None };
+    candidates
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let q = &fns[i].qual;
+            let suffix_ok = q == &suffix || q.ends_with(&format!("::{suffix}"));
+            let tail_ok = || {
+                // `Mat::new(…)` written without the module: match the
+                // last two segments (type + name) too.
+                segs.len() == 2
+                    && !fns[i].self_ty.is_empty()
+                    && fns[i].self_ty == segs[0]
+            };
+            let crate_ok = match &crate_pin {
+                Some(c) => q.split("::").next() == Some(c.as_str()),
+                None => true,
+            };
+            (suffix_ok || tail_ok()) && crate_ok
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_file;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let mut map = BTreeMap::new();
+        for (path, src) in files {
+            map.insert(path.to_string(), analyze_file(path, src));
+        }
+        build(&map)
+    }
+
+    fn edge_quals(g: &CallGraph, caller: &str) -> Vec<String> {
+        let id = g.fns.iter().position(|f| f.qual == caller).expect("caller");
+        g.edges[id].iter().map(|e| g.fns[e.callee].qual.clone()).collect()
+    }
+
+    #[test]
+    fn cross_crate_qualified_and_alias_resolution() {
+        let g = graph(&[
+            (
+                "crates/pmtbr/src/pipeline.rs",
+                "use numkit::svd::jacobi;\n\
+                 pub fn run() -> Result<(), E> { jacobi(); numkit::svd::precondition(); Ok(()) }\n",
+            ),
+            (
+                "crates/numkit/src/svd.rs",
+                "pub fn jacobi() {}\npub fn precondition() {}\n",
+            ),
+        ]);
+        let quals = edge_quals(&g, "pmtbr::pipeline::run");
+        assert!(quals.contains(&"numkit::svd::jacobi".to_string()), "{quals:?}");
+        assert!(quals.contains(&"numkit::svd::precondition".to_string()), "{quals:?}");
+    }
+
+    #[test]
+    fn bare_calls_stay_in_module_then_crate() {
+        let g = graph(&[
+            (
+                "crates/lti/src/a.rs",
+                "pub fn top() { helper(); other_mod_fn(); }\nfn helper() {}\n",
+            ),
+            ("crates/lti/src/b.rs", "pub fn other_mod_fn() {}\nfn helper() {}\n"),
+            ("crates/numkit/src/c.rs", "pub fn other_mod_fn() {}\n"),
+        ]);
+        let quals = edge_quals(&g, "lti::a::top");
+        // `helper` resolves to the same-module one only.
+        assert!(quals.contains(&"lti::a::helper".to_string()), "{quals:?}");
+        assert!(!quals.contains(&"lti::b::helper".to_string()), "{quals:?}");
+        // `other_mod_fn` falls back to the caller's crate, not numkit.
+        assert!(quals.contains(&"lti::b::other_mod_fn".to_string()), "{quals:?}");
+        assert!(!quals.contains(&"numkit::c::other_mod_fn".to_string()), "{quals:?}");
+    }
+
+    #[test]
+    fn method_calls_union_all_candidates() {
+        let g = graph(&[
+            (
+                "crates/numkit/src/mat.rs",
+                "impl Mat { pub fn compress(&self) {} }\n",
+            ),
+            (
+                "crates/sparsekit/src/lu.rs",
+                "impl SparseLu { pub fn compress(&self) {} }\n",
+            ),
+            ("crates/lti/src/a.rs", "pub fn go(x: &Mat) { x.compress(); }\n"),
+        ]);
+        let quals = edge_quals(&g, "lti::a::go");
+        assert_eq!(quals.len(), 2, "{quals:?}");
+    }
+
+    #[test]
+    fn type_qualified_assoc_fn() {
+        let g = graph(&[
+            (
+                "crates/numkit/src/mat.rs",
+                "impl Mat { pub fn new() -> Mat { Mat }\n pub fn helper(&self) {} }\n",
+            ),
+            ("crates/lti/src/a.rs", "pub fn go() { let m = Mat::new(); Self_less(); }\n"),
+        ]);
+        let quals = edge_quals(&g, "lti::a::go");
+        assert!(quals.contains(&"numkit::mat::Mat::new".to_string()), "{quals:?}");
+    }
+
+    #[test]
+    fn std_paths_resolve_to_nothing() {
+        let g = graph(&[(
+            "crates/lti/src/a.rs",
+            "pub fn go() { std::mem::take(x); core::iter::empty(); }\nfn take() {}\nfn empty() {}\n",
+        )]);
+        assert!(edge_quals(&g, "lti::a::go").is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Interprocedural effect propagation: a fixpoint over the call graph
+//! computes, for every function, which effect bits it may transitively
+//! exercise — `may_panic` (macro / unwrap / index classes) and
+//! `reads_wall_clock` — and a BFS reconstructs the shortest witness
+//! chain for diagnostics.
+//!
+//! Containment matches the PR 7 runtime model: a seed or call site
+//! lexically inside a `catch_unwind(...)` argument does not leak
+//! panic-class bits to the enclosing function; wall-clock bits cross
+//! `catch_unwind` unharmed (catching an unwind does not un-read a
+//! clock).
+
+use crate::callgraph::CallGraph;
+use crate::symbols::{FnSym, EFF_CLOCK, EFF_PANIC_ALL};
+use std::collections::VecDeque;
+
+/// One step of a witness chain, ending at the seed site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChainStep {
+    /// Qualified fn name for intermediate steps; the seed text
+    /// (`.unwrap()`, `panic!`, `Instant`) for the final step.
+    pub label: String,
+    pub file: String,
+    pub line: usize,
+}
+
+/// Direct effect bits of one function: the union of its seeds, with
+/// panic-class bits of `catch_unwind`-contained seeds masked off.
+pub fn direct_effects(f: &FnSym) -> u8 {
+    let mut eff = 0u8;
+    for s in &f.seeds {
+        if s.contained {
+            eff |= s.effect & EFF_CLOCK;
+        } else {
+            eff |= s.effect;
+        }
+    }
+    eff
+}
+
+/// The effect a single edge propagates from `callee_eff` into the
+/// caller: contained edges strip panic-class bits.
+fn edge_mask(callee_eff: u8, contained: bool) -> u8 {
+    if contained {
+        callee_eff & !EFF_PANIC_ALL
+    } else {
+        callee_eff
+    }
+}
+
+/// Computes the transitive effect bits for every function by worklist
+/// fixpoint. Deterministic: iteration order depends only on the graph.
+pub fn fixpoint(g: &CallGraph) -> Vec<u8> {
+    let n = g.fns.len();
+    let mut eff: Vec<u8> = g.fns.iter().map(direct_effects).collect();
+    // Reverse adjacency: callee -> callers that must be revisited when
+    // the callee's bits grow.
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (caller, edges) in g.edges.iter().enumerate() {
+        for e in edges {
+            callers[e.callee].push(caller);
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(i) = queue.pop_front() {
+        queued[i] = false;
+        let mut new = eff[i];
+        for e in &g.edges[i] {
+            new |= edge_mask(eff[e.callee], e.contained);
+        }
+        if new != eff[i] {
+            eff[i] = new;
+            for &c in &callers[i] {
+                if !queued[c] {
+                    queued[c] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    eff
+}
+
+/// Effect bits a function acquires *through its calls only* (its own
+/// direct seeds excluded). This is what the interprocedural rules gate
+/// on: direct seeds are already PANIC01/ERR01/DET02 territory.
+pub fn reach_via_calls(g: &CallGraph, eff: &[u8], id: usize) -> u8 {
+    let mut reach = 0u8;
+    for e in &g.edges[id] {
+        reach |= edge_mask(eff[e.callee], e.contained);
+    }
+    reach
+}
+
+/// Reconstructs the shortest witness chain from `start` through call
+/// edges to a function holding a direct, uncontained seed with a bit
+/// in `mask`. The first element is the first *callee* (the start
+/// function itself is the diagnostic's subject); the last element is
+/// the seed site. Returns `None` only if the effect bits were
+/// inconsistent with the graph (a bug guard, not an expected path).
+pub fn witness_chain(g: &CallGraph, eff: &[u8], start: usize, mask: u8) -> Option<Vec<ChainStep>> {
+    // BFS over edges that can propagate `mask`.
+    let n = g.fns.len();
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n]; // (pred fn, call line)
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    let goal = 'bfs: loop {
+        let Some(i) = queue.pop_front() else { break None };
+        if i != start {
+            if let Some(seed) =
+                g.fns[i].seeds.iter().find(|s| !s.contained && s.effect & mask != 0)
+            {
+                break 'bfs Some((i, seed.clone()));
+            }
+        }
+        for e in &g.edges[i] {
+            if seen[e.callee] || edge_mask(eff[e.callee], e.contained) & mask == 0 {
+                continue;
+            }
+            seen[e.callee] = true;
+            parent[e.callee] = Some((i, e.line));
+            queue.push_back(e.callee);
+        }
+    };
+    let (goal_id, seed) = goal?;
+    let mut rev: Vec<usize> = Vec::new();
+    let mut cur = goal_id;
+    while cur != start {
+        rev.push(cur);
+        cur = parent[cur]?.0;
+    }
+    rev.reverse();
+    let mut steps: Vec<ChainStep> = rev
+        .into_iter()
+        .map(|i| ChainStep {
+            label: g.fns[i].qual.clone(),
+            file: g.fns[i].file.clone(),
+            line: g.fns[i].line,
+        })
+        .collect();
+    steps.push(ChainStep {
+        label: seed.what.clone(),
+        file: g.fns[goal_id].file.clone(),
+        line: seed.line,
+    });
+    Some(steps)
+}
+
+/// Renders a chain for text diagnostics:
+/// `compress → jacobi_step → .unwrap() @ crates/numkit/src/svd.rs:412`.
+pub fn render_chain(steps: &[ChainStep]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (i, s) in steps.iter().enumerate() {
+        if i + 1 == steps.len() {
+            parts.push(format!("{} @ {}:{}", s.label, s.file, s.line));
+        } else {
+            parts.push(s.label.clone());
+        }
+    }
+    parts.join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+    use crate::engine::analyze_file;
+    use crate::symbols::{EFF_GATED_PANIC, EFF_UNWRAP};
+    use std::collections::BTreeMap;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let mut map = BTreeMap::new();
+        for (path, src) in files {
+            map.insert(path.to_string(), analyze_file(path, src));
+        }
+        callgraph::build(&map)
+    }
+
+    fn id(g: &CallGraph, qual: &str) -> usize {
+        g.fns.iter().position(|f| f.qual == qual).expect("fn")
+    }
+
+    #[test]
+    fn transitive_panic_reaches_entry_point() {
+        let g = graph(&[
+            (
+                "crates/pmtbr/src/pipeline.rs",
+                "pub fn run() -> Result<(), E> { numkit::svd::compress(); Ok(()) }\n",
+            ),
+            (
+                "crates/numkit/src/svd.rs",
+                "pub fn compress() { jacobi_step(); }\nfn jacobi_step() { x.unwrap(); }\n",
+            ),
+        ]);
+        let eff = fixpoint(&g);
+        let run = id(&g, "pmtbr::pipeline::run");
+        assert_ne!(reach_via_calls(&g, &eff, run) & EFF_GATED_PANIC, 0);
+        let chain = witness_chain(&g, &eff, run, EFF_GATED_PANIC).expect("chain");
+        let rendered = render_chain(&chain);
+        assert!(
+            rendered.starts_with("numkit::svd::compress → numkit::svd::jacobi_step → .unwrap() @ crates/numkit/src/svd.rs:"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn catch_unwind_blocks_panic_but_not_clock() {
+        let g = graph(&[
+            (
+                "crates/lti/src/a.rs",
+                "pub fn guarded() -> Result<(), E> {\n\
+                 let _ = catch_unwind(AssertUnwindSafe(|| crate::b::danger()));\nOk(())\n}\n",
+            ),
+            (
+                "crates/lti/src/b.rs",
+                "pub fn danger() { panic!(\"x\"); let _ = Instant::now(); }\n",
+            ),
+        ]);
+        let eff = fixpoint(&g);
+        let guarded = id(&g, "lti::a::guarded");
+        let reach = reach_via_calls(&g, &eff, guarded);
+        assert_eq!(reach & EFF_GATED_PANIC, 0, "catch_unwind must contain panics");
+        assert_ne!(reach & EFF_CLOCK, 0, "clock reads pass through catch_unwind");
+    }
+
+    #[test]
+    fn contained_seed_does_not_leak() {
+        let g = graph(&[(
+            "crates/lti/src/a.rs",
+            "pub fn f() -> Result<(), E> { let _ = catch_unwind(|| x.unwrap()); Ok(()) }\n",
+        )]);
+        let eff = fixpoint(&g);
+        assert_eq!(eff[id(&g, "lti::a::f")] & EFF_UNWRAP, 0);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let g = graph(&[(
+            "crates/lti/src/a.rs",
+            "pub fn ping() { pong(); }\npub fn pong() { ping(); x.unwrap(); }\n",
+        )]);
+        let eff = fixpoint(&g);
+        assert_ne!(eff[id(&g, "lti::a::ping")] & EFF_UNWRAP, 0);
+        assert_ne!(eff[id(&g, "lti::a::pong")] & EFF_UNWRAP, 0);
+    }
+}

@@ -1,9 +1,15 @@
 //! Rule-engine plumbing: file classification, test-region detection,
-//! `numlint:allow` suppression, and diagnostic assembly.
+//! `numlint:allow` suppression, diagnostic assembly, and the
+//! workspace-level pass that runs the interprocedural rules (PANIC02 /
+//! DET03 / SAFE01) over the call graph built from every file's
+//! extracted symbols.
 
+use crate::callgraph;
+use crate::effects::{self, ChainStep};
 use crate::lexer::{self, Lexed, TokKind};
 use crate::rules::{self, RULES};
-use std::collections::BTreeSet;
+use crate::symbols::{self, FileSymbols, EFF_CLOCK, EFF_GATED_PANIC};
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::RangeInclusive;
 
 /// The seven crates whose public APIs promise `Result`-based error
@@ -82,6 +88,11 @@ pub struct Diagnostic {
     pub col: usize,
     pub rule: &'static str,
     pub message: String,
+    /// For interprocedural findings (PANIC02/DET03): the witness call
+    /// chain from the flagged function's first callee down to the seed
+    /// site. Empty for per-file findings. Deliberately excluded from
+    /// baseline fingerprints — chains shift with unrelated refactors.
+    pub chain: Vec<ChainStep>,
 }
 
 /// Everything rules need to inspect one file.
@@ -175,6 +186,7 @@ impl FileContext {
                          with known rule ids and a non-empty reason",
                         c.text.trim()
                     ),
+                    chain: Vec::new(),
                 }),
             }
         }
@@ -213,6 +225,175 @@ impl FileContext {
         out.dedup();
         out
     }
+
+    /// All (line, rule) suppressions, exported so the workspace pass can
+    /// honor `numlint:allow(PANIC02/DET03/SAFE01)` at declaration lines.
+    pub fn workspace_allows(&self) -> Vec<(usize, String)> {
+        self.allows.iter().cloned().collect()
+    }
+}
+
+/// The complete analysis of one file: per-file diagnostics plus the
+/// extracted symbols the workspace pass consumes. This is the unit the
+/// incremental cache stores and restores — everything downstream of it
+/// (call graph, fixpoint, interprocedural rules) is recomputed from
+/// these on every run, which is why warm runs are fast: lexing and
+/// extraction dominate, the fixpoint is milliseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAnalysis {
+    pub class: FileClass,
+    /// Per-file findings, with suppressions and test regions applied.
+    pub diags: Vec<Diagnostic>,
+    /// Function table and `use` aliases for the workspace call graph.
+    pub symbols: FileSymbols,
+    /// Every `numlint:allow` target in the file, so workspace rules can
+    /// check suppressions at fn-declaration lines.
+    pub allows: Vec<(usize, String)>,
+    /// True if the file declares `#![forbid(unsafe_code)]` (SAFE01).
+    pub has_forbid_unsafe: bool,
+}
+
+/// Runs the per-file rules and symbol extraction over one source file.
+pub fn analyze_file(path: &str, src: &str) -> FileAnalysis {
+    let class = FileClass::classify(path);
+    let ctx = FileContext::new(class.clone(), src);
+    let diags = ctx.run();
+    let symbols = if class.is_exempt() {
+        FileSymbols::default()
+    } else {
+        let wallclock = if class.is_obs() {
+            rules::wallclock_extents(&ctx.lexed.tokens)
+        } else {
+            Vec::new()
+        };
+        let mut syms = symbols::extract(path, &class, &ctx.lexed, &ctx.test_regions, &wallclock);
+        // An allow at the seed line for the matching workspace rule
+        // removes the seed itself, so sanctioned sites (deliberate fault
+        // injection, clock shims) do not radiate chains into every
+        // transitive caller.
+        for f in &mut syms.fns {
+            f.seeds.retain(|s| {
+                let rule = if s.effect == EFF_CLOCK { "DET03" } else { "PANIC02" };
+                !ctx.is_allowed(s.line, rule)
+            });
+        }
+        syms
+    };
+    FileAnalysis {
+        has_forbid_unsafe: has_forbid_unsafe(&ctx.lexed),
+        allows: ctx.workspace_allows(),
+        class,
+        diags,
+        symbols,
+    }
+}
+
+/// True if the token stream contains a `forbid(unsafe_code)` attribute
+/// body (SAFE01 looks for the crate-root `#![forbid(unsafe_code)]`).
+fn has_forbid_unsafe(lexed: &Lexed) -> bool {
+    let toks = &lexed.tokens;
+    toks.iter().enumerate().any(|(i, t)| {
+        t.is_ident("forbid")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("unsafe_code"))
+    })
+}
+
+/// Crates whose `lib.rs` must pin `#![forbid(unsafe_code)]` (SAFE01):
+/// the seven library crates plus `bench`. Only crates whose `lib.rs` is
+/// present in the analyzed set are checked, so partial file sets (the
+/// fixture workspaces) never produce missing-crate noise.
+const SAFE01_CRATES: [&str; 8] =
+    ["obs", "numkit", "sparsekit", "lti", "circuits", "krylov", "pmtbr", "bench"];
+
+/// Runs the interprocedural rules over the whole analyzed file set:
+///
+/// - **PANIC02** — a `pub fn … -> Result` in a library crate's `src/`
+///   must not *transitively* reach an ungated panic site (`panic!` /
+///   `.unwrap()` / `.expect(`) through workspace calls. Direct seeds in
+///   the fn's own body are PANIC01/ERR01 territory and not re-reported.
+/// - **DET03** — no fn outside `crates/bench` and the `obs::WallClock`
+///   carve-out may transitively reach a wall-clock read.
+/// - **SAFE01** — each library crate's `lib.rs` carries
+///   `#![forbid(unsafe_code)]`.
+///
+/// Returns `(file, diagnostic)` pairs sorted by path then position.
+pub fn workspace_diagnostics(files: &BTreeMap<String, FileAnalysis>) -> Vec<(String, Diagnostic)> {
+    let g = callgraph::build(files);
+    let eff = effects::fixpoint(&g);
+    let allowed = |file: &str, line: usize, rule: &str| {
+        files
+            .get(file)
+            .is_some_and(|fa| fa.allows.iter().any(|(l, r)| *l == line && r == rule))
+    };
+    let mut out: Vec<(String, Diagnostic)> = Vec::new();
+    for (id, f) in g.fns.iter().enumerate() {
+        let Some(class) = files.get(&f.file).map(|fa| &fa.class) else { continue };
+        let reach = effects::reach_via_calls(&g, &eff, id);
+        if class.is_library_src()
+            && f.is_pub
+            && f.returns_result
+            && reach & EFF_GATED_PANIC != 0
+            && !allowed(&f.file, f.line, "PANIC02")
+        {
+            let chain = effects::witness_chain(&g, &eff, id, EFF_GATED_PANIC).unwrap_or_default();
+            out.push((
+                f.file.clone(),
+                Diagnostic {
+                    line: f.line,
+                    col: f.col,
+                    rule: "PANIC02",
+                    message: format!(
+                        "pub fn `{}` returns Result but can transitively reach a panic site; \
+                         propagate a NumError or contain the callee with catch_unwind",
+                        f.qual
+                    ),
+                    chain,
+                },
+            ));
+        }
+        if !class.is_bench()
+            && !f.in_wallclock
+            && reach & EFF_CLOCK != 0
+            && !allowed(&f.file, f.line, "DET03")
+        {
+            let chain = effects::witness_chain(&g, &eff, id, EFF_CLOCK).unwrap_or_default();
+            out.push((
+                f.file.clone(),
+                Diagnostic {
+                    line: f.line,
+                    col: f.col,
+                    rule: "DET03",
+                    message: format!(
+                        "fn `{}` transitively reads the wall clock; keep timing in \
+                         crates/bench or behind obs::WallClock",
+                        f.qual
+                    ),
+                    chain,
+                },
+            ));
+        }
+    }
+    for c in SAFE01_CRATES {
+        let lib = format!("crates/{c}/src/lib.rs");
+        let Some(fa) = files.get(&lib) else { continue };
+        if !fa.has_forbid_unsafe && !allowed(&lib, 1, "SAFE01") {
+            out.push((
+                lib.clone(),
+                Diagnostic {
+                    line: 1,
+                    col: 1,
+                    rule: "SAFE01",
+                    message: format!(
+                        "crate `{c}` must declare `#![forbid(unsafe_code)]` in its lib.rs"
+                    ),
+                    chain: Vec::new(),
+                },
+            ));
+        }
+    }
+    out.sort();
+    out
 }
 
 /// Finds line ranges of `#[cfg(test)]` items and `#[test]` functions by
@@ -393,5 +574,97 @@ mod tests {
             assert_eq!(c.bad_allows.len(), 1, "src: {src}");
             assert_eq!(c.bad_allows[0].rule, "LINT00");
         }
+    }
+
+    fn ws(files: &[(&str, &str)]) -> Vec<(String, Diagnostic)> {
+        let mut map = BTreeMap::new();
+        for (path, src) in files {
+            map.insert(path.to_string(), analyze_file(path, src));
+        }
+        workspace_diagnostics(&map)
+    }
+
+    #[test]
+    fn panic02_fires_across_crates_with_chain() {
+        let d = ws(&[
+            (
+                "crates/pmtbr/src/pipeline.rs",
+                "pub fn run() -> Result<(), E> { numkit::svd::compress(); Ok(()) }\n",
+            ),
+            (
+                "crates/numkit/src/svd.rs",
+                "pub fn compress() { jacobi_step(); }\nfn jacobi_step() { x.unwrap(); }\n",
+            ),
+        ]);
+        let p: Vec<_> = d.iter().filter(|(_, d)| d.rule == "PANIC02").collect();
+        // Fires on `run` (reaches the panic through calls); `compress`
+        // is not Result-returning so PANIC02 skips it.
+        assert_eq!(p.len(), 1, "{d:?}");
+        assert_eq!(p[0].0, "crates/pmtbr/src/pipeline.rs");
+        assert!(!p[0].1.chain.is_empty());
+        let rendered = effects::render_chain(&p[0].1.chain);
+        assert!(rendered.contains("jacobi_step"), "{rendered}");
+    }
+
+    #[test]
+    fn panic02_respects_decl_line_allow_and_seed_line_allow() {
+        // Decl-line allow.
+        let d = ws(&[
+            (
+                "crates/lti/src/a.rs",
+                "// numlint:allow(PANIC02) adversarial probe is pool-contained\n\
+                 pub fn top() -> Result<(), E> { crate::b::boom(); Ok(()) }\n",
+            ),
+            ("crates/lti/src/b.rs", "pub fn boom() { panic!(\"x\"); }\n"),
+        ]);
+        assert!(d.iter().all(|(_, d)| d.rule != "PANIC02"), "{d:?}");
+        // Seed-line allow removes the seed for every caller.
+        let d = ws(&[
+            (
+                "crates/lti/src/a.rs",
+                "pub fn top() -> Result<(), E> { crate::b::boom(); Ok(()) }\n",
+            ),
+            (
+                "crates/lti/src/b.rs",
+                "pub fn boom() { panic!(\"x\"); // numlint:allow(PANIC01, PANIC02) fault injection\n}\n",
+            ),
+        ]);
+        assert!(d.iter().all(|(_, d)| d.rule != "PANIC02"), "{d:?}");
+    }
+
+    #[test]
+    fn det03_fires_outside_bench_and_wallclock() {
+        let d = ws(&[
+            (
+                "crates/lti/src/a.rs",
+                "pub fn tick() { crate::b::stamp(); }\n",
+            ),
+            (
+                "crates/lti/src/b.rs",
+                "pub fn stamp() { let _ = Instant::now(); }\n",
+            ),
+        ]);
+        let det: Vec<_> = d.iter().filter(|(_, d)| d.rule == "DET03").collect();
+        assert_eq!(det.len(), 1, "{d:?}");
+        assert_eq!(det[0].0, "crates/lti/src/a.rs");
+        // The same chain from bench is sanctioned.
+        let d = ws(&[
+            ("crates/bench/src/lib.rs", "pub fn tick() { lti::b::stamp(); }\n"),
+            ("crates/lti/src/b.rs", "pub fn stamp() { let _ = Instant::now(); }\n"),
+        ]);
+        assert!(d.iter().all(|(f, d)| !(d.rule == "DET03" && f.contains("bench"))), "{d:?}");
+    }
+
+    #[test]
+    fn safe01_requires_forbid_unsafe_in_present_lib_rs() {
+        let d = ws(&[
+            ("crates/krylov/src/lib.rs", "pub fn arnoldi() {}\n"),
+            ("crates/lti/src/lib.rs", "#![forbid(unsafe_code)]\npub fn sys() {}\n"),
+        ]);
+        let s: Vec<_> = d.iter().filter(|(_, d)| d.rule == "SAFE01").collect();
+        assert_eq!(s.len(), 1, "{d:?}");
+        assert_eq!(s[0].0, "crates/krylov/src/lib.rs");
+        // Absent crates are not reported.
+        assert!(!d.iter().any(|(f, _)| f.contains("numkit")));
     }
 }

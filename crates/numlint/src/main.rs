@@ -1,13 +1,27 @@
 //! CLI driver: `cargo run -p numlint -- check [flags]`.
 //!
+//! A `check` run has three stages:
+//!
+//! 1. **Per-file analysis** — lex, per-file rules, symbol extraction —
+//!    memoized in the content-hash cache under `target/numlint-cache/`
+//!    so warm runs skip everything whose source is unchanged.
+//! 2. **Workspace pass** — call graph + effect fixpoint + the
+//!    interprocedural rules (PANIC02/DET03/SAFE01). Always recomputed;
+//!    it is milliseconds and depends on every file at once.
+//! 3. **Baseline + reporting** — fingerprint-granular baseline
+//!    absorption, then text (with witness call chains on their own
+//!    `chain |` lines) or `--json` (chains as structured arrays).
+//!
 //! Exit codes: `0` clean (all findings baselined or none), `2` at least
 //! one non-baselined finding, `1` usage or I/O error. `scripts/check.sh`
 //! treats any non-zero status as a gate failure.
 
 use numlint::baseline::Baseline;
-use numlint::engine::{Diagnostic, FileClass, FileContext};
-use numlint::rules::RULES;
+use numlint::cache::{fnv64, Cache};
+use numlint::engine::{analyze_file, workspace_diagnostics, Diagnostic, FileAnalysis};
+use numlint::rules::{RULES, WORKSPACE_RULES};
 use numlint::walk;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,14 +30,15 @@ const USAGE: &str = "\
 numlint — in-tree static analysis for the PMTBR workspace
 
 USAGE:
-    numlint check [--baseline PATH] [--update-baseline] [--json] [--root DIR]
+    numlint check [--baseline PATH] [--update-baseline] [--json] [--root DIR] [--no-cache]
     numlint rules
 
 FLAGS (check):
     --baseline PATH      Absorb legacy findings recorded in PATH
-    --update-baseline    Rewrite PATH with current finding counts and exit 0
+    --update-baseline    Rewrite PATH with current finding fingerprints and exit 0
     --json               One JSON diagnostic per line (machine-readable)
     --root DIR           Workspace root (default: nearest [workspace] above cwd)
+    --no-cache           Ignore and do not write target/numlint-cache
 ";
 
 struct Args {
@@ -31,11 +46,17 @@ struct Args {
     update_baseline: bool,
     json: bool,
     root: Option<PathBuf>,
+    no_cache: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args =
-        Args { baseline: None, update_baseline: false, json: false, root: None };
+    let mut args = Args {
+        baseline: None,
+        update_baseline: false,
+        json: false,
+        root: None,
+        no_cache: false,
+    };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,6 +70,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--root requires a directory")?;
                 args.root = Some(PathBuf::from(v));
             }
+            "--no-cache" => args.no_cache = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -79,18 +101,34 @@ fn json_escape(s: &str) -> String {
 
 fn emit(path: &str, d: &Diagnostic, src_line: Option<&str>, json: bool) {
     if json {
+        let chain: Vec<String> = d
+            .chain
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"label\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                    json_escape(&s.label),
+                    json_escape(&s.file),
+                    s.line
+                )
+            })
+            .collect();
         println!(
-            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\",\"chain\":[{}]}}",
             json_escape(path),
             d.line,
             d.col,
             json_escape(d.rule),
-            json_escape(&d.message)
+            json_escape(&d.message),
+            chain.join(",")
         );
     } else {
         println!("{path}:{}:{} {} {}", d.line, d.col, d.rule, d.message);
         if let Some(text) = src_line {
             println!("    | {}", text.trim_end());
+        }
+        if !d.chain.is_empty() {
+            println!("    chain | {}", numlint::effects::render_chain(&d.chain));
         }
     }
 }
@@ -104,22 +142,38 @@ fn run_check(args: &Args) -> Result<ExitCode, String> {
     let files = walk::workspace_rs_files(&root)
         .map_err(|e| format!("walking {}: {e}", root.display()))?;
 
-    // (workspace-relative path, diagnostic) pairs plus source lines for
-    // context printing.
-    let mut findings: Vec<(String, Diagnostic)> = Vec::new();
-    let mut sources: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+    // Stage 1: per-file analyses, served from the content-hash cache
+    // where the source is unchanged.
+    let mut cache = if args.no_cache { Cache::default() } else { Cache::load(&root) };
+    let mut analyses: BTreeMap<String, FileAnalysis> = BTreeMap::new();
+    let mut sources: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for rel in &files {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         let full = root.join(rel);
         let src = fs::read_to_string(&full)
             .map_err(|e| format!("reading {}: {e}", full.display()))?;
-        let ctx = FileContext::new(FileClass::classify(&rel_str), &src);
-        let diags = ctx.run();
-        if !diags.is_empty() {
-            sources.insert(rel_str.clone(), src.lines().map(str::to_string).collect());
-        }
-        findings.extend(diags.into_iter().map(|d| (rel_str.clone(), d)));
+        let hash = fnv64(src.as_bytes());
+        let fa = match cache.lookup(&rel_str, hash) {
+            Some(fa) => fa,
+            None => analyze_file(&rel_str, &src),
+        };
+        cache.record(&rel_str, hash, fa.clone());
+        sources.insert(rel_str.clone(), src.lines().map(str::to_string).collect());
+        analyses.insert(rel_str, fa);
     }
+    if !args.no_cache {
+        if let Err(e) = cache.save(&root) {
+            eprintln!("numlint: warning: cache not saved: {e}");
+        }
+    }
+
+    // Stage 2: the workspace pass over the full (cached + fresh) set.
+    let mut findings: Vec<(String, Diagnostic)> = Vec::new();
+    for (path, fa) in &analyses {
+        findings.extend(fa.diags.iter().cloned().map(|d| (path.clone(), d)));
+    }
+    findings.extend(workspace_diagnostics(&analyses));
+    findings.sort();
 
     if args.update_baseline {
         let path = args.baseline.as_ref().ok_or("--update-baseline requires --baseline")?;
@@ -152,6 +206,14 @@ fn run_check(args: &Args) -> Result<ExitCode, String> {
             .map(String::as_str);
         emit(path, d, line, args.json);
     }
+    // Cache statistics go to stderr in both modes: check.sh surfaces
+    // them next to its wall-time report.
+    eprintln!(
+        "numlint: cache {} hit(s), {} miss(es){}",
+        cache.hits,
+        cache.misses,
+        if args.no_cache { " (cache disabled)" } else { "" }
+    );
     if !args.json {
         if reported.is_empty() {
             eprintln!(
@@ -190,6 +252,9 @@ fn main() -> ExitCode {
         Some("rules") => {
             for r in RULES {
                 println!("{:8} {}", r.id, r.summary);
+            }
+            for (id, summary) in WORKSPACE_RULES {
+                println!("{id:8} {summary}");
             }
             ExitCode::SUCCESS
         }

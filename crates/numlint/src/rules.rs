@@ -8,6 +8,13 @@
 //! | FLOAT01 | workspace, non-test           | `==`/`!=` on float operands (non-zero literals)   |
 //! | FLOAT02 | `numkit`/`sparsekit` `src/`   | bare `as usize`/`as f64` casts                    |
 //! | ERR01   | seven library crates' `src/`  | `panic!` inside `Result`-returning pub fns        |
+//! | CONC01  | workspace, non-test           | `static mut`; atomic orderings other than Relaxed |
+//!
+//! Three more rules are *interprocedural* and live in
+//! `engine::workspace_diagnostics` because they need the whole-workspace
+//! call graph, not one file: PANIC02 (pub Result fns that transitively
+//! reach a panic site), DET03 (transitive wall-clock reachability), and
+//! SAFE01 (`#![forbid(unsafe_code)]` pinned in every library lib.rs).
 //!
 //! All rules are token-stream heuristics, tuned to this codebase's
 //! idiom; they prefer a rare false positive (silenced with a reasoned
@@ -69,16 +76,51 @@ pub const RULES: &[Rule] = &[
         applies: FileClass::is_library_src,
         check: err01,
     },
+    Rule {
+        id: "CONC01",
+        summary: "no `static mut`; atomic loads/stores use Ordering::Relaxed only",
+        applies: |_| true,
+        check: conc01,
+    },
 ];
 
-/// True if `id` names a rule (or the meta-rule LINT00) — used to
-/// validate `numlint:allow(...)` lists.
+/// The interprocedural rules implemented in
+/// `engine::workspace_diagnostics`: (id, summary) pairs for the
+/// `numlint rules` listing and allow validation.
+pub const WORKSPACE_RULES: &[(&str, &str)] = &[
+    (
+        "PANIC02",
+        "pub Result-returning fns in library crates must not transitively reach a panic \
+         site (diagnostics carry the witness call chain)",
+    ),
+    (
+        "DET03",
+        "no fn outside crates/bench and obs::WallClock may transitively reach a \
+         wall-clock read",
+    ),
+    ("SAFE01", "every library crate's lib.rs declares #![forbid(unsafe_code)]"),
+];
+
+/// True if `id` names a rule (per-file, workspace, or the meta-rule
+/// LINT00) — used to validate `numlint:allow(...)` lists.
 pub fn is_known_rule(id: &str) -> bool {
-    id == "LINT00" || RULES.iter().any(|r| r.id == id)
+    canonical_rule_id(id).is_some()
+}
+
+/// Interns a rule name back to its `&'static str` id (the cache stores
+/// rule ids as plain text and `Diagnostic::rule` wants the static str).
+pub fn canonical_rule_id(id: &str) -> Option<&'static str> {
+    if id == "LINT00" {
+        return Some("LINT00");
+    }
+    if let Some(r) = RULES.iter().find(|r| r.id == id) {
+        return Some(r.id);
+    }
+    WORKSPACE_RULES.iter().find(|(w, _)| *w == id).map(|(w, _)| *w)
 }
 
 fn diag(out: &mut Vec<Diagnostic>, t: &Token, rule: &'static str, message: String) {
-    out.push(Diagnostic { line: t.line, col: t.col, rule, message });
+    out.push(Diagnostic { line: t.line, col: t.col, rule, message, chain: Vec::new() });
 }
 
 // ---------------------------------------------------------------------------
@@ -208,7 +250,7 @@ fn det01(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
 /// obs crate may read the wall clock: `WallClock` is the single
 /// sanctioned implementation behind the pluggable `obs::Clock` trait,
 /// selected explicitly by bench/CLI callers.
-fn wallclock_extents(toks: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn wallclock_extents(toks: &[Token]) -> Vec<(usize, usize)> {
     let mut extents = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if !(t.is_ident("struct") || t.is_ident("impl")) {
@@ -517,6 +559,51 @@ fn float02(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
+// CONC01 — atomic-ordering discipline
+// ---------------------------------------------------------------------------
+
+/// The workspace's concurrency is confined to counters and the PR 7
+/// work-budget guards: every atomic is an independent monotone counter,
+/// so `Relaxed` is sufficient and anything stronger signals either an
+/// accidental synchronization dependency (which deserves a channel or a
+/// mutex, not ordering games) or cargo-culted `SeqCst`. `static mut` is
+/// banned outright — `#![forbid(unsafe_code)]` already keeps it out of
+/// the library crates, so this mostly guards build scripts and tools.
+fn conc01(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("static") && toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            diag(
+                out,
+                t,
+                "CONC01",
+                "`static mut` is unsynchronized shared state; use an atomic, a lock, or \
+                 thread-local storage"
+                    .to_string(),
+            );
+        }
+        if let Some(ord) = t.ident() {
+            if matches!(ord, "SeqCst" | "AcqRel" | "Acquire" | "Release")
+                && i >= 2
+                && toks[i - 1].is_punct("::")
+                && toks[i - 2].is_ident("Ordering")
+            {
+                diag(
+                    out,
+                    t,
+                    "CONC01",
+                    format!(
+                        "`Ordering::{ord}` drifts from the Relaxed-only discipline; the \
+                         workspace's atomics are independent counters — if this one \
+                         synchronizes data, use a channel or mutex instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // ERR01 — panic! inside Result-returning pub fns
 // ---------------------------------------------------------------------------
 
@@ -734,6 +821,38 @@ mod tests {
         assert!(kernel(private).iter().all(|d| d.rule != "ERR01"));
         let unit = "pub fn h() { panic!(\"no\") }";
         assert!(kernel(unit).iter().all(|d| d.rule != "ERR01"));
+    }
+
+    #[test]
+    fn conc01_flags_static_mut_and_strong_orderings() {
+        assert_eq!(
+            kernel("static mut COUNTER: u64 = 0;")
+                .iter()
+                .filter(|d| d.rule == "CONC01")
+                .count(),
+            1
+        );
+        assert_eq!(
+            kernel("fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }")
+                .iter()
+                .filter(|d| d.rule == "CONC01")
+                .count(),
+            1
+        );
+        // Relaxed is the sanctioned ordering; plain statics are fine.
+        assert!(kernel("fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }")
+            .iter()
+            .all(|d| d.rule != "CONC01"));
+        assert!(kernel("static LIMIT: u64 = 3;").iter().all(|d| d.rule != "CONC01"));
+    }
+
+    #[test]
+    fn workspace_rule_ids_are_known() {
+        for id in ["PANIC02", "DET03", "SAFE01", "CONC01", "LINT00"] {
+            assert!(is_known_rule(id), "{id}");
+            assert_eq!(canonical_rule_id(id), Some(id));
+        }
+        assert!(!is_known_rule("NOSUCH"));
     }
 
     #[test]

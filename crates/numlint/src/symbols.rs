@@ -1,0 +1,827 @@
+//! Symbol extraction: one pass over a file's token stream produces the
+//! module-path-qualified function table the workspace call graph is
+//! built from.
+//!
+//! This is deliberately *not* a parser. A scope stack tracks `mod` /
+//! `impl` / `fn` nesting by brace matching, each `fn` item becomes a
+//! [`FnSym`] with its effect seeds (panic macros, `.unwrap()` /
+//! `.expect(`, slice-index expressions, wall-clock reads) and call
+//! sites, and `use` declarations become an alias map for call
+//! resolution. Anything the scan cannot attribute precisely is recorded
+//! conservatively; the resolution policy in `callgraph` then unions
+//! candidate callees rather than guessing one.
+
+use crate::engine::FileClass;
+use crate::lexer::{Lexed, TokKind, Token};
+use std::ops::RangeInclusive;
+
+/// Effect bit: reaches `panic!` / `todo!` / `unimplemented!`.
+pub const EFF_PANIC_MACRO: u8 = 1;
+/// Effect bit: reaches `.unwrap()` / `.expect(`.
+pub const EFF_UNWRAP: u8 = 2;
+/// Effect bit: reaches a slice/array index expression (`x[i]`).
+pub const EFF_INDEX: u8 = 4;
+/// Effect bit: reaches a wall-clock read (`Instant`, `SystemTime`, …).
+pub const EFF_CLOCK: u8 = 8;
+/// The panic-effect bits PANIC02 gates on. Index expressions are
+/// tracked and reported in `--json` effect dumps but not gated: the
+/// numeric kernels index slices pervasively and bounds are the
+/// kernels' own loop invariants, not an error-propagation contract.
+pub const EFF_GATED_PANIC: u8 = EFF_PANIC_MACRO | EFF_UNWRAP;
+/// Every panic-class bit — the set a `catch_unwind` boundary clears.
+pub const EFF_PANIC_ALL: u8 = EFF_PANIC_MACRO | EFF_UNWRAP | EFF_INDEX;
+
+/// A direct effect source inside one function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Seed {
+    pub effect: u8,
+    /// Human-readable site, e.g. `.unwrap()`, `panic!`, `Instant`.
+    pub what: String,
+    pub line: usize,
+    /// True if the seed sits lexically inside a `catch_unwind(...)`
+    /// argument — panic-class effects do not escape such a seed.
+    pub contained: bool,
+}
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path text as written, `::`-joined (`jacobi`, `svd::jacobi`,
+    /// `numkit::svd::jacobi`). For method calls, just the method name.
+    pub path: String,
+    pub is_method: bool,
+    pub line: usize,
+    /// True if the call sits lexically inside a `catch_unwind(...)`
+    /// argument: panic effects of the callee are contained there.
+    pub contained: bool,
+}
+
+/// One function (free fn, inherent or trait method) in the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSym {
+    /// Last path segment (`jacobi_step`).
+    pub name: String,
+    /// Fully qualified display path: `numkit::svd::jacobi_step`,
+    /// `numkit::mat::Mat::matmul`.
+    pub qual: String,
+    /// Module path the fn is defined in (`numkit::svd`).
+    pub module: String,
+    /// Enclosing `impl` self type (`Mat`), empty for free fns.
+    pub self_ty: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    pub is_pub: bool,
+    pub returns_result: bool,
+    /// True inside the obs `WallClock` carve-out (DET03 never fires on
+    /// these, matching DET02's structural exemption).
+    pub in_wallclock: bool,
+    pub seeds: Vec<Seed>,
+    pub calls: Vec<CallSite>,
+}
+
+/// Extraction result for one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileSymbols {
+    pub fns: Vec<FnSym>,
+    /// `use` aliases: local name → full path text as written.
+    pub aliases: Vec<(String, String)>,
+}
+
+/// Keywords that can directly precede `(` or `[` without being a call
+/// or an index expression.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "mut", "ref", "move", "fn", "impl", "trait", "struct", "enum", "union", "mod", "use",
+    "pub", "where", "unsafe", "dyn", "box", "await", "async", "static", "const", "type",
+];
+
+/// Derives the module path for a workspace-relative file path:
+/// `crates/numkit/src/svd.rs` → `numkit::svd`,
+/// `crates/lti/src/sub/mod.rs` → `lti::sub`, root `src/…` → the
+/// `pmtbr_suite` integration crate. Dashes become underscores, matching
+/// how the crate is named in Rust paths.
+pub fn module_path(file: &str, class: &FileClass) -> String {
+    let parts: Vec<&str> = file.split('/').collect();
+    let (crate_ident, rest): (String, &[&str]) = match class {
+        FileClass::CrateSrc(c) => (c.replace('-', "_"), parts.get(3..).unwrap_or(&[])),
+        _ => ("pmtbr_suite".to_string(), parts.get(1..).unwrap_or(&[])),
+    };
+    let mut segs = vec![crate_ident];
+    for (i, p) in rest.iter().enumerate() {
+        let is_last = i + 1 == rest.len();
+        if is_last {
+            let stem = p.strip_suffix(".rs").unwrap_or(p);
+            if !matches!(stem, "lib" | "mod" | "main") {
+                segs.push(stem.replace('-', "_"));
+            }
+        } else {
+            segs.push(p.replace('-', "_"));
+        }
+    }
+    segs.join("::")
+}
+
+/// Token-index extents (inclusive) of `catch_unwind(...)` argument
+/// lists: everything inside is panic-contained, matching the PR 7
+/// containment model (`catch_unwind(AssertUnwindSafe(|| …))`).
+fn catch_unwind_extents(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut extents = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("catch_unwind") || !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        let mut depth = 0i32;
+        for (j, u) in toks.iter().enumerate().skip(i + 1) {
+            if u.is_punct("(") {
+                depth += 1;
+            } else if u.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    extents.push((i + 1, j));
+                    break;
+                }
+            }
+        }
+    }
+    extents
+}
+
+/// Token-index extents of `#[...]` attributes, so attribute arguments
+/// (`#[cfg(test)]`, `#[allow(...)]`) are never mistaken for calls.
+fn attribute_extents(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut extents = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_punct("#")
+            && (toks[i + 1].is_punct("[")
+                || (toks[i + 1].is_punct("!") && toks.get(i + 2).is_some_and(|t| t.is_punct("["))))
+        {
+            let open = if toks[i + 1].is_punct("[") { i + 1 } else { i + 2 };
+            let mut depth = 0i32;
+            let mut j = open;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            extents.push((i, j.min(toks.len().saturating_sub(1))));
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    extents
+}
+
+fn within(extents: &[(usize, usize)], i: usize) -> bool {
+    extents.iter().any(|&(s, e)| (s..=e).contains(&i))
+}
+
+/// Parses the self-type name out of an `impl` header starting at token
+/// `i` (the `impl` keyword): `impl<T> Mat<T>` → `Mat`,
+/// `impl Clock for WallClock` → `WallClock`.
+fn impl_self_type(toks: &[Token], i: usize) -> String {
+    let mut j = i + 1;
+    // Skip the generic parameter list.
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct("<") {
+                depth += 1;
+            } else if toks[j].is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // If a `for` appears before the body, the self type follows it.
+    let mut k = j;
+    let mut after_for: Option<usize> = None;
+    let mut depth = 0i32;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct("(") | TokKind::Punct("[") | TokKind::Punct("<") => depth += 1,
+            TokKind::Punct(")") | TokKind::Punct("]") | TokKind::Punct(">") => depth -= 1,
+            TokKind::Ident(s) if s == "for" && depth == 0 => {
+                after_for = Some(k + 1);
+                break;
+            }
+            TokKind::Punct("{") | TokKind::Punct(";") if depth <= 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let start = after_for.unwrap_or(j);
+    let mut m = start;
+    while m < toks.len() {
+        match &toks[m].kind {
+            TokKind::Punct("&") | TokKind::Punct("*") | TokKind::Lifetime(_) => m += 1,
+            TokKind::Ident(s) if matches!(s.as_str(), "mut" | "dyn" | "const") => m += 1,
+            TokKind::Ident(s) => {
+                // Walk path segments; the *last* segment names the type.
+                let mut name = s.clone();
+                let mut p = m + 1;
+                while toks.get(p).is_some_and(|t| t.is_punct("::")) {
+                    if let Some(TokKind::Ident(next)) = toks.get(p + 1).map(|t| &t.kind) {
+                        name = next.clone();
+                        p += 2;
+                    } else {
+                        break;
+                    }
+                }
+                return name;
+            }
+            _ => break,
+        }
+    }
+    String::new()
+}
+
+/// What a `{` we are about to enter belongs to.
+enum Pending {
+    Mod(String),
+    Impl(String),
+    Fn(Box<FnSym>),
+}
+
+enum Scope {
+    Mod(String),
+    Impl(String),
+    Fn(usize),
+    Other,
+}
+
+/// Parses the fn signature at token `i` (the `fn` keyword): returns
+/// (name token idx, is_pub, returns_result). The arrow/Result scan
+/// mirrors ERR01's: only depth-0 arrows before a `where` clause count.
+fn fn_signature(toks: &[Token], i: usize) -> (Option<usize>, bool, bool) {
+    let name_idx = match toks.get(i + 1).map(|t| &t.kind) {
+        Some(TokKind::Ident(_)) => Some(i + 1),
+        _ => None,
+    };
+    let mut lead = i;
+    let mut is_pub = false;
+    for _ in 0..8 {
+        if lead == 0 {
+            break;
+        }
+        lead -= 1;
+        match &toks[lead].kind {
+            TokKind::Punct("{") | TokKind::Punct("}") | TokKind::Punct(";") => break,
+            TokKind::Ident(s) if s == "pub" => {
+                is_pub = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut arrow = false;
+    let mut in_where = false;
+    let mut returns_result = false;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct("(") | TokKind::Punct("[") => depth += 1,
+            TokKind::Punct(")") | TokKind::Punct("]") => depth -= 1,
+            TokKind::Ident(s) if s == "where" && depth == 0 => in_where = true,
+            TokKind::Punct("->") if depth == 0 && !in_where => arrow = true,
+            TokKind::Ident(s) if arrow && !in_where && s == "Result" => returns_result = true,
+            TokKind::Punct("{") | TokKind::Punct(";") if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    (name_idx, is_pub, returns_result)
+}
+
+/// Collects the call path ending at the identifier token `i`
+/// (`a::b::name`), walking `ident ::` pairs backwards. Returns the
+/// segments in source order.
+fn path_segments(toks: &[Token], i: usize) -> Vec<String> {
+    let mut segs = vec![toks[i].ident().unwrap_or("").to_string()];
+    let mut j = i;
+    while j >= 2 && toks[j - 1].is_punct("::") {
+        match &toks[j - 2].kind {
+            TokKind::Ident(s) => {
+                segs.insert(0, s.clone());
+                j -= 2;
+            }
+            _ => break,
+        }
+    }
+    segs
+}
+
+/// True if the identifier at `i` heads a call's argument list,
+/// accepting an optional `::<…>` turbofish between name and `(`.
+fn followed_by_call_parens(toks: &[Token], i: usize) -> bool {
+    match toks.get(i + 1) {
+        Some(t) if t.is_punct("(") => true,
+        Some(t) if t.is_punct("::") => {
+            if !toks.get(i + 2).is_some_and(|t| t.is_punct("<")) {
+                return false;
+            }
+            let mut depth = 0i32;
+            for (j, u) in toks.iter().enumerate().skip(i + 2).take(48) {
+                if u.is_punct("<") {
+                    depth += 1;
+                } else if u.is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return toks.get(j + 1).is_some_and(|t| t.is_punct("("));
+                    }
+                } else if u.is_punct(";") || u.is_punct("{") {
+                    return false;
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Parses one `use` declaration starting after the `use` keyword and
+/// appends (alias → full path) pairs. Handles `a::b::c`,
+/// `a::b as x`, nested groups `a::{b, c::d}`, and `self` inside
+/// groups; glob imports are skipped (nothing callable is named by `*`).
+fn parse_use_tree(
+    toks: &[Token],
+    i: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<(String, String)>,
+) {
+    let base = prefix.len();
+    loop {
+        match toks.get(*i).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) => {
+                let seg = s.clone();
+                *i += 1;
+                if toks.get(*i).is_some_and(|t| t.is_punct("::")) {
+                    *i += 1;
+                    prefix.push(seg);
+                    continue;
+                }
+                // Leaf segment, possibly renamed.
+                let mut alias = seg.clone();
+                if toks.get(*i).is_some_and(|t| t.is_ident("as")) {
+                    if let Some(TokKind::Ident(a)) = toks.get(*i + 1).map(|t| &t.kind) {
+                        alias = a.clone();
+                        *i += 2;
+                    }
+                }
+                if seg == "self" {
+                    if let Some(last) = prefix.last() {
+                        let name = if alias == "self" { last.clone() } else { alias };
+                        out.push((name, prefix.join("::")));
+                    }
+                } else {
+                    let mut full = prefix.clone();
+                    full.push(seg);
+                    out.push((alias, full.join("::")));
+                }
+            }
+            Some(TokKind::Punct("{")) => {
+                *i += 1;
+                loop {
+                    parse_use_tree(toks, i, prefix, out);
+                    match toks.get(*i).map(|t| &t.kind) {
+                        Some(TokKind::Punct(",")) => {
+                            *i += 1;
+                            continue;
+                        }
+                        Some(TokKind::Punct("}")) => {
+                            *i += 1;
+                            break;
+                        }
+                        _ => return,
+                    }
+                }
+            }
+            Some(TokKind::Punct("*")) => {
+                *i += 1;
+            }
+            _ => {}
+        }
+        prefix.truncate(base);
+        return;
+    }
+}
+
+/// Extracts the function table, seeds, call sites, and `use` aliases
+/// for one file. `test_regions` drops test-only functions from the
+/// table entirely (they are rule-exempt and would only add resolution
+/// noise); `wallclock` carve-out extents suppress clock seeds inside
+/// the sanctioned `obs::WallClock` items.
+pub fn extract(
+    file: &str,
+    class: &FileClass,
+    lexed: &Lexed,
+    test_regions: &[RangeInclusive<usize>],
+    wallclock: &[(usize, usize)],
+) -> FileSymbols {
+    let toks = &lexed.tokens;
+    let module_root = module_path(file, class);
+    let catch = catch_unwind_extents(toks);
+    let attrs = attribute_extents(toks);
+    let in_test = |line: usize| test_regions.iter().any(|r| r.contains(&line));
+
+    let mut out = FileSymbols::default();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut pending_pd = 0i32;
+    let mut last_index_line = (usize::MAX, 0usize); // (fn idx, line) dedup
+
+    let cur_mods = |stack: &[Scope], root: &str| -> String {
+        let mut segs = vec![root.to_string()];
+        for s in stack {
+            if let Scope::Mod(m) = s {
+                segs.push(m.clone());
+            }
+        }
+        segs.join("::")
+    };
+    let cur_impl = |stack: &[Scope]| -> String {
+        stack
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                Scope::Impl(t) => Some(t.clone()),
+                _ => None,
+            })
+            .unwrap_or_default()
+    };
+    let cur_fn = |stack: &[Scope]| -> Option<usize> {
+        stack.iter().rev().find_map(|s| match s {
+            Scope::Fn(id) => Some(*id),
+            _ => None,
+        })
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Punct("{") => {
+                let scope = match pending.take() {
+                    Some(Pending::Mod(m)) => Scope::Mod(m),
+                    Some(Pending::Impl(ty)) => Scope::Impl(ty),
+                    Some(Pending::Fn(sym)) => {
+                        out.fns.push(*sym);
+                        Scope::Fn(out.fns.len() - 1)
+                    }
+                    None => Scope::Other,
+                };
+                stack.push(scope);
+                pending_pd = 0;
+            }
+            TokKind::Punct("}") => {
+                stack.pop();
+            }
+            TokKind::Punct(";") if pending_pd == 0 => {
+                // `mod x;`, trait method declarations, `use …;` — the
+                // pending item has no body.
+                pending = None;
+            }
+            TokKind::Punct("(") | TokKind::Punct("[") if pending.is_some() => pending_pd += 1,
+            TokKind::Punct(")") | TokKind::Punct("]") if pending.is_some() => pending_pd -= 1,
+            TokKind::Ident(id) => {
+                match id.as_str() {
+                    "mod" => {
+                        if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                            pending = Some(Pending::Mod(name.clone()));
+                            pending_pd = 0;
+                        }
+                    }
+                    "impl" => {
+                        pending = Some(Pending::Impl(impl_self_type(toks, i)));
+                        pending_pd = 0;
+                    }
+                    "use" => {
+                        // `use` both at item level and inside fns feeds
+                        // the same per-file alias map (`pub use`
+                        // re-exports reach here with `use` at i).
+                        let mut j = i + 1;
+                        let mut prefix = Vec::new();
+                        parse_use_tree(toks, &mut j, &mut prefix, &mut out.aliases);
+                        i = j;
+                        continue;
+                    }
+                    "fn" => {
+                        let (name_idx, is_pub, returns_result) = fn_signature(toks, i);
+                        if let Some(ni) = name_idx {
+                            let name = toks[ni].ident().unwrap_or("").to_string();
+                            if !in_test(toks[i].line) && !name.is_empty() {
+                                let module = cur_mods(&stack, &module_root);
+                                let self_ty = cur_impl(&stack);
+                                let qual = if self_ty.is_empty() {
+                                    format!("{module}::{name}")
+                                } else {
+                                    format!("{module}::{self_ty}::{name}")
+                                };
+                                pending = Some(Pending::Fn(Box::new(FnSym {
+                                    name,
+                                    qual,
+                                    module,
+                                    self_ty,
+                                    file: file.to_string(),
+                                    line: toks[ni].line,
+                                    col: toks[ni].col,
+                                    is_pub,
+                                    returns_result,
+                                    in_wallclock: within(wallclock, i),
+                                    seeds: Vec::new(),
+                                    calls: Vec::new(),
+                                })));
+                                pending_pd = 0;
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(fi) = cur_fn(&stack) {
+                            if !within(&attrs, i) {
+                                collect_in_fn(toks, i, id, &catch, wallclock, &mut out.fns[fi]);
+                            }
+                        }
+                    }
+                }
+            }
+            TokKind::Punct("[") => {
+                // Index expression inside a fn body: `expr[i]`.
+                if let Some(fi) = cur_fn(&stack) {
+                    if !within(&attrs, i) && i >= 1 {
+                        let is_index = match &toks[i - 1].kind {
+                            TokKind::Ident(p) => !KEYWORDS.contains(&p.as_str()),
+                            TokKind::Punct(")") | TokKind::Punct("]") => true,
+                            _ => false,
+                        };
+                        if is_index && last_index_line != (fi, t.line) {
+                            last_index_line = (fi, t.line);
+                            out.fns[fi].seeds.push(Seed {
+                                effect: EFF_INDEX,
+                                what: "[]-index".to_string(),
+                                line: t.line,
+                                contained: within(&catch, i),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out.aliases.sort();
+    out.aliases.dedup();
+    out
+}
+
+/// Records seeds and call sites for one identifier token inside a fn
+/// body. Split out of `extract` to keep the scanner loop readable.
+fn collect_in_fn(
+    toks: &[Token],
+    i: usize,
+    id: &str,
+    catch: &[(usize, usize)],
+    wallclock: &[(usize, usize)],
+    f: &mut FnSym,
+) {
+    let line = toks[i].line;
+    let contained = within(catch, i);
+    match id {
+        "unwrap" | "expect"
+            if i >= 1
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) =>
+        {
+            f.seeds.push(Seed {
+                effect: EFF_UNWRAP,
+                what: format!(".{id}()"),
+                line,
+                contained,
+            });
+        }
+        "panic" | "todo" | "unimplemented"
+            if toks.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+        {
+            f.seeds.push(Seed {
+                effect: EFF_PANIC_MACRO,
+                what: format!("{id}!"),
+                line,
+                contained,
+            });
+        }
+        "Instant" | "SystemTime" | "UNIX_EPOCH" => {
+            if !within(wallclock, i) {
+                f.seeds.push(Seed {
+                    effect: EFF_CLOCK,
+                    what: id.to_string(),
+                    line,
+                    contained,
+                });
+            }
+        }
+        _ => {
+            // `catch_unwind` is the containment boundary itself, never
+            // a workspace callee; keywords head control flow, not
+            // calls; `Ok(…)` and friends are enum constructors.
+            if KEYWORDS.contains(&id)
+                || matches!(id, "catch_unwind" | "Ok" | "Err" | "Some" | "None")
+            {
+                return;
+            }
+            if !followed_by_call_parens(toks, i) {
+                return;
+            }
+            let prev = i.checked_sub(1).map(|j| &toks[j]);
+            let is_method = prev.is_some_and(|p| p.is_punct("."));
+            if is_method {
+                f.calls.push(CallSite { path: id.to_string(), is_method: true, line, contained });
+                return;
+            }
+            // Skip declarations (`fn name(`).
+            if prev.is_some_and(|p| p.is_ident("fn")) {
+                return;
+            }
+            // Skip the middle of a longer path: `a::b(` scanning at `b`
+            // collects the whole path; at `a` the next token is `::`,
+            // so `followed_by_call_parens` already rejected it.
+            let segs = path_segments(toks, i);
+            f.calls.push(CallSite {
+                path: segs.join("::"),
+                is_method: false,
+                line,
+                contained,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn extract_src(src: &str) -> FileSymbols {
+        let lexed = lexer::lex(src);
+        extract(
+            "crates/numkit/src/svd.rs",
+            &FileClass::CrateSrc("numkit".into()),
+            &lexed,
+            &[],
+            &[],
+        )
+    }
+
+    #[test]
+    fn module_paths() {
+        let c = |s: &str| FileClass::classify(s);
+        assert_eq!(module_path("crates/numkit/src/svd.rs", &c("crates/numkit/src/svd.rs")), "numkit::svd");
+        assert_eq!(module_path("crates/lti/src/lib.rs", &c("crates/lti/src/lib.rs")), "lti");
+        assert_eq!(module_path("crates/lti/src/sub/mod.rs", &c("crates/lti/src/sub/mod.rs")), "lti::sub");
+        assert_eq!(module_path("src/lib.rs", &c("src/lib.rs")), "pmtbr_suite");
+    }
+
+    #[test]
+    fn fn_table_with_impl_and_mod() {
+        let s = extract_src(
+            "pub fn top() -> Result<(), E> { helper(); Ok(()) }\n\
+             fn helper() { x.unwrap(); }\n\
+             mod inner {\n    pub fn deep() {}\n}\n\
+             impl Mat {\n    pub fn get(&self) -> f64 { self.data[3] }\n}\n\
+             impl Clock for WallClock {\n    fn now(&mut self) -> u64 { 0 }\n}\n",
+        );
+        let quals: Vec<&str> = s.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "numkit::svd::top",
+                "numkit::svd::helper",
+                "numkit::svd::inner::deep",
+                "numkit::svd::Mat::get",
+                "numkit::svd::WallClock::now",
+            ]
+        );
+        let top = &s.fns[0];
+        assert!(top.is_pub && top.returns_result);
+        assert_eq!(top.calls.len(), 1);
+        assert_eq!(top.calls[0].path, "helper");
+        let helper = &s.fns[1];
+        assert_eq!(helper.seeds.len(), 1);
+        assert_eq!(helper.seeds[0].effect, EFF_UNWRAP);
+        let get = &s.fns[3];
+        assert!(get.seeds.iter().any(|sd| sd.effect == EFF_INDEX));
+    }
+
+    #[test]
+    fn seeds_and_containment() {
+        let s = extract_src(
+            "fn a() { panic!(\"x\"); }\n\
+             fn b() { let _ = catch_unwind(AssertUnwindSafe(|| { danger(); x.unwrap(); }));\n    after(); }\n",
+        );
+        let a = &s.fns[0];
+        assert_eq!(a.seeds[0].effect, EFF_PANIC_MACRO);
+        assert!(!a.seeds[0].contained);
+        let b = &s.fns[1];
+        let danger = b.calls.iter().find(|c| c.path == "danger").expect("danger call");
+        assert!(danger.contained);
+        let after = b.calls.iter().find(|c| c.path == "after").expect("after call");
+        assert!(!after.contained);
+        let unwrap = b.seeds.iter().find(|sd| sd.effect == EFF_UNWRAP).expect("unwrap seed");
+        assert!(unwrap.contained);
+        // catch_unwind itself is never recorded as a workspace call.
+        assert!(b.calls.iter().all(|c| c.path != "catch_unwind"));
+    }
+
+    #[test]
+    fn clock_seeds_and_wallclock_carveout() {
+        let src = "impl WallClock {\n    fn now(&self) -> u64 { let _ = Instant::now(); 0 }\n}\n\
+                   fn sneaky() { let _ = std::time::Instant::now(); }\n";
+        let lexed = lexer::lex(src);
+        // Carve out the WallClock impl tokens, mirroring rules::det02.
+        let wc = crate::rules::wallclock_extents(&lexed.tokens);
+        let s = extract(
+            "crates/obs/src/clock.rs",
+            &FileClass::CrateSrc("obs".into()),
+            &lexed,
+            &[],
+            &wc,
+        );
+        let now = s.fns.iter().find(|f| f.name == "now").expect("now");
+        assert!(now.in_wallclock);
+        assert!(now.seeds.iter().all(|sd| sd.effect != EFF_CLOCK));
+        let sneaky = s.fns.iter().find(|f| f.name == "sneaky").expect("sneaky");
+        assert!(sneaky.seeds.iter().any(|sd| sd.effect == EFF_CLOCK));
+    }
+
+    #[test]
+    fn call_paths_methods_and_turbofish() {
+        let s = extract_src(
+            "fn f() {\n\
+             svd::jacobi(m);\n\
+             numkit::svd::jacobi(m);\n\
+             Mat::new(3);\n\
+             v.push(1);\n\
+             parse::<usize>(s);\n\
+             if cond(x) { }\n\
+             let a = [1, 2];\n\
+             }\n",
+        );
+        let f = &s.fns[0];
+        let paths: Vec<(&str, bool)> =
+            f.calls.iter().map(|c| (c.path.as_str(), c.is_method)).collect();
+        assert!(paths.contains(&("svd::jacobi", false)));
+        assert!(paths.contains(&("numkit::svd::jacobi", false)));
+        assert!(paths.contains(&("Mat::new", false)));
+        assert!(paths.contains(&("push", true)));
+        assert!(paths.contains(&("parse", false)));
+        assert!(paths.contains(&("cond", false)));
+        // `let a = [1, 2]` is an array literal, not an index seed.
+        assert!(f.seeds.iter().all(|sd| sd.effect != EFF_INDEX));
+    }
+
+    #[test]
+    fn use_aliases() {
+        let s = extract_src(
+            "use numkit::svd::jacobi;\n\
+             use numkit::mat::{Mat, MatMul as MM};\n\
+             use sparsekit::lu::{self, SparseLu};\n\
+             use std::collections::*;\n\
+             fn f() {}\n",
+        );
+        assert!(s.aliases.contains(&("jacobi".into(), "numkit::svd::jacobi".into())));
+        assert!(s.aliases.contains(&("Mat".into(), "numkit::mat::Mat".into())));
+        assert!(s.aliases.contains(&("MM".into(), "numkit::mat::MatMul".into())));
+        assert!(s.aliases.contains(&("SparseLu".into(), "sparsekit::lu::SparseLu".into())));
+        assert!(s.aliases.contains(&("lu".into(), "sparsekit::lu".into())));
+    }
+
+    #[test]
+    fn test_region_fns_excluded() {
+        let lexed = lexer::lex(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n",
+        );
+        let regions = vec![2..=5];
+        let s = extract(
+            "crates/numkit/src/svd.rs",
+            &FileClass::CrateSrc("numkit".into()),
+            &lexed,
+            &regions,
+            &[],
+        );
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "live");
+    }
+}

@@ -1,0 +1,36 @@
+//! CONC01 fixture: `static mut` and non-Relaxed atomic orderings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static mut LEGACY_COUNTER: u64 = 0;
+
+static SANCTIONED: AtomicU64 = AtomicU64::new(0);
+
+static PLAIN: u64 = 3; // plain static: fine
+
+fn bump() {
+    SANCTIONED.fetch_add(1, Ordering::Relaxed); // Relaxed: fine
+}
+
+fn drifted(a: &AtomicU64) -> u64 {
+    a.load(Ordering::SeqCst)
+}
+
+fn published(a: &AtomicU64) {
+    a.store(1, Ordering::Release);
+}
+
+fn handoff(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Acquire) // numlint:allow(CONC01) fixture: justified acquire handoff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let a = AtomicU64::new(0);
+        let _ = a.load(Ordering::SeqCst);
+    }
+}

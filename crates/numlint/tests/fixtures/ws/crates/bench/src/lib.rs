@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! Fixture: bench may read the clock; callers outside bench may not.
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    let _ = t;
+    0
+}

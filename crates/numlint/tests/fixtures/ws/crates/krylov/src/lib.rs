@@ -1,0 +1,3 @@
+//! Fixture: missing `#![forbid(unsafe_code)]` — SAFE01 fires.
+
+pub fn arnoldi() {}

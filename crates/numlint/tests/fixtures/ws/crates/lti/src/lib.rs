@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Fixture: DET03 — a library fn reaching the wall clock via bench.
+
+pub fn calibrate() {
+    bench::stamp();
+}

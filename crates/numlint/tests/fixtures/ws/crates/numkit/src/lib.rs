@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+//! Fixture: the middle of the panic chain (also a PANIC01 site).
+
+pub fn compress() {
+    jacobi_step();
+}
+
+fn jacobi_step() {
+    let x: Option<u32> = None;
+    let _ = x.unwrap();
+}

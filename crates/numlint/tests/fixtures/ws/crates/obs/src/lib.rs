@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+//! Fixture: the `WallClock` carve-out — sanctioned clock reads.
+
+pub struct WallClock;
+
+impl WallClock {
+    pub fn now(&self) -> u64 {
+        let _ = Instant::now();
+        0
+    }
+}

@@ -1,0 +1,20 @@
+#![forbid(unsafe_code)]
+//! Fixture: pipeline entry points for the interprocedural rules.
+
+/// PANIC02: reaches `.unwrap()` two crates away through `compress`.
+pub fn run() -> Result<(), Error> {
+    numkit::compress();
+    Ok(())
+}
+
+/// Clean: the same callee, but contained by `catch_unwind` — the
+/// panic-class bits must not cross the boundary.
+pub fn run_guarded() -> Result<(), Error> {
+    let _ = catch_unwind(AssertUnwindSafe(|| numkit::compress()));
+    Ok(())
+}
+
+/// Clean: not Result-returning, so PANIC02 does not apply.
+pub fn run_infallible() {
+    numkit::compress();
+}

@@ -18,8 +18,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# numlint runs twice: the first pass populates/refreshes the per-file
+# analysis cache (target/numlint-cache, keyed on content hash and
+# rule-set version), the second proves warm runs stay sub-second — the
+# cache hit/miss counts numlint prints on stderr belong to each pass.
 echo "==> numlint check"
+numlint_t0=$(date +%s%N)
 cargo run -q -p numlint -- check --baseline numlint.baseline
+numlint_t1=$(date +%s%N)
+cargo run -q -p numlint -- check --baseline numlint.baseline >/dev/null
+numlint_t2=$(date +%s%N)
+numlint_cold_ms=$(( (numlint_t1 - numlint_t0) / 1000000 ))
+numlint_warm_ms=$(( (numlint_t2 - numlint_t1) / 1000000 ))
+echo "numlint wall time: ${numlint_cold_ms}ms first pass, ${numlint_warm_ms}ms warm"
+if [ "${numlint_warm_ms}" -ge 1000 ]; then
+    echo "check.sh: FAIL — warm numlint run took ${numlint_warm_ms}ms (budget: <1000ms)" >&2
+    exit 1
+fi
 
 # The obs golden tests run as part of `cargo test -q` above; rerun them
 # by name so a trace-schema or counter-accounting regression is called

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Regenerate numlint.baseline from the current tree.
 #
-# The baseline records legacy finding counts per (rule, file) so numlint
-# can gate *new* violations while old ones are burned down incrementally.
-# Run this only when deliberately absorbing existing findings — e.g.
-# after tightening a rule — never to paper over a regression. The diff
-# of numlint.baseline is the burndown record: counts should only go down.
+# The baseline records one (rule, file, message-fingerprint) line per
+# legacy finding so numlint can gate *new* violations while old ones are
+# burned down incrementally — a fixed finding in a file can no longer
+# mask a new one there, unlike the old per-file counts. Run this only
+# when deliberately absorbing existing findings — e.g. after tightening
+# a rule — never to paper over a regression. The diff of
+# numlint.baseline is the burndown record: entries should only go away.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
