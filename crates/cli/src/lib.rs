@@ -45,6 +45,12 @@ pub struct ReduceRequest {
     /// pipeline-backed methods enforce it, the strict baselines ignore
     /// it.
     pub budget: Budget,
+    /// Greedy-sampling convergence tolerance (`--greedy-tol`; `0`
+    /// disables early stopping). Only the `greedy` method reads it.
+    pub greedy_tol: f64,
+    /// Greedy-sampling hard shift budget (`--greedy-max-shifts`;
+    /// defaults to `--samples`). Only the `greedy` method reads it.
+    pub greedy_max_shifts: Option<usize>,
 }
 
 impl ReduceRequest {
@@ -57,6 +63,8 @@ impl ReduceRequest {
             tol: 1e-8,
             order: None,
             budget: Budget::default(),
+            greedy_tol: 1e-3,
+            greedy_max_shifts: None,
         }
     }
 
@@ -197,6 +205,13 @@ fn adaptive_lo(omega_max: f64) -> f64 {
     omega_max * 1e-3
 }
 
+fn run_greedy(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+    let max_shifts = req.greedy_max_shifts.unwrap_or(req.samples).max(1);
+    let order = pmtbr::OrderControl::Tolerance { tolerance: req.tol, max_order: req.order };
+    let plan = ReductionPlan::greedy(req.omega_max, req.greedy_tol, max_shifts, order);
+    run_plan(sys, &plan, req, "greedy-pmtbr")
+}
+
 fn run_correlated(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
     // No waveform file flows through the CLI yet, so train on the
     // deterministic dithered-square ensemble the paper's transient
@@ -320,6 +335,12 @@ pub const METHODS: &[Method] = &[
         summary: "residual-driven bisection of the band (paper Section V-B)",
         needs_order: false,
         run: run_adaptive,
+    },
+    Method {
+        name: "greedy",
+        summary: "greedy adaptive shift placement with convergence stopping (docs/SAMPLING.md)",
+        needs_order: false,
+        run: run_greedy,
     },
     Method {
         name: "correlated",

@@ -258,6 +258,12 @@ fn cmd_reduce(args: &Args) -> CmdResult {
     if let Some(spec) = args.flag_value("bands") {
         req.bands = parse_bands(spec)?;
     }
+    req.greedy_tol = args.num("greedy-tol", req.greedy_tol)?;
+    req.greedy_max_shifts = args
+        .flag_value("greedy-max-shifts")
+        .map(|v| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| "--greedy-max-shifts: invalid integer".to_string())?;
     req.budget.max_lu_factors = args.cap("budget-lu")?;
     req.budget.max_svd_sweeps = args.cap("budget-svd-sweeps")?;
     req.budget.max_sample_bytes = args.cap("budget-sample-bytes")?;
@@ -392,7 +398,7 @@ fn cmd_transient(args: &Args) -> CmdResult {
 
 fn usage() -> String {
     let mut s = format!(
-        "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--bands lo:hi[,lo:hi...]] [--samples N] [--method {}] [--check N] [--max-dropped-samples N] [--strict] [--budget-lu N] [--budget-svd-sweeps N] [--budget-sample-bytes N]\nmethods:\n",
+        "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--bands lo:hi[,lo:hi...]] [--samples N] [--method {}] [--check N] [--max-dropped-samples N] [--strict] [--greedy-tol T] [--greedy-max-shifts N] [--budget-lu N] [--budget-svd-sweeps N] [--budget-sample-bytes N]\nmethods:\n",
         pmtbr_cli::method_list()
     );
     for m in pmtbr_cli::METHODS {
@@ -404,7 +410,7 @@ fn usage() -> String {
         ));
     }
     s.push_str(
-        "global flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nbudget flags (reduce, pipeline-backed methods only; counted off the\ndeterministic obs counters, never wall clock):\n  --budget-lu N            cap on LU factorizations\n  --budget-svd-sweeps N    cap on Jacobi SVD sweeps\n  --budget-sample-bytes N  cap on retained weighted sample bytes\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  4 budget exhausted, best-effort model  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")",
+        "global flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nbudget flags (reduce, pipeline-backed methods only; counted off the\ndeterministic obs counters, never wall clock):\n  --greedy-tol T           greedy method: convergence tolerance (default 1e-3; 0 = run\n                           to the shift budget)\n  --greedy-max-shifts N    greedy method: hard cap on accepted shifts (default --samples)\n  --budget-lu N            cap on LU factorizations\n  --budget-svd-sweeps N    cap on Jacobi SVD sweeps\n  --budget-sample-bytes N  cap on retained weighted sample bytes\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  4 budget exhausted, best-effort model  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")",
     );
     s
 }

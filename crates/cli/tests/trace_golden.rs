@@ -9,12 +9,10 @@
 //! clock every stamp is a per-item event ordinal, so two runs that do
 //! the same numerical work produce the same bytes.
 //!
-//! Last re-bless: the parallel blocked compression kernels. The trace
-//! gained the `pmtbr.compress` / `pmtbr.project` stage spans and the
-//! `svd.jacobi` span's QR-precondition and tournament-round fields
-//! (plus the `SVD_ROUNDS` / `SVD_QR_PRECOND` counters), and SVD
-//! rotation counts changed because the preconditioned Jacobi runs on
-//! the R factor in tournament order.
+//! Last re-bless: greedy adaptive sampling. The counters line gained
+//! the `GREEDY_SCORED` / `GREEDY_ACCEPTED` totals (zero in this
+//! fixed-grid trace — the greedy driver's own determinism is pinned by
+//! `crates/pmtbr/tests/greedy.rs` at 1/2/8 threads).
 //!
 //! Re-bless intentionally after a behavior-changing commit with:
 //!

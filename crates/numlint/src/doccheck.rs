@@ -1,0 +1,225 @@
+//! `numlint doccheck` — documentation-consistency pass.
+//!
+//! The prose is part of the contract: README and the design notes name
+//! files, and the CLI README documents the method registry. Both rot
+//! silently — a renamed doc breaks a link, a new `METHODS` entry never
+//! makes it into the README's method list. This pass pins the two
+//! invariants that have actually drifted in this repo's history:
+//!
+//! - **DOC01** — every relative markdown link in `README.md`,
+//!   `DESIGN.md`, `EXPERIMENTS.md`, and `docs/*.md` resolves to an
+//!   existing file (external `http(s)`/`mailto` targets and pure
+//!   `#anchor` links are out of scope).
+//! - **DOC02** — every method name registered in
+//!   `pmtbr_cli::METHODS` (parsed from the `pub const METHODS` block
+//!   of `crates/cli/src/lib.rs`, the single source of truth) appears
+//!   as a standalone token in `README.md`.
+//!
+//! Zero-dependency and purely textual, like the rest of the analyzer:
+//! the registry is read with the same token discipline the lexer uses
+//! for sources — if the `METHODS` block cannot be found or parses to
+//! an empty name list, that is an error, never a silent pass.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One doc-consistency violation, pointing at the offending doc line.
+pub struct DocFinding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Rule id, `DOC01` or `DOC02`.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Runs the whole pass. `Err` is reserved for infrastructure problems
+/// (unreadable files, missing registry); findings are the payload.
+pub fn run(root: &Path) -> Result<Vec<DocFinding>, String> {
+    let mut findings = Vec::new();
+    for doc in doc_files(root)? {
+        check_links(root, &doc, &mut findings)?;
+    }
+    check_registry(root, &mut findings)?;
+    Ok(findings)
+}
+
+/// The audited doc set: the root-level prose plus everything under
+/// `docs/`, in sorted order so findings are deterministic.
+fn doc_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for name in ["README.md", "DESIGN.md", "EXPERIMENTS.md"] {
+        let p = root.join(name);
+        if p.is_file() {
+            out.push(p);
+        }
+    }
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&docs)
+            .map_err(|e| format!("read {}: {e}", docs.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "md"))
+            .collect();
+        entries.sort();
+        out.extend(entries);
+    }
+    Ok(out)
+}
+
+/// DOC01: every relative `[text](target)` link in `doc` resolves.
+fn check_links(root: &Path, doc: &Path, findings: &mut Vec<DocFinding>) -> Result<(), String> {
+    let text = fs::read_to_string(doc).map_err(|e| format!("read {}: {e}", doc.display()))?;
+    let rel = doc.strip_prefix(root).unwrap_or(doc).display().to_string();
+    let base = doc.parent().unwrap_or(root);
+    let mut in_fence = false;
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        for target in inline_link_targets(line) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap_or(&target);
+            if !base.join(path_part).exists() {
+                findings.push(DocFinding {
+                    file: rel.clone(),
+                    line: ln + 1,
+                    rule: "DOC01",
+                    message: format!("relative link `{target}` does not resolve"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the `(target)` parts of inline markdown links on one line.
+/// Markdown in this repo keeps link targets paren-free, so scanning to
+/// the next `)` is exact.
+fn inline_link_targets(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = line[i + 2..].find(')') {
+                out.push(line[i + 2..i + 2 + end].trim().to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// DOC02: every registry method name appears in README as a token.
+fn check_registry(root: &Path, findings: &mut Vec<DocFinding>) -> Result<(), String> {
+    let names = registry_names(root)?;
+    let readme_path = root.join("README.md");
+    let readme =
+        fs::read_to_string(&readme_path).map_err(|e| format!("read {}: {e}", readme_path.display()))?;
+    for name in names {
+        if !contains_token(&readme, &name) {
+            findings.push(DocFinding {
+                file: "README.md".to_string(),
+                line: 0,
+                rule: "DOC02",
+                message: format!("registry method `{name}` is not documented in README.md"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Parses the `name: "…"` fields of the `pub const METHODS` block in
+/// `crates/cli/src/lib.rs`. Erroring on an unparseable or empty
+/// registry keeps the check honest under refactors.
+fn registry_names(root: &Path) -> Result<Vec<String>, String> {
+    let path = root.join("crates/cli/src/lib.rs");
+    let src = fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let start = src
+        .find("pub const METHODS")
+        .ok_or("crates/cli/src/lib.rs: `pub const METHODS` block not found")?;
+    let body = &src[start..];
+    let end = body
+        .find("];")
+        .ok_or("crates/cli/src/lib.rs: unterminated METHODS block")?;
+    let body = &body[..end];
+    let mut names = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("name: \"") {
+        let after = &rest[pos + 7..];
+        let close = after
+            .find('"')
+            .ok_or("crates/cli/src/lib.rs: unterminated name literal in METHODS")?;
+        names.push(after[..close].to_string());
+        rest = &after[close..];
+    }
+    if names.is_empty() {
+        return Err("crates/cli/src/lib.rs: METHODS block parsed to zero names".into());
+    }
+    Ok(names)
+}
+
+/// Token containment: `name` delimited by non-`[A-Za-z0-9_-]` on both
+/// sides, so `tbr` inside `pmtbr` or `tbr-res` does not count.
+fn contains_token(haystack: &str, name: &str) -> bool {
+    let is_word = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c == b'-';
+    let h = haystack.as_bytes();
+    let n = name.as_bytes();
+    let mut i = 0;
+    while i + n.len() <= h.len() {
+        if &h[i..i + n.len()] == n {
+            let before_ok = i == 0 || !is_word(h[i - 1]);
+            let after_ok = i + n.len() == h.len() || !is_word(h[i + n.len()]);
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_matching_respects_boundaries() {
+        assert!(contains_token("methods: `tbr` and more", "tbr"));
+        assert!(!contains_token("only pmtbr and tbr-res here", "tbr"));
+        assert!(contains_token("tbr-res|fltbr", "tbr-res"));
+    }
+
+    #[test]
+    fn link_targets_are_extracted() {
+        let t = inline_link_targets("see [a](docs/X.md) and [b](https://e.com) here");
+        assert_eq!(t, vec!["docs/X.md".to_string(), "https://e.com".to_string()]);
+    }
+
+    #[test]
+    fn this_workspace_is_clean() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = crate::walk::find_workspace_root(here);
+        let findings = run(&root).expect("doccheck infrastructure");
+        let msgs: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}:{} {} {}", f.file, f.line, f.rule, f.message))
+            .collect();
+        assert!(msgs.is_empty(), "doc drift:\n{}", msgs.join("\n"));
+    }
+}

@@ -38,6 +38,7 @@
 pub mod baseline;
 pub mod cache;
 pub mod callgraph;
+pub mod doccheck;
 pub mod effects;
 pub mod engine;
 pub mod lexer;

@@ -1,4 +1,5 @@
-//! CLI driver: `cargo run -p numlint -- check [flags]`.
+//! CLI driver: `cargo run -p numlint -- check [flags]`, plus the
+//! documentation-consistency pass `numlint doccheck` (see [`numlint::doccheck`]).
 //!
 //! A `check` run has three stages:
 //!
@@ -31,6 +32,7 @@ numlint — in-tree static analysis for the PMTBR workspace
 
 USAGE:
     numlint check [--baseline PATH] [--update-baseline] [--json] [--root DIR] [--no-cache]
+    numlint doccheck [--root DIR]
     numlint rules
 
 FLAGS (check):
@@ -130,6 +132,42 @@ fn emit(path: &str, d: &Diagnostic, src_line: Option<&str>, json: bool) {
         if !d.chain.is_empty() {
             println!("    chain | {}", numlint::effects::render_chain(&d.chain));
         }
+    }
+}
+
+fn run_doccheck(argv: &[String]) -> Result<ExitCode, String> {
+    let mut root = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                root = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown doccheck flag `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            walk::find_workspace_root(&cwd)
+        }
+    };
+    let findings = numlint::doccheck::run(&root)?;
+    for f in &findings {
+        if f.line == 0 {
+            println!("{} [{}] {}", f.file, f.rule, f.message);
+        } else {
+            println!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("numlint doccheck: clean");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("numlint doccheck: {} finding(s)", findings.len());
+        Ok(ExitCode::from(2))
     }
 }
 
@@ -246,6 +284,13 @@ fn main() -> ExitCode {
             },
             Err(e) => {
                 eprintln!("numlint: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("doccheck") => match run_doccheck(&argv[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("numlint: error: {e}");
                 ExitCode::FAILURE
             }
         },

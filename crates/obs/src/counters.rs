@@ -46,10 +46,16 @@ pub enum Counter {
     SvdQrPrecond,
     /// Bytes of retained (surviving, weighted) complex sample data.
     SampleBytes,
+    /// Greedy-sampling candidates scored by the cheap error surrogate
+    /// (no factorization is spent on a scored candidate).
+    GreedyScored,
+    /// Greedy-sampling shifts accepted into the basis (each acceptance
+    /// spends one tolerant shifted solve).
+    GreedyAccepted,
 }
 
 /// Every counter, in reporting order.
-pub const ALL: [Counter; 10] = [
+pub const ALL: [Counter; 12] = [
     Counter::LuSymbolic,
     Counter::LuFactor,
     Counter::LuReuseHit,
@@ -60,6 +66,8 @@ pub const ALL: [Counter; 10] = [
     Counter::SvdRounds,
     Counter::SvdQrPrecond,
     Counter::SampleBytes,
+    Counter::GreedyScored,
+    Counter::GreedyAccepted,
 ];
 
 impl Counter {
@@ -76,6 +84,8 @@ impl Counter {
             Counter::SvdRounds => "SVD_ROUNDS",
             Counter::SvdQrPrecond => "SVD_QR_PRECOND",
             Counter::SampleBytes => "SAMPLE_BYTES",
+            Counter::GreedyScored => "GREEDY_SCORED",
+            Counter::GreedyAccepted => "GREEDY_ACCEPTED",
         }
     }
 
@@ -91,6 +101,8 @@ impl Counter {
             Counter::SvdRounds => 7,
             Counter::SvdQrPrecond => 8,
             Counter::SampleBytes => 9,
+            Counter::GreedyScored => 10,
+            Counter::GreedyAccepted => 11,
         }
     }
 }
@@ -98,6 +110,8 @@ impl Counter {
 const N: usize = ALL.len();
 
 static CELLS: [AtomicU64; N] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -198,7 +212,9 @@ mod tests {
                 "SVD_ROTATIONS",
                 "SVD_ROUNDS",
                 "SVD_QR_PRECOND",
-                "SAMPLE_BYTES"
+                "SAMPLE_BYTES",
+                "GREEDY_SCORED",
+                "GREEDY_ACCEPTED"
             ]
         );
     }

@@ -68,6 +68,7 @@ mod budget;
 mod cross_gramian;
 pub mod fault;
 mod frequency_selective;
+mod greedy;
 mod input_correlated;
 mod order_control;
 pub mod par;

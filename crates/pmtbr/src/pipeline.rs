@@ -144,6 +144,20 @@ pub enum OrderControl {
 /// A complete, declarative description of one reduction: sampling
 /// nodes/weights, input directions, compressor, and order control.
 /// Execute with [`run`] / [`run_with`].
+///
+/// ```
+/// use pmtbr::{pipeline::run, PmtbrOptions, ReductionPlan, Sampling};
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = circuits::rc_mesh(4, 4, &[0, 15], 1.0, 1.0, 2.0)?;
+/// let opts =
+///     PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 12 }).with_max_order(6);
+/// let red = run(&sys, &ReductionPlan::pmtbr(&opts))?;
+/// assert!(red.model.order <= 6);
+/// assert!(red.report.is_clean());
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct ReductionPlan {
     /// Quadrature nodes and weights (the `SamplingPlan` stage).
@@ -223,6 +237,39 @@ impl ReductionPlan {
         }
     }
 
+    /// Greedy adaptive frequency selection over `[0, omega_max]` (see
+    /// `docs/SAMPLING.md`): shifts are placed one at a time where the
+    /// projected-model residual surrogate is largest, stopping at the
+    /// frequency-aware convergence tolerance `tol` (`0` disables early
+    /// stopping) or after `max_shifts` LU-backed solves. The candidate
+    /// pool defaults to the shift budget's own midpoint grid — greedy
+    /// orders the fixed grid best-first and the stopping rule decides
+    /// how much of it to spend, so `tol = 0` reproduces
+    /// `Sampling::Linear { n: max_shifts }` exactly. Set
+    /// [`ReductionPlan::sampling`] directly for a denser off-grid pool.
+    ///
+    /// ```
+    /// use pmtbr::{pipeline::run, OrderControl, ReductionPlan};
+    ///
+    /// # fn main() -> Result<(), numkit::NumError> {
+    /// let sys = circuits::rc_mesh(4, 4, &[0, 15], 1.0, 1.0, 2.0)?;
+    /// // At most 6 solves, stopping early once the surrogate or the
+    /// // reduced transfer function has converged below 1e-4.
+    /// let order = OrderControl::Tolerance { tolerance: 1e-8, max_order: Some(6) };
+    /// let red = run(&sys, &ReductionPlan::greedy(20.0, 1e-4, 6, order))?;
+    /// assert!(red.diagnostics.surviving <= 6);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn greedy(omega_max: f64, tol: f64, max_shifts: usize, order: OrderControl) -> Self {
+        ReductionPlan {
+            sampling: Sampling::Greedy { omega_max, pool: max_shifts, tol, max_shifts },
+            directions: InputDirections::IdentityBlock,
+            compressor: Compressor::JacobiSvd,
+            order,
+        }
+    }
+
     /// Swaps the compression backend (e.g. [`Compressor::Incremental`]).
     #[must_use]
     pub fn with_compressor(mut self, compressor: Compressor) -> Self {
@@ -247,6 +294,26 @@ impl ReductionPlan {
         if let InputDirections::Correlated { n_draws, .. } = &self.directions {
             if *n_draws == 0 {
                 return Err(NumError::InvalidArgument("need at least one draw"));
+            }
+        }
+        if let Sampling::Greedy { omega_max, pool, tol, max_shifts } = &self.sampling {
+            if !(*omega_max > 0.0) {
+                return Err(NumError::InvalidArgument("greedy sampling needs ω_max > 0"));
+            }
+            if *max_shifts == 0 || pool < max_shifts {
+                return Err(NumError::InvalidArgument(
+                    "greedy sampling needs 1 <= max_shifts <= pool",
+                ));
+            }
+            if !tol.is_finite() || *tol < 0.0 {
+                return Err(NumError::InvalidArgument(
+                    "greedy tolerance must be finite and >= 0",
+                ));
+            }
+            if matches!(self.directions, InputDirections::Correlated { .. }) {
+                return Err(NumError::InvalidArgument(
+                    "greedy sampling supports identity-block input directions only",
+                ));
             }
         }
         Ok(())
@@ -454,6 +521,30 @@ impl StageFault for SweepOnly<'_> {}
 /// - [`NumError::Cancelled`] when the budget's token is raised.
 /// - Propagates unrecoverable SVD/eigen/projection errors (after the
 ///   compressor ladder and fallbacks are exhausted).
+///
+/// ```
+/// use lti::{NoFaults, RecoveryPolicy};
+/// use pmtbr::{
+///     pipeline::run_guarded, Budget, PmtbrOptions, ReductionPlan, Sampling, StageOutcome,
+/// };
+///
+/// # fn main() -> Result<(), numkit::NumError> {
+/// let sys = circuits::rc_mesh(4, 4, &[0, 15], 1.0, 1.0, 2.0)?;
+/// let opts =
+///     PmtbrOptions::new(Sampling::Linear { omega_max: 20.0, n: 10 }).with_max_order(4);
+/// let plan = ReductionPlan::pmtbr(&opts);
+/// let red = run_guarded(
+///     &sys,
+///     &plan,
+///     &RecoveryPolicy::default(),
+///     &NoFaults,
+///     &Budget::default().with_max_lu_factors(1_000),
+/// )?;
+/// assert_eq!(red.report.worst(), StageOutcome::Clean);
+/// assert!(red.report.budget_exhausted.is_none());
+/// # Ok(())
+/// # }
+/// ```
 pub fn run_guarded<S: LtiSystem + ?Sized>(
     sys: &S,
     plan: &ReductionPlan,
@@ -662,6 +753,19 @@ pub(crate) fn sweep<S: LtiSystem + ?Sized>(
     faults: &dyn SolveFault,
     node_cap: Option<usize>,
 ) -> Result<SweptSamples, NumError> {
+    // Greedy sampling has no a-priori node list: the greedy driver
+    // interleaves surrogate scoring with tolerant solves and builds the
+    // swept samples itself (see `crate::greedy`).
+    if let Sampling::Greedy { omega_max, pool, tol, max_shifts } = sampling {
+        if !matches!(directions, InputDirections::IdentityBlock) {
+            return Err(NumError::InvalidArgument(
+                "greedy sampling supports identity-block input directions only",
+            ));
+        }
+        return crate::greedy::greedy_sweep(
+            sys, *omega_max, *pool, *tol, *max_shifts, two_sided, policy, faults, node_cap,
+        );
+    }
     let points = sampling.points()?;
     let (active, excitation) = match directions {
         InputDirections::IdentityBlock => {
@@ -803,7 +907,10 @@ pub(crate) fn sweep<S: LtiSystem + ?Sized>(
 
 /// Stacks the realified weighted blocks into one matrix, recording each
 /// block's column range.
-fn realify_blocks(n: usize, weighted: &[ZMat]) -> Result<(DMat, Vec<(usize, usize)>), NumError> {
+pub(crate) fn realify_blocks(
+    n: usize,
+    weighted: &[ZMat],
+) -> Result<(DMat, Vec<(usize, usize)>), NumError> {
     let total_cols: usize = weighted.iter().map(|zw| realified_ncols(zw, 1e-13)).sum();
     if total_cols == 0 {
         return Err(NumError::InvalidArgument("all surviving weighted samples vanished"));

@@ -50,6 +50,31 @@ pub enum Sampling {
     },
     /// Explicit user-chosen points and weights.
     Custom(Vec<SamplePoint>),
+    /// Greedy adaptive placement over `jω`, `ω ∈ [0, omega_max]`: shifts
+    /// are chosen one at a time where a cheap residual surrogate of the
+    /// current projected model is largest, stopping when the surrogate
+    /// and the reduced transfer function have both converged (relative
+    /// tolerance `tol`) or `max_shifts` solves have been spent.
+    ///
+    /// Unlike the fixed-grid schemes this variant has no a-priori node
+    /// list: [`Sampling::points`] errors and the pipeline sweep resolves
+    /// the placement at execution time (see `pmtbr::pipeline` and
+    /// `docs/SAMPLING.md`). Quadrature weights are the Voronoi cell
+    /// lengths of the accepted frequencies, so they tile `[0, omega_max]`
+    /// exactly like [`Sampling::Linear`]'s midpoint rule.
+    Greedy {
+        /// Upper band edge in rad/s.
+        omega_max: f64,
+        /// Candidate-pool size: the surrogate is scored on this many
+        /// midpoint frequencies over the band.
+        pool: usize,
+        /// Relative convergence tolerance of the stopping rule
+        /// (`0` disables early stopping: exactly `max_shifts` solves).
+        tol: f64,
+        /// Hard budget on accepted shifts (each costs one LU-backed
+        /// tolerant solve).
+        max_shifts: usize,
+    },
 }
 
 impl Sampling {
@@ -137,6 +162,11 @@ impl Sampling {
                 }
                 Ok(pts)
             }
+            Sampling::Greedy { .. } => Err(NumError::InvalidArgument(
+                "greedy sampling has no a-priori point list; execute the plan through \
+                 pmtbr::pipeline (run/run_budgeted/run_guarded), which resolves the \
+                 placement adaptively",
+            )),
             Sampling::Custom(pts) => {
                 if pts.is_empty() {
                     return Err(NumError::InvalidArgument("custom sampling needs points"));
@@ -195,6 +225,14 @@ mod tests {
         assert!(Sampling::Custom(vec![SamplePoint { s: c64::ONE, weight: -1.0 }])
             .points()
             .is_err());
+    }
+
+    #[test]
+    fn greedy_has_no_a_priori_points() {
+        let err = Sampling::Greedy { omega_max: 10.0, pool: 64, tol: 1e-3, max_shifts: 8 }
+            .points()
+            .unwrap_err();
+        assert!(matches!(err, NumError::InvalidArgument(_)));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: release build, tier-1 tests, warning-free clippy and
-# rustdoc passes over the whole workspace, the numlint rules, and the
-# observability golden tests. CI and pre-merge runs should both call
+# rustdoc passes over the whole workspace, the numlint rules, the
+# observability golden tests, the chaos/variants/greedy benches, and
+# the doc-consistency pass. CI and pre-merge runs should both call
 # this script so the two can never drift apart.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,5 +64,22 @@ cargo test -q -p pmtbr-cli --test chaos
 echo "==> variant coverage + perf trend (every registry method on the 1024-state mesh)"
 cargo run --release -q -p bench --bin variants
 test -s BENCH_variants.json
+
+# Greedy accuracy-vs-solves gate: adaptive selection at the default
+# convergence tolerance must match the fixed 8-node grid's in-band
+# accuracy on the 1024-state mesh with strictly fewer LU
+# factorizations (counter-delta-exact). Writes BENCH_greedy.json with
+# the full tol=0 accuracy-vs-solves curve; the binary exits non-zero
+# if the gate fails. See docs/SAMPLING.md section 9.
+echo "==> greedy accuracy-vs-solves gate (BENCH_greedy.json)"
+cargo run --release -q -p bench --bin greedy
+test -s BENCH_greedy.json
+
+# Doc-consistency gate: every relative link in README.md / DESIGN.md /
+# EXPERIMENTS.md / docs/*.md must resolve, and every method in
+# pmtbr_cli::METHODS must be documented in the README (numlint's DOC01
+# / DOC02 — zero-dependency, parses the registry source directly).
+echo "==> numlint doccheck (links + method-registry drift)"
+cargo run -q -p numlint -- doccheck
 
 echo "check.sh: all gates passed"
