@@ -44,7 +44,7 @@ mod substrate;
 mod tree;
 
 pub use connector::{connector, ConnectorParams};
-pub use mesh::{multiport_rc32, rc_mesh, rc_mesh_jittered, spread_ports};
+pub use mesh::{multiport_rc32, rc_mesh, rc_mesh_jittered, rc_mesh_netlist, spread_ports};
 pub use netlist::{Netlist, NodeId};
 pub use parse::{parse_netlist, ParseNetlistError};
 pub use peec::{peec_resonator, PeecParams};

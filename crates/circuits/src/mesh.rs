@@ -120,6 +120,75 @@ pub fn spread_ports(rows: usize, cols: usize, nports: usize) -> Vec<usize> {
     (0..nports).map(|k| k * total / nports).collect()
 }
 
+/// Emits the [`rc_mesh`] topology as SPICE-flavored netlist text that
+/// [`crate::parse_netlist`] accepts.
+///
+/// Cards are written in exactly the element-insertion order `rc_mesh`
+/// uses and values are printed with Rust's shortest round-trip `f64`
+/// formatting, so `parse_netlist(&text)?.build()?` reconstructs a
+/// [`Descriptor`] that is bit-identical to `rc_mesh`'s — including its
+/// `pencil_hash` — which is what lets a reduction service treat netlist
+/// text as a faithful wire format for the mesh benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use circuits::{parse_netlist, rc_mesh, rc_mesh_netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = rc_mesh_netlist(4, 4, &[0, 15], 1.0, 1.0, 2.0);
+/// let direct = rc_mesh(4, 4, &[0, 15], 1.0, 1.0, 2.0)?;
+/// let parsed = parse_netlist(&text)?.build()?;
+/// assert_eq!(parsed.pencil_hash(), direct.pencil_hash());
+/// # Ok(())
+/// # }
+/// ```
+pub fn rc_mesh_netlist(
+    rows: usize,
+    cols: usize,
+    port_positions: &[usize],
+    r: f64,
+    c: f64,
+    r_gnd: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = writeln!(text, "* {rows}x{cols} RC mesh, {} port(s)", port_positions.len());
+    let node = |i: usize, j: usize| i * cols + j + 1;
+    // All capacitor cards first: the parser's node map assigns dense
+    // indices by first appearance, so listing every node in row-major
+    // order here pins label `n` to index `n`. Caps stamp only E and
+    // resistors only A, so splitting the loops preserves the exact
+    // floating-point stamp order of `rc_mesh` within each matrix.
+    for i in 0..rows {
+        for j in 0..cols {
+            let n = node(i, j);
+            let _ = writeln!(text, "C{n} {n} 0 {c}");
+        }
+    }
+    let mut nr = 0usize;
+    for i in 0..rows {
+        for j in 0..cols {
+            let n = node(i, j);
+            if j + 1 < cols {
+                nr += 1;
+                let _ = writeln!(text, "RH{nr} {n} {} {r}", node(i, j + 1));
+            }
+            if i + 1 < rows {
+                nr += 1;
+                let _ = writeln!(text, "RV{nr} {n} {} {r}", node(i + 1, j));
+            }
+        }
+    }
+    for (k, &p) in port_positions.iter().enumerate() {
+        let n = p + 1;
+        let _ = writeln!(text, "RG{k} {n} 0 {r_gnd}");
+        let _ = writeln!(text, "PORT {n}");
+    }
+    text.push_str(".END\n");
+    text
+}
+
 /// The paper's 32-port RC interconnect network (Figs. 12–14): a
 /// `16 × 16` RC mesh with 32 ports spread over the grid.
 ///
@@ -186,6 +255,17 @@ mod tests {
         let sys = multiport_rc32().unwrap();
         assert_eq!(sys.nstates(), 256);
         assert_eq!(sys.ninputs(), 32);
+    }
+
+    #[test]
+    fn netlist_text_rebuilds_the_same_pencil() {
+        let direct = rc_mesh(5, 3, &[0, 7, 14], 1.0, 2.0, 3.0).unwrap();
+        let text = rc_mesh_netlist(5, 3, &[0, 7, 14], 1.0, 2.0, 3.0);
+        let parsed = crate::parse_netlist(&text).unwrap().build().unwrap();
+        assert_eq!(parsed.pencil_hash(), direct.pencil_hash());
+        let (da, pa) = (direct.a.to_dense(), parsed.a.to_dense());
+        assert!((&da - &pa).norm_max() == 0.0);
+        assert!((&direct.e.to_dense() - &parsed.e.to_dense()).norm_max() == 0.0);
     }
 
     #[test]

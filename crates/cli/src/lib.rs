@@ -20,9 +20,15 @@
 use lti::{Descriptor, StateSpace};
 use numkit::c64;
 use pmtbr::{
-    Budget, InputCorrelatedOptions, PipelineReport, PmtbrOptions, ReductionPlan, Sampling,
-    SweepDiagnostics,
+    ArtifactCache, Budget, InputCorrelatedOptions, PipelineReport, PmtbrOptions, ReductionPlan,
+    Sampling, SweepDiagnostics,
 };
+
+mod policy;
+mod service;
+
+pub use policy::{evaluate_acceptance, summarize_pipeline, summarize_sweep, Acceptance, Verdict};
+pub use service::{handle_job, mat_to_wire, wire_to_mat};
 
 /// What `reduce` collected from the command line; method runners read
 /// only the fields they use.
@@ -113,7 +119,7 @@ pub struct Method {
     /// `--order` as an optional cap).
     pub needs_order: bool,
     /// Builds the reduced model.
-    pub run: fn(&Descriptor, &ReduceRequest) -> Result<MethodOutput, String>,
+    pub run: fn(&Descriptor, &ReduceRequest, &dyn ArtifactCache) -> Result<MethodOutput, String>,
 }
 
 /// Report lines shared by every pipeline-backed method.
@@ -137,10 +143,11 @@ fn run_plan(
     sys: &Descriptor,
     plan: &ReductionPlan,
     req: &ReduceRequest,
+    cache: &dyn ArtifactCache,
     label: &str,
 ) -> Result<MethodOutput, String> {
-    let red =
-        pmtbr::pipeline::run_budgeted(sys, plan, &req.budget).map_err(|e| e.to_string())?;
+    let red = pmtbr::pipeline::run_cached(sys, plan, &req.budget, cache)
+        .map_err(|e| e.to_string())?;
     Ok(MethodOutput {
         report: pipeline_report(label, &red),
         reduced: red.model.reduced.clone(),
@@ -149,26 +156,26 @@ fn run_plan(
     })
 }
 
-fn run_pmtbr(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
-    run_plan(sys, &ReductionPlan::pmtbr(&req.pmtbr_options()), req, "pmtbr")
+fn run_pmtbr(sys: &Descriptor, req: &ReduceRequest, cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
+    run_plan(sys, &ReductionPlan::pmtbr(&req.pmtbr_options()), req, cache, "pmtbr")
 }
 
-fn run_balanced(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_balanced(sys: &Descriptor, req: &ReduceRequest, cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     let q = req.order_required("balanced")?;
-    run_plan(sys, &ReductionPlan::balanced(&req.sampling(), q), req, "balanced-pmtbr")
+    run_plan(sys, &ReductionPlan::balanced(&req.sampling(), q), req, cache, "balanced-pmtbr")
 }
 
-fn run_cross(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_cross(sys: &Descriptor, req: &ReduceRequest, cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     let q = req.order_required("cross")?;
-    run_plan(sys, &ReductionPlan::cross_gramian(&req.sampling(), q), req, "cross-gramian-pmtbr")
+    run_plan(sys, &ReductionPlan::cross_gramian(&req.sampling(), q), req, cache, "cross-gramian-pmtbr")
 }
 
-fn run_fsel(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_fsel(sys: &Descriptor, req: &ReduceRequest, cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     let plan = ReductionPlan::frequency_selective(&req.bands, req.samples, req.order, req.tol);
-    run_plan(sys, &plan, req, "frequency-selective-pmtbr")
+    run_plan(sys, &plan, req, cache, "frequency-selective-pmtbr")
 }
 
-fn run_adaptive(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_adaptive(sys: &Descriptor, req: &ReduceRequest, _cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     let m = pmtbr::adaptive_pmtbr(
         sys,
         adaptive_lo(req.omega_max),
@@ -205,14 +212,14 @@ fn adaptive_lo(omega_max: f64) -> f64 {
     omega_max * 1e-3
 }
 
-fn run_greedy(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_greedy(sys: &Descriptor, req: &ReduceRequest, cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     let max_shifts = req.greedy_max_shifts.unwrap_or(req.samples).max(1);
     let order = pmtbr::OrderControl::Tolerance { tolerance: req.tol, max_order: req.order };
     let plan = ReductionPlan::greedy(req.omega_max, req.greedy_tol, max_shifts, order);
-    run_plan(sys, &plan, req, "greedy-pmtbr")
+    run_plan(sys, &plan, req, cache, "greedy-pmtbr")
 }
 
-fn run_correlated(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_correlated(sys: &Descriptor, req: &ReduceRequest, cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     // No waveform file flows through the CLI yet, so train on the
     // deterministic dithered-square ensemble the paper's transient
     // experiments use, time-scaled to the requested band.
@@ -226,11 +233,12 @@ fn run_correlated(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput,
         sys,
         &ReductionPlan::input_correlated(&u, &opts),
         req,
+        cache,
         "input-correlated-pmtbr",
     )
 }
 
-fn run_prima(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_prima(sys: &Descriptor, req: &ReduceRequest, _cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     let q = req.order_required("prima")?;
     let m = krylov::prima(sys, q, 0.0).map_err(|e| e.to_string())?;
     Ok(MethodOutput {
@@ -244,7 +252,7 @@ fn run_prima(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, Stri
     })
 }
 
-fn run_mpproj(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_mpproj(sys: &Descriptor, req: &ReduceRequest, _cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     let q = req.order_required("mpproj")?;
     let pts: Vec<c64> = req
         .sampling()
@@ -292,15 +300,15 @@ fn run_tbr_family(
     })
 }
 
-fn run_tbr(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_tbr(sys: &Descriptor, req: &ReduceRequest, _cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     run_tbr_family(sys, req, "tbr")
 }
 
-fn run_tbr_res(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_tbr_res(sys: &Descriptor, req: &ReduceRequest, _cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     run_tbr_family(sys, req, "tbr-res")
 }
 
-fn run_fltbr(sys: &Descriptor, req: &ReduceRequest) -> Result<MethodOutput, String> {
+fn run_fltbr(sys: &Descriptor, req: &ReduceRequest, _cache: &dyn ArtifactCache) -> Result<MethodOutput, String> {
     run_tbr_family(sys, req, "fltbr")
 }
 
@@ -419,7 +427,7 @@ mod tests {
         let sys = circuits::rc_mesh(2, 2, &[0], 1.0, 1.0, 2.0).expect("mesh");
         let req = ReduceRequest::new(10.0, 8);
         for m in METHODS.iter().filter(|m| m.needs_order) {
-            let err = (m.run)(&sys, &req).expect_err("must demand --order");
+            let err = (m.run)(&sys, &req, &pmtbr::NullCache).expect_err("must demand --order");
             assert!(err.contains("requires --order"), "{}: {err}", m.name);
         }
     }

@@ -83,6 +83,10 @@ enum Failure {
     Error(String),
     /// The sweep degraded beyond what the policy accepts → exit 3.
     Rejected(String),
+    /// `submit`/`serve` could not speak the wire protocol (unreachable
+    /// server, timeout, malformed frame) → exit 5. Distinct from exit 1
+    /// so scripts can tell "the job failed" from "the service failed".
+    Protocol(String),
 }
 
 impl From<String> for Failure {
@@ -270,76 +274,59 @@ fn cmd_reduce(args: &Args) -> CmdResult {
     // PMTBR_FAULT (chaos testing) is the only fault source in
     // production; real solver failures flow through the same ladder and
     // the same degradation accounting inside the pipeline.
-    let out = (method.run)(&sys, &req).map_err(Failure::Error)?;
+    let out = (method.run)(&sys, &req, &pmtbr::NullCache).map_err(Failure::Error)?;
 
-    // The acceptance policy runs before any stdout so a rejected sweep
-    // never prints a half-report. The per-stage pipeline report goes to
-    // stderr whenever any stage deviated from a clean run.
-    let mut status = Status::Clean;
-    if let Some(rep) = &out.pipeline {
-        if !rep.is_clean() {
-            eprintln!(
-                "pipeline: sweep={} compress={} project={} downgraded={}{}",
-                rep.sweep.label(),
-                rep.compress.label(),
-                rep.project.label(),
-                rep.compressor_downgraded,
-                match rep.budget_exhausted {
-                    Some(r) => format!(" budget_exhausted={r}"),
-                    None => String::new(),
-                }
-            );
-            for note in &rep.notes {
-                eprintln!("  note: {note}");
-            }
-        }
-        if strict && rep.is_degraded() {
-            return Err(Failure::Rejected(format!(
-                "--strict: pipeline degraded (sweep={} compress={} project={} downgraded={})",
-                rep.sweep.label(),
-                rep.compress.label(),
-                rep.project.label(),
-                rep.compressor_downgraded,
-            )));
-        }
+    // The acceptance policy — shared verbatim with `submit` via
+    // `pmtbr_cli::evaluate_acceptance` — runs before any stdout so a
+    // rejected sweep never prints a half-report. The per-stage pipeline
+    // report goes to stderr whenever any stage deviated from a clean
+    // run.
+    let pipeline = out.pipeline.as_ref().map(pmtbr_cli::summarize_pipeline);
+    let sweep = out.diagnostics.as_ref().map(pmtbr_cli::summarize_sweep);
+    let acc =
+        pmtbr_cli::evaluate_acceptance(pipeline.as_ref(), sweep.as_ref(), strict, max_dropped);
+    for line in &acc.stderr {
+        eprintln!("{line}");
     }
-    if let Some(diag) = &out.diagnostics {
-        if diag.is_degraded() {
-            eprintln!("degraded {}", diag.summary());
-            if strict {
-                return Err(Failure::Rejected(format!(
-                    "--strict: sweep degraded ({})",
-                    diag.summary()
-                )));
-            }
-            if diag.dropped() > max_dropped {
-                return Err(Failure::Rejected(format!(
-                    "{} sample points dropped exceeds --max-dropped-samples {} ({})",
-                    diag.dropped(),
-                    max_dropped,
-                    diag.summary()
-                )));
-            }
-            status = Status::Degraded;
-        }
-    }
-    if out.pipeline.as_ref().is_some_and(|r| r.budget_exhausted.is_some()) {
-        status = Status::BudgetExhausted;
-    }
+    let status = verdict_status(acc.verdict.map_err(Failure::Rejected)?);
     for line in &out.report {
         println!("{line}");
     }
     let reduced = out.reduced;
 
     if let Some(npts) = args.flag_value("check") {
-        let npts: usize = npts.parse().map_err(|_| "--check: invalid integer".to_string())?;
-        let omega: Vec<f64> = linspace(omega_max / npts as f64, omega_max, npts);
-        let h_full = frequency_response(&sys, &omega).map_err(|e| e.to_string())?;
-        let h_red = frequency_response(&reduced, &omega).map_err(|e| e.to_string())?;
-        println!("check_max_rel_error: {:.6e}", max_rel_error(&h_full, &h_red));
+        print_check(npts, omega_max, &sys, &reduced)?;
     }
+    print_model(&reduced);
+    Ok(status)
+}
 
-    // Emit the reduced model in a plain, parseable form.
+fn verdict_status(verdict: pmtbr_cli::Verdict) -> Status {
+    match verdict {
+        pmtbr_cli::Verdict::Clean => Status::Clean,
+        pmtbr_cli::Verdict::Degraded => Status::Degraded,
+        pmtbr_cli::Verdict::BudgetExhausted => Status::BudgetExhausted,
+    }
+}
+
+/// `--check N`: compares full and reduced responses over the band.
+fn print_check(
+    npts: &str,
+    omega_max: f64,
+    sys: &lti::Descriptor,
+    reduced: &lti::StateSpace,
+) -> Result<(), Failure> {
+    let npts: usize = npts.parse().map_err(|_| "--check: invalid integer".to_string())?;
+    let omega: Vec<f64> = linspace(omega_max / npts as f64, omega_max, npts);
+    let h_full = frequency_response(sys, &omega).map_err(|e| e.to_string())?;
+    let h_red = frequency_response(reduced, &omega).map_err(|e| e.to_string())?;
+    println!("check_max_rel_error: {:.6e}", max_rel_error(&h_full, &h_red));
+    Ok(())
+}
+
+/// Emits the reduced model in a plain, parseable form (shared by
+/// `reduce` and `submit`).
+fn print_model(reduced: &lti::StateSpace) {
     let q = reduced.nstates();
     println!("A: # {q}x{q}");
     for i in 0..q {
@@ -357,6 +344,125 @@ fn cmd_reduce(args: &Args) -> CmdResult {
         let row: Vec<String> = (0..q).map(|j| format!("{:.12e}", reduced.c[(i, j)])).collect();
         println!("  {}", row.join(" "));
     }
+}
+
+/// `pmtbr-cli serve`: bind, print the bound address, and run the
+/// batching scheduler over one shared artifact cache until `--max-jobs`
+/// jobs have completed (or forever).
+fn cmd_serve(args: &Args) -> CmdResult {
+    let addr = args.flag_value("addr").unwrap_or("127.0.0.1:7117");
+    let cache_mb = args.int("cache-mb", 256)?;
+    let max_jobs = args.cap("max-jobs")?;
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| Failure::Protocol(format!("serve: cannot bind {addr}: {e}")))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| Failure::Protocol(format!("serve: no local address: {e}")))?;
+    // Scripts scrape this line for the ephemeral port of `--addr :0`.
+    println!("listening {bound} cache_mb {cache_mb}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let cache = pmtbr::LruCache::new(cache_mb << 20);
+    let handler = |job: &serve::JobRequest| pmtbr_cli::handle_job(job, &cache);
+    let opts = serve::ServeOptions { max_jobs, ..Default::default() };
+    let shutdown = std::sync::atomic::AtomicBool::new(false);
+    let stats = serve::serve(&listener, &handler, &opts, &shutdown)
+        .map_err(|e| Failure::Protocol(e.to_string()))?;
+    let (entries, bytes) = pmtbr::ArtifactCache::stats(&cache);
+    eprintln!(
+        "served {} job(s) in {} batch(es), {} grouped; cache holds {entries} artifact(s), {bytes} byte(s)",
+        stats.jobs, stats.batches, stats.grouped
+    );
+    Ok(Status::Clean)
+}
+
+/// `pmtbr-cli submit`: ship a netlist plus `reduce` flags to a running
+/// server and apply the *local* acceptance policy to the response, so
+/// the exit code matches what `reduce` would have returned.
+fn cmd_submit(args: &Args, trace_path: Option<&str>) -> CmdResult {
+    let path = args.positional.first().ok_or("submit: missing netlist path")?;
+    let netlist =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if args.flag_present("trace-wall") {
+        return Err("submit: --trace-wall is unsupported (server traces use the deterministic clock)"
+            .into());
+    }
+    let band = args.num("band", 1e10)?;
+    let samples = args.int("samples", 40)?;
+    let omega_max = band * TAU;
+    let max_dropped = args.int("max-dropped-samples", samples)?;
+    let strict = args.flag_present("strict");
+    let method_name = args.flag_value("method").unwrap_or("pmtbr");
+    // Validate locally for the fast error; the server re-validates.
+    pmtbr_cli::find(method_name).ok_or_else(|| {
+        format!("unknown --method `{method_name}` ({})", pmtbr_cli::method_list())
+    })?;
+    let bands = match args.flag_value("bands") {
+        Some(spec) => parse_bands(spec)?,
+        None => Vec::new(),
+    };
+    let order = args.cap("order")?;
+    let job = serve::JobRequest {
+        method: method_name.to_string(),
+        netlist: netlist.clone(),
+        omega_max,
+        bands,
+        samples: samples as u64,
+        tol: args.num("tol", 1e-8)?,
+        order,
+        greedy_tol: args.num("greedy-tol", 1e-3)?,
+        greedy_max_shifts: args.cap("greedy-max-shifts")?,
+        budget_lu: args.cap("budget-lu")?,
+        budget_svd: args.cap("budget-svd-sweeps")?,
+        budget_bytes: args.cap("budget-sample-bytes")?,
+        trace: trace_path.is_some(),
+    };
+    let addr = args.flag_value("addr").unwrap_or("127.0.0.1:7117");
+    let timeout = std::time::Duration::from_millis(args.int("timeout-ms", 30_000)? as u64);
+    let result = match serve::submit(addr, &job, timeout)
+        .map_err(|e| Failure::Protocol(e.to_string()))?
+    {
+        serve::JobResponse::Err(e) => return Err(Failure::Error(e)),
+        serve::JobResponse::Ok(result) => result,
+    };
+    // The trace is written before the acceptance gate for the same
+    // reason `reduce` writes it on failure paths: a rejected sweep is
+    // exactly when the telemetry matters.
+    if let (Some(path), Some(trace)) = (trace_path, &result.trace) {
+        match std::fs::write(path, trace) {
+            Ok(()) => eprintln!("trace: {} lines -> {path}", trace.lines().count()),
+            Err(e) => eprintln!("warning: cannot write trace to {path}: {e}"),
+        }
+    }
+    let acc = pmtbr_cli::evaluate_acceptance(
+        result.pipeline.as_ref(),
+        result.sweep.as_ref(),
+        strict,
+        max_dropped,
+    );
+    for line in &acc.stderr {
+        eprintln!("{line}");
+    }
+    let status = verdict_status(acc.verdict.map_err(Failure::Rejected)?);
+    for line in &result.report_lines {
+        println!("{line}");
+    }
+    let reduced = lti::StateSpace::new(
+        pmtbr_cli::wire_to_mat(&result.a).map_err(Failure::Protocol)?,
+        pmtbr_cli::wire_to_mat(&result.b).map_err(Failure::Protocol)?,
+        pmtbr_cli::wire_to_mat(&result.c).map_err(Failure::Protocol)?,
+        Some(pmtbr_cli::wire_to_mat(&result.d).map_err(Failure::Protocol)?),
+    )
+    .map_err(|e| Failure::Protocol(format!("inconsistent model shapes in response: {e}")))?;
+    if let Some(npts) = args.flag_value("check") {
+        // The netlist is local, so the cross-check runs exactly as it
+        // does for `reduce`, against a locally assembled full model.
+        let sys = circuits::parse_netlist(&netlist)
+            .map_err(|e| e.to_string())
+            .and_then(|nl| nl.build().map_err(|e| format!("mna assembly failed: {e}")))?;
+        print_check(npts, omega_max, &sys, &reduced)?;
+    }
+    print_model(&reduced);
     Ok(status)
 }
 
@@ -398,7 +504,7 @@ fn cmd_transient(args: &Args) -> CmdResult {
 
 fn usage() -> String {
     let mut s = format!(
-        "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--bands lo:hi[,lo:hi...]] [--samples N] [--method {}] [--check N] [--max-dropped-samples N] [--strict] [--greedy-tol T] [--greedy-max-shifts N] [--budget-lu N] [--budget-svd-sweeps N] [--budget-sample-bytes N]\nmethods:\n",
+        "usage:\n  pmtbr-cli sweep     <netlist> --from <hz> --to <hz> [--points N] [--log]\n  pmtbr-cli hsv       <netlist> [--band <hz>] [--samples N]\n  pmtbr-cli transient <netlist> [--period <s>] [--steps N]\n  pmtbr-cli reduce    <netlist> [--order N] [--tol T] [--band <hz>] [--bands lo:hi[,lo:hi...]] [--samples N] [--method {}] [--check N] [--max-dropped-samples N] [--strict] [--greedy-tol T] [--greedy-max-shifts N] [--budget-lu N] [--budget-svd-sweeps N] [--budget-sample-bytes N]\n  pmtbr-cli serve     [--addr host:port] [--cache-mb N] [--max-jobs N]\n  pmtbr-cli submit    <netlist> [reduce flags] [--addr host:port] [--timeout-ms N]\nmethods:\n",
         pmtbr_cli::method_list()
     );
     for m in pmtbr_cli::METHODS {
@@ -410,7 +516,7 @@ fn usage() -> String {
         ));
     }
     s.push_str(
-        "global flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nbudget flags (reduce, pipeline-backed methods only; counted off the\ndeterministic obs counters, never wall clock):\n  --greedy-tol T           greedy method: convergence tolerance (default 1e-3; 0 = run\n                           to the shift budget)\n  --greedy-max-shifts N    greedy method: hard cap on accepted shifts (default --samples)\n  --budget-lu N            cap on LU factorizations\n  --budget-svd-sweeps N    cap on Jacobi SVD sweeps\n  --budget-sample-bytes N  cap on retained weighted sample bytes\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  4 budget exhausted, best-effort model  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")",
+        "global flags:\n  --threads N         worker count for the sampling engine (PMTBR_THREADS)\n  --trace <path>      write a JSON-lines solver trace (docs/OBSERVABILITY.md)\n  --trace-wall        stamp the trace with wall-clock nanoseconds instead of\n                      the deterministic event counter\nbudget flags (reduce, pipeline-backed methods only; counted off the\ndeterministic obs counters, never wall clock):\n  --greedy-tol T           greedy method: convergence tolerance (default 1e-3; 0 = run\n                           to the shift budget)\n  --greedy-max-shifts N    greedy method: hard cap on accepted shifts (default --samples)\n  --budget-lu N            cap on LU factorizations\n  --budget-svd-sweeps N    cap on Jacobi SVD sweeps\n  --budget-sample-bytes N  cap on retained weighted sample bytes\nservice flags (serve/submit):\n  --addr host:port    server address (default 127.0.0.1:7117; serve accepts :0 and\n                      prints the bound port)\n  --cache-mb N        serve: artifact-cache byte budget in MiB (default 256)\n  --max-jobs N        serve: exit cleanly after N jobs (tests/benches)\n  --timeout-ms N      submit: deadline for the whole round trip (default 30000)\nexit codes:\n  0 clean  |  2 degraded sweep, accepted  |  3 degradation rejected  |  4 budget exhausted, best-effort model  |  5 service protocol error (submit/serve)  |  1 error\n  (canonical table: README.md, \"Error handling and exit codes\")",
     );
     s
 }
@@ -443,7 +549,11 @@ fn main() -> ExitCode {
         eprintln!("error: --trace requires an output path");
         return ExitCode::FAILURE;
     }
-    if trace_path.is_some() {
+    // `submit` traces remotely (the server runs the reduction and ships
+    // the jsonl back); `serve` traces per-job inside the handler. Only
+    // the local commands install a process-wide collector here.
+    let local_trace = trace_path.is_some() && !matches!(cmd.as_str(), "serve" | "submit");
+    if local_trace {
         let kind = if args.flag_present("trace-wall") {
             obs::ClockKind::Wall
         } else {
@@ -456,6 +566,8 @@ fn main() -> ExitCode {
         "hsv" => cmd_hsv(&args),
         "transient" => cmd_transient(&args),
         "reduce" => cmd_reduce(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args, trace_path.as_deref()),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(Status::Clean)
@@ -464,8 +576,8 @@ fn main() -> ExitCode {
     };
     // The trace is written on failure paths too: a degraded or rejected
     // sweep is exactly when the ladder telemetry matters most.
-    if let Some(path) = &trace_path {
-        if let Some(tr) = obs::drain() {
+    if local_trace {
+        if let (Some(path), Some(tr)) = (&trace_path, obs::drain()) {
             match std::fs::write(path, tr.to_jsonl()) {
                 Ok(()) => eprintln!("trace: {} events -> {path}", tr.events().len()),
                 Err(e) => eprintln!("warning: cannot write trace to {path}: {e}"),
@@ -479,6 +591,10 @@ fn main() -> ExitCode {
         Err(Failure::Rejected(e)) => {
             eprintln!("error: {e}");
             ExitCode::from(3)
+        }
+        Err(Failure::Protocol(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(5)
         }
         Err(Failure::Error(e)) => {
             eprintln!("error: {e}");

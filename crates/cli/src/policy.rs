@@ -1,0 +1,185 @@
+//! The shared acceptance policy for reduced models.
+//!
+//! `reduce` (local run) and `submit` (service round trip) must agree,
+//! exit code for exit code, on when a degraded model is acceptable.
+//! This module is that single decision procedure: both commands turn
+//! their pipeline/sweep accounting into the wire-level summaries
+//! ([`serve::PipelineSummary`], [`serve::SweepSummary`]) and feed them
+//! through [`evaluate_acceptance`]. `reduce` summarizes the in-process
+//! report; `submit` gets the identical summaries from the server's
+//! response — so the verdict cannot drift between the two paths.
+
+use pmtbr::{PipelineReport, SweepDiagnostics};
+use serve::{PipelineSummary, SweepSummary};
+
+/// The non-failure outcomes of the acceptance policy, in ascending
+/// exit-code order (0, 2, 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every stage ran clean: exit 0.
+    Clean,
+    /// The model is usable but the sweep degraded: exit 2.
+    Degraded,
+    /// A work budget ran out and the result is partial: exit 4.
+    BudgetExhausted,
+}
+
+/// What [`evaluate_acceptance`] decided: the stderr commentary emitted
+/// so far (printed even when the model is then rejected) plus either a
+/// verdict or the rejection message.
+#[derive(Debug)]
+pub struct Acceptance {
+    /// Diagnostic lines for stderr, in emission order.
+    pub stderr: Vec<String>,
+    /// The accepted verdict, or the `Rejected` message (exit 3).
+    pub verdict: Result<Verdict, String>,
+}
+
+/// Projects a [`PipelineReport`] onto its wire summary.
+pub fn summarize_pipeline(rep: &PipelineReport) -> PipelineSummary {
+    PipelineSummary {
+        sweep: rep.sweep.label().to_string(),
+        compress: rep.compress.label().to_string(),
+        project: rep.project.label().to_string(),
+        downgraded: rep.compressor_downgraded,
+        budget_exhausted: rep.budget_exhausted.map(str::to_string),
+        degraded: rep.is_degraded(),
+        clean: rep.is_clean(),
+        notes: rep.notes.clone(),
+    }
+}
+
+/// Projects [`SweepDiagnostics`] onto their wire summary.
+pub fn summarize_sweep(diag: &SweepDiagnostics) -> SweepSummary {
+    SweepSummary {
+        degraded: diag.is_degraded(),
+        dropped: diag.dropped() as u64,
+        summary: diag.summary(),
+    }
+}
+
+/// Decides whether a reduced model is acceptable and what to say about
+/// it, exactly as `reduce` has always done: a non-clean pipeline is
+/// echoed (and rejected under `strict`), a degraded sweep is echoed
+/// (rejected under `strict`, or when more than `max_dropped` sample
+/// points were lost), and budget exhaustion trumps plain degradation
+/// in the final verdict.
+pub fn evaluate_acceptance(
+    pipeline: Option<&PipelineSummary>,
+    sweep: Option<&SweepSummary>,
+    strict: bool,
+    max_dropped: usize,
+) -> Acceptance {
+    let mut stderr = Vec::new();
+    let mut verdict = Verdict::Clean;
+    if let Some(rep) = pipeline {
+        if !rep.clean {
+            stderr.push(format!(
+                "pipeline: sweep={} compress={} project={} downgraded={}{}",
+                rep.sweep,
+                rep.compress,
+                rep.project,
+                rep.downgraded,
+                match &rep.budget_exhausted {
+                    Some(r) => format!(" budget_exhausted={r}"),
+                    None => String::new(),
+                }
+            ));
+            for note in &rep.notes {
+                stderr.push(format!("  note: {note}"));
+            }
+        }
+        if strict && rep.degraded {
+            return Acceptance {
+                stderr,
+                verdict: Err(format!(
+                    "--strict: pipeline degraded (sweep={} compress={} project={} downgraded={})",
+                    rep.sweep, rep.compress, rep.project, rep.downgraded,
+                )),
+            };
+        }
+    }
+    if let Some(diag) = sweep {
+        if diag.degraded {
+            stderr.push(format!("degraded {}", diag.summary));
+            if strict {
+                return Acceptance {
+                    stderr,
+                    verdict: Err(format!("--strict: sweep degraded ({})", diag.summary)),
+                };
+            }
+            if diag.dropped > max_dropped as u64 {
+                return Acceptance {
+                    stderr,
+                    verdict: Err(format!(
+                        "{} sample points dropped exceeds --max-dropped-samples {} ({})",
+                        diag.dropped, max_dropped, diag.summary
+                    )),
+                };
+            }
+            verdict = Verdict::Degraded;
+        }
+    }
+    if pipeline.is_some_and(|r| r.budget_exhausted.is_some()) {
+        verdict = Verdict::BudgetExhausted;
+    }
+    Acceptance { stderr, verdict: Ok(verdict) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_pipeline() -> PipelineSummary {
+        PipelineSummary {
+            sweep: "Clean".into(),
+            compress: "Clean".into(),
+            project: "Clean".into(),
+            downgraded: false,
+            budget_exhausted: None,
+            degraded: false,
+            clean: true,
+            notes: vec![],
+        }
+    }
+
+    fn degraded_sweep() -> SweepSummary {
+        SweepSummary { degraded: true, dropped: 3, summary: "3/12 dropped".into() }
+    }
+
+    #[test]
+    fn clean_run_is_silent_and_clean() {
+        let acc = evaluate_acceptance(Some(&clean_pipeline()), None, true, 0);
+        assert!(acc.stderr.is_empty());
+        assert_eq!(acc.verdict.unwrap(), Verdict::Clean);
+    }
+
+    #[test]
+    fn strict_rejects_but_still_reports() {
+        let mut rep = clean_pipeline();
+        rep.clean = false;
+        rep.degraded = true;
+        rep.notes = vec!["shift 3 dropped".into()];
+        let acc = evaluate_acceptance(Some(&rep), None, true, 0);
+        assert_eq!(acc.stderr.len(), 2, "pipeline line + note precede the rejection");
+        assert!(acc.verdict.unwrap_err().starts_with("--strict: pipeline degraded"));
+    }
+
+    #[test]
+    fn dropped_samples_gate_on_max_dropped() {
+        let tolerant = evaluate_acceptance(None, Some(&degraded_sweep()), false, 3);
+        assert_eq!(tolerant.verdict.unwrap(), Verdict::Degraded);
+        let tight = evaluate_acceptance(None, Some(&degraded_sweep()), false, 2);
+        assert!(tight.verdict.unwrap_err().contains("exceeds --max-dropped-samples 2"));
+    }
+
+    #[test]
+    fn budget_exhaustion_outranks_degradation() {
+        let mut rep = clean_pipeline();
+        rep.clean = false;
+        rep.budget_exhausted = Some("lu_factors".into());
+        let acc = evaluate_acceptance(Some(&rep), Some(&degraded_sweep()), false, 10);
+        assert_eq!(acc.verdict.unwrap(), Verdict::BudgetExhausted);
+        assert!(acc.stderr.iter().any(|l| l.contains("budget_exhausted=lu_factors")));
+    }
+}

@@ -163,6 +163,24 @@ impl Descriptor {
         StateSpace::new(ea, eb, self.c.clone(), Some(self.d.clone()))
     }
 
+    /// Content address of the `(E, A, B, C, D)` pencil: a deterministic,
+    /// assembly-order-independent structural hash (see [`crate::hash`]).
+    /// Equal descriptors hash equally regardless of how their sparse
+    /// matrices were stamped; any numeric difference (below the last
+    /// ulp included) changes the address. This is the cache key root
+    /// for symbolic analyses, factored shifts, and reduced models.
+    pub fn pencil_hash(&self) -> u64 {
+        let mut h = crate::hash::Fnv64::new();
+        h.label("pmtbr-pencil-v1/descriptor");
+        h.word(self.nstates() as u64).word(self.ninputs() as u64).word(self.noutputs() as u64);
+        h.word(crate::hash::hash_csr(1, &self.e));
+        h.word(crate::hash::hash_csr(2, &self.a));
+        h.word(crate::hash::hash_dense(3, &self.b));
+        h.word(crate::hash::hash_dense(4, &self.c));
+        h.word(crate::hash::hash_dense(5, &self.d));
+        h.finish()
+    }
+
     /// Builds a [`ShiftedPencilAssembler`] for this system's pencil
     /// `s·E − A` — the fast path for multipoint sweeps.
     pub fn pencil_assembler(&self) -> ShiftedPencilAssembler {

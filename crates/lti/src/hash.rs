@@ -1,0 +1,185 @@
+//! Deterministic structural hashing of system pencils.
+//!
+//! The artifact cache (see `pmtbr::cache` and `crates/serve`) keys every
+//! expensive intermediate — symbolic LU analyses, factored shifts,
+//! finished reduced models — on a *content address* of the `(E, A, B,
+//! C, D)` pencil. Two requirements shape the scheme:
+//!
+//! 1. **Order independence.** MNA stamping, netlist parsing, and mesh
+//!    generators may emit structurally identical matrices with entries
+//!    in different assembly orders. Each nonzero therefore hashes
+//!    independently — a SplitMix64 finalizer over the FNV-1a-combined
+//!    `(tag, i, j, value-bits)` tuple — and per-matrix digests combine
+//!    the per-entry hashes with a commutative `wrapping_add`. Exact
+//!    zeros (including `-0.0`) are skipped, so structural padding never
+//!    changes the address.
+//! 2. **Zero dependencies.** FNV-1a and the SplitMix64 finalizer are
+//!    small enough to inline here; no hasher crates are pulled in.
+//!
+//! The digest is a pure function of the matrix *values* (IEEE-754 bit
+//! patterns), so systems that differ anywhere below the last ulp get
+//! different addresses — the cache can never conflate two pencils that
+//! would factor differently.
+
+use numkit::DMat;
+use sparsekit::Csr;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A sequential FNV-1a accumulator over 64-bit words — the *ordered*
+/// half of the scheme, used to fold shapes and per-matrix digests into
+/// the final pencil address.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    acc: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// Starts a fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { acc: FNV_OFFSET }
+    }
+
+    /// Folds one 64-bit word (as eight FNV-1a byte steps).
+    pub fn word(&mut self, w: u64) -> &mut Self {
+        for byte in w.to_le_bytes() {
+            self.acc ^= u64::from(byte);
+            self.acc = self.acc.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a short ASCII label (domain separation between artifact
+    /// kinds sharing a pencil).
+    pub fn label(&mut self, s: &str) -> &mut Self {
+        for &byte in s.as_bytes() {
+            self.acc ^= u64::from(byte);
+            self.acc = self.acc.wrapping_mul(FNV_PRIME);
+        }
+        self.word(s.len() as u64)
+    }
+
+    /// The current digest, passed through the SplitMix64 finalizer so
+    /// closely related inputs land far apart.
+    pub fn finish(&self) -> u64 {
+        splitmix(self.acc)
+    }
+}
+
+/// The SplitMix64 output finalizer (Steele, Lea & Flood 2014) — the
+/// same mixer `numkit::SplitMix64` streams, applied here as a one-shot
+/// avalanche so single-bit input differences flip ~half the output.
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash of one matrix entry; commutatively combinable across entries.
+fn entry_hash(tag: u64, i: usize, j: usize, v: f64) -> u64 {
+    let mut h = Fnv64::new();
+    h.word(tag).word(i as u64).word(j as u64).word(v.to_bits());
+    h.finish()
+}
+
+/// Order-independent digest of a sparse matrix under matrix-role `tag`.
+/// Exact zeros are skipped, so the digest depends only on the numeric
+/// content, not on how the assembly padded the pattern.
+pub fn hash_csr(tag: u64, m: &Csr<f64>) -> u64 {
+    let mut acc = 0u64;
+    for (i, j, v) in m.iter() {
+        if v == 0.0 {
+            continue;
+        }
+        acc = acc.wrapping_add(entry_hash(tag, i, j, v));
+    }
+    let mut h = Fnv64::new();
+    h.word(tag).word(m.nrows() as u64).word(m.ncols() as u64).word(acc);
+    h.finish()
+}
+
+/// Order-independent digest of a dense matrix under matrix-role `tag`
+/// (zeros skipped, same convention as [`hash_csr`]).
+pub fn hash_dense(tag: u64, m: &DMat) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..m.nrows() {
+        for j in 0..m.ncols() {
+            let v = m[(i, j)];
+            if v == 0.0 {
+                continue;
+            }
+            acc = acc.wrapping_add(entry_hash(tag, i, j, v));
+        }
+    }
+    let mut h = Fnv64::new();
+    h.word(tag).word(m.nrows() as u64).word(m.ncols() as u64).word(acc);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsekit::Triplet;
+
+    #[test]
+    fn csr_hash_is_assembly_order_independent() {
+        let mut t1 = Triplet::new(3, 3);
+        t1.push(0, 0, 2.0);
+        t1.push(2, 1, -1.5);
+        t1.push(1, 1, 4.0);
+        let mut t2 = Triplet::new(3, 3);
+        t2.push(1, 1, 4.0);
+        t2.push(0, 0, 2.0);
+        t2.push(2, 1, -1.5);
+        assert_eq!(hash_csr(1, &t1.to_csr()), hash_csr(1, &t2.to_csr()));
+    }
+
+    #[test]
+    fn structural_zeros_do_not_change_the_digest() {
+        let mut t1 = Triplet::new(2, 2);
+        t1.push(0, 0, 1.0);
+        let mut t2 = Triplet::new(2, 2);
+        t2.push(0, 0, 1.0);
+        t2.push(1, 1, 0.0);
+        t2.push(0, 1, -0.0);
+        assert_eq!(hash_csr(7, &t1.to_csr()), hash_csr(7, &t2.to_csr()));
+    }
+
+    #[test]
+    fn value_role_and_position_all_matter() {
+        let mut base = Triplet::new(2, 2);
+        base.push(0, 0, 1.0);
+        let base = hash_csr(1, &base.to_csr());
+        let mut moved = Triplet::new(2, 2);
+        moved.push(1, 1, 1.0);
+        assert_ne!(base, hash_csr(1, &moved.to_csr()));
+        let mut scaled = Triplet::new(2, 2);
+        scaled.push(0, 0, 1.0 + f64::EPSILON);
+        assert_ne!(base, hash_csr(1, &scaled.to_csr()));
+        let mut same = Triplet::new(2, 2);
+        same.push(0, 0, 1.0);
+        assert_ne!(base, hash_csr(2, &same.to_csr()));
+    }
+
+    #[test]
+    fn dense_and_label_digests_are_stable() {
+        let m = DMat::from_rows(&[&[1.0, 0.0], &[0.0, 3.0]]);
+        assert_eq!(hash_dense(3, &m), hash_dense(3, &m.clone()));
+        let mut a = Fnv64::new();
+        a.label("model");
+        let mut b = Fnv64::new();
+        b.label("model");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.label("sweep");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

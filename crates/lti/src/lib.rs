@@ -51,6 +51,7 @@ mod descriptor;
 mod discretize;
 mod freq;
 mod freqlim;
+pub mod hash;
 mod lyap;
 mod passivity;
 mod realify;

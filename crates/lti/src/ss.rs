@@ -91,6 +91,21 @@ impl StateSpace {
         self.c.nrows()
     }
 
+    /// Content address of the `(I, A, B, C, D)` pencil — the dense
+    /// counterpart of [`crate::Descriptor::pencil_hash`], with its own
+    /// domain label so a state-space model can never collide with a
+    /// descriptor whose matrices happen to match.
+    pub fn pencil_hash(&self) -> u64 {
+        let mut h = crate::hash::Fnv64::new();
+        h.label("pmtbr-pencil-v1/state-space");
+        h.word(self.nstates() as u64).word(self.ninputs() as u64).word(self.noutputs() as u64);
+        h.word(crate::hash::hash_dense(2, &self.a));
+        h.word(crate::hash::hash_dense(3, &self.b));
+        h.word(crate::hash::hash_dense(4, &self.c));
+        h.word(crate::hash::hash_dense(5, &self.d));
+        h.finish()
+    }
+
     /// Transfer function `H(s) = C·(sI − A)⁻¹·B + D`.
     ///
     /// # Errors

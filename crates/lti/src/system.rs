@@ -207,6 +207,16 @@ pub trait LtiSystem {
     /// Shape errors; for descriptor systems also a singular reduced `E`.
     fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError>;
 
+    /// Content address of this system's pencil, if the implementation
+    /// provides one (see [`crate::hash`]). `None` — the default — means
+    /// the system cannot be content-addressed and every artifact-cache
+    /// layer must treat runs over it as uncacheable. Implementations
+    /// must guarantee the hash is a pure function of the system's
+    /// numeric content: equal hashes ⟹ bit-identical pipeline results.
+    fn pencil_hash(&self) -> Option<u64> {
+        None
+    }
+
     /// Transfer function `H(s) = C·(sE − A)⁻¹·B + D`.
     ///
     /// # Errors
@@ -257,6 +267,9 @@ impl LtiSystem for StateSpace {
     fn project(&self, w: &DMat, v: &DMat) -> Result<StateSpace, NumError> {
         StateSpace::project(self, w, v)
     }
+    fn pencil_hash(&self) -> Option<u64> {
+        Some(StateSpace::pencil_hash(self))
+    }
     /// Dense systems have no factorization to share across shifts, but
     /// the shifts are still independent: fan them across threads.
     fn solve_shifted_many(&self, shifts: &[c64], rhs: &ZMat) -> Result<Vec<ZMat>, NumError> {
@@ -304,6 +317,9 @@ impl LtiSystem for Descriptor {
     }
     fn solve_shifted_transpose(&self, s: c64, rhs: &ZMat) -> Result<ZMat, NumError> {
         Descriptor::solve_shifted_transpose(self, s, rhs)
+    }
+    fn pencil_hash(&self) -> Option<u64> {
+        Some(Descriptor::pencil_hash(self))
     }
     /// `s·(E·X) − A·X` via sparse row iteration — no pencil assembly.
     fn apply_shifted(&self, s: c64, x: &ZMat) -> Result<ZMat, NumError> {

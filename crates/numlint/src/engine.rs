@@ -12,12 +12,14 @@ use crate::symbols::{self, FileSymbols, EFF_CLOCK, EFF_GATED_PANIC};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::RangeInclusive;
 
-/// The seven crates whose public APIs promise `Result`-based error
+/// The crates whose public APIs promise `Result`-based error
 /// propagation (PR 2); PANIC01/ERR01 apply only to their `src/` trees.
 /// `obs` joined in PR 4: telemetry sits below every numeric crate, so a
-/// panicking span would abort the very solvers it observes.
-pub const LIBRARY_CRATES: [&str; 7] =
-    ["obs", "numkit", "sparsekit", "lti", "circuits", "krylov", "pmtbr"];
+/// panicking span would abort the very solvers it observes. `serve`
+/// joined with the reduction service: a panicking daemon drops every
+/// queued job, so its socket and codec paths must propagate errors.
+pub const LIBRARY_CRATES: [&str; 8] =
+    ["obs", "numkit", "sparsekit", "lti", "circuits", "krylov", "pmtbr", "serve"];
 
 /// Where a file sits in the workspace; decides which rules apply.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +70,20 @@ impl FileClass {
     /// sanctioned clock implementation behind the `obs::Clock` trait.
     pub fn is_obs(&self) -> bool {
         matches!(self, FileClass::CrateSrc(c) if c == "obs")
+    }
+
+    /// The single type, if any, inside whose items this file's crate
+    /// may read the wall clock: `obs::WallClock` (the opt-in trace
+    /// clock) and `serve::Deadline` (the submission timeout — timing
+    /// that bounds socket waits, never results). DET02 and the DET03
+    /// seed extraction share this table, so the structural carve-out
+    /// and the transitive one can never disagree.
+    pub fn clock_carveout_type(&self) -> Option<&'static str> {
+        match self {
+            FileClass::CrateSrc(c) if c == "obs" => Some("WallClock"),
+            FileClass::CrateSrc(c) if c == "serve" => Some("Deadline"),
+            _ => None,
+        }
     }
 
     /// True if FLOAT02 applies (numkit/sparsekit kernel crates).
@@ -261,10 +277,9 @@ pub fn analyze_file(path: &str, src: &str) -> FileAnalysis {
     let symbols = if class.is_exempt() {
         FileSymbols::default()
     } else {
-        let wallclock = if class.is_obs() {
-            rules::wallclock_extents(&ctx.lexed.tokens)
-        } else {
-            Vec::new()
+        let wallclock = match class.clock_carveout_type() {
+            Some(name) => rules::wallclock_extents(&ctx.lexed.tokens, name),
+            None => Vec::new(),
         };
         let mut syms = symbols::extract(path, &class, &ctx.lexed, &ctx.test_regions, &wallclock);
         // An allow at the seed line for the matching workspace rule
@@ -300,11 +315,11 @@ fn has_forbid_unsafe(lexed: &Lexed) -> bool {
 }
 
 /// Crates whose `lib.rs` must pin `#![forbid(unsafe_code)]` (SAFE01):
-/// the seven library crates plus `bench`. Only crates whose `lib.rs` is
+/// the library crates plus `bench`. Only crates whose `lib.rs` is
 /// present in the analyzed set are checked, so partial file sets (the
 /// fixture workspaces) never produce missing-crate noise.
-const SAFE01_CRATES: [&str; 8] =
-    ["obs", "numkit", "sparsekit", "lti", "circuits", "krylov", "pmtbr", "bench"];
+const SAFE01_CRATES: [&str; 9] =
+    ["obs", "numkit", "sparsekit", "lti", "circuits", "krylov", "pmtbr", "serve", "bench"];
 
 /// Runs the interprocedural rules over the whole analyzed file set:
 ///
@@ -366,7 +381,7 @@ pub fn workspace_diagnostics(files: &BTreeMap<String, FileAnalysis>) -> Vec<(Str
                     rule: "DET03",
                     message: format!(
                         "fn `{}` transitively reads the wall clock; keep timing in \
-                         crates/bench or behind obs::WallClock",
+                         crates/bench or behind obs::WallClock / serve::Deadline",
                         f.qual
                     ),
                     chain,

@@ -3,7 +3,7 @@
 //! | ID      | Scope                         | Checks                                            |
 //! |---------|-------------------------------|---------------------------------------------------|
 //! | DET01   | workspace, non-test           | `HashMap`/`HashSet` iteration (unordered drains)  |
-//! | DET02   | workspace minus `crates/bench`| wall-clock reads (`Instant`, `SystemTime`, …); in `crates/obs`, allowed only inside `WallClock` items |
+//! | DET02   | workspace minus `crates/bench`| wall-clock reads (`Instant`, `SystemTime`, …); allowed only inside `obs::WallClock` / `serve::Deadline` items |
 //! | PANIC01 | seven library crates' `src/`  | `unwrap()`/`expect(`/`panic!`/`todo!`/`unimplemented!` |
 //! | FLOAT01 | workspace, non-test           | `==`/`!=` on float operands (non-zero literals)   |
 //! | FLOAT02 | `numkit`/`sparsekit` `src/`   | bare `as usize`/`as f64` casts                    |
@@ -48,7 +48,7 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "DET02",
         summary: "no wall-clock reads (Instant/SystemTime/UNIX_EPOCH) outside crates/bench \
-                  (crates/obs: only inside WallClock items)",
+                  (carve-outs: obs::WallClock and serve::Deadline items)",
         applies: |c| !c.is_bench(),
         check: det02,
     },
@@ -244,13 +244,15 @@ fn det01(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
 // DET02 — wall-clock reads
 // ---------------------------------------------------------------------------
 
-/// Token-index extents (inclusive) of items that *mention* `WallClock`
-/// in their header — `struct WallClock {…}`, `impl WallClock {…}`,
-/// `impl Clock for WallClock {…}`. Inside these, and only these, the
-/// obs crate may read the wall clock: `WallClock` is the single
-/// sanctioned implementation behind the pluggable `obs::Clock` trait,
-/// selected explicitly by bench/CLI callers.
-pub(crate) fn wallclock_extents(toks: &[Token]) -> Vec<(usize, usize)> {
+/// Token-index extents (inclusive) of items that *mention* the
+/// crate's sanctioned clock type in their header — `struct WallClock
+/// {…}`, `impl WallClock {…}`, `impl Clock for WallClock {…}` in obs,
+/// and the same shapes for `Deadline` in serve. Inside these, and only
+/// these, the owning crate may read the wall clock:
+/// `FileClass::clock_carveout_type` names the one sanctioned type per
+/// crate (obs's pluggable trace clock; serve's socket-timeout
+/// deadline).
+pub(crate) fn wallclock_extents(toks: &[Token], sanctioned: &str) -> Vec<(usize, usize)> {
     let mut extents = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if !(t.is_ident("struct") || t.is_ident("impl")) {
@@ -266,7 +268,7 @@ pub(crate) fn wallclock_extents(toks: &[Token]) -> Vec<(usize, usize)> {
             match &toks[j].kind {
                 TokKind::Punct("(") | TokKind::Punct("[") => depth += 1,
                 TokKind::Punct(")") | TokKind::Punct("]") => depth -= 1,
-                TokKind::Ident(s) if s == "WallClock" => mentions = true,
+                TokKind::Ident(s) if s == sanctioned => mentions = true,
                 TokKind::Punct("{") if depth == 0 => {
                     open = Some(j);
                     break;
@@ -295,8 +297,10 @@ pub(crate) fn wallclock_extents(toks: &[Token]) -> Vec<(usize, usize)> {
 
 fn det02(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
     let toks = &ctx.lexed.tokens;
-    let carve_outs =
-        if ctx.class.is_obs() { wallclock_extents(toks) } else { Vec::new() };
+    let carve_outs = match ctx.class.clock_carveout_type() {
+        Some(name) => wallclock_extents(toks, name),
+        None => Vec::new(),
+    };
     for (i, t) in toks.iter().enumerate() {
         if let Some(id) = t.ident() {
             if matches!(id, "Instant" | "SystemTime" | "UNIX_EPOCH") {
@@ -309,7 +313,8 @@ fn det02(ctx: &FileContext, out: &mut Vec<Diagnostic>) {
                     "DET02",
                     format!(
                         "wall-clock source `{id}` outside crates/bench breaks reproducible \
-                         sweeps; keep timing in the bench crate or behind obs::WallClock \
+                         sweeps; keep timing in the bench crate or behind the crate's \
+                         sanctioned clock type (obs::WallClock / serve::Deadline) \
                          (Duration values are fine)"
                     ),
                 );

@@ -751,7 +751,7 @@ mod tests {
                    fn sneaky() { let _ = std::time::Instant::now(); }\n";
         let lexed = lexer::lex(src);
         // Carve out the WallClock impl tokens, mirroring rules::det02.
-        let wc = crate::rules::wallclock_extents(&lexed.tokens);
+        let wc = crate::rules::wallclock_extents(&lexed.tokens, "WallClock");
         let s = extract(
             "crates/obs/src/clock.rs",
             &FileClass::CrateSrc("obs".into()),

@@ -52,10 +52,22 @@ pub enum Counter {
     /// Greedy-sampling shifts accepted into the basis (each acceptance
     /// spends one tolerant shifted solve).
     GreedyAccepted,
+    /// Artifact-cache lookups satisfied from the cache.
+    CacheHit,
+    /// Artifact-cache lookups that missed (includes every lookup against
+    /// the null backend, so cold-cached and uncached runs agree).
+    CacheMiss,
+    /// Artifact-cache entries evicted by the byte-budget LRU policy.
+    CacheEvict,
+    /// Bytes of artifact data *offered* to the cache for admission. The
+    /// offered size is a pure function of the computed artifact, so this
+    /// counter is identical whether the backend stores, evicts, or
+    /// discards the offer — which keeps traces backend-independent.
+    CacheBytes,
 }
 
 /// Every counter, in reporting order.
-pub const ALL: [Counter; 12] = [
+pub const ALL: [Counter; 16] = [
     Counter::LuSymbolic,
     Counter::LuFactor,
     Counter::LuReuseHit,
@@ -68,6 +80,10 @@ pub const ALL: [Counter; 12] = [
     Counter::SampleBytes,
     Counter::GreedyScored,
     Counter::GreedyAccepted,
+    Counter::CacheHit,
+    Counter::CacheMiss,
+    Counter::CacheEvict,
+    Counter::CacheBytes,
 ];
 
 impl Counter {
@@ -86,6 +102,10 @@ impl Counter {
             Counter::SampleBytes => "SAMPLE_BYTES",
             Counter::GreedyScored => "GREEDY_SCORED",
             Counter::GreedyAccepted => "GREEDY_ACCEPTED",
+            Counter::CacheHit => "CACHE_HIT",
+            Counter::CacheMiss => "CACHE_MISS",
+            Counter::CacheEvict => "CACHE_EVICT",
+            Counter::CacheBytes => "CACHE_BYTES",
         }
     }
 
@@ -103,6 +123,10 @@ impl Counter {
             Counter::SampleBytes => 9,
             Counter::GreedyScored => 10,
             Counter::GreedyAccepted => 11,
+            Counter::CacheHit => 12,
+            Counter::CacheMiss => 13,
+            Counter::CacheEvict => 14,
+            Counter::CacheBytes => 15,
         }
     }
 }
@@ -110,6 +134,10 @@ impl Counter {
 const N: usize = ALL.len();
 
 static CELLS: [AtomicU64; N] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -214,7 +242,11 @@ mod tests {
                 "SVD_QR_PRECOND",
                 "SAMPLE_BYTES",
                 "GREEDY_SCORED",
-                "GREEDY_ACCEPTED"
+                "GREEDY_ACCEPTED",
+                "CACHE_HIT",
+                "CACHE_MISS",
+                "CACHE_EVICT",
+                "CACHE_BYTES"
             ]
         );
     }

@@ -51,5 +51,6 @@ pub mod trace;
 pub use clock::{Clock, ClockKind, CounterClock, WallClock};
 pub use counters::{Counter, Snapshot};
 pub use trace::{
-    drain, event, install, is_enabled, is_wall_clock, item_span, span, SpanGuard, Trace, Value,
+    capture_since, drain, event, flushed_len, install, is_enabled, is_wall_clock, item_span,
+    replay, seq_watermark, skip_seq_roots, span, Event, SpanGuard, Trace, Value,
 };

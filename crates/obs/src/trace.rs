@@ -250,6 +250,64 @@ pub fn drain() -> Option<Trace> {
     Some(Trace { clock: clock_kind(), events, counters })
 }
 
+/// The number of events flushed to the installed collector so far — a
+/// *mark* for [`capture_since`]. Only meaningful from sequential code
+/// with no root spans open on worker threads (events buffered inside an
+/// open root have not flushed yet). Returns 0 when tracing is off.
+pub fn flushed_len() -> usize {
+    if !is_enabled() {
+        return 0;
+    }
+    collector().as_ref().map_or(0, |state| state.events.len())
+}
+
+/// Clones every event flushed to the collector since `mark` (a prior
+/// [`flushed_len`] reading). Together with [`replay`] this lets a cache
+/// store the trace slice a stage produced and re-emit it verbatim on a
+/// warm hit, keeping cached and recomputed traces byte-identical.
+/// Returns an empty vector when tracing is off.
+pub fn capture_since(mark: usize) -> Vec<Event> {
+    if !is_enabled() {
+        return Vec::new();
+    }
+    collector().as_ref().map_or_else(Vec::new, |state| {
+        state.events.get(mark..).map_or_else(Vec::new, <[Event]>::to_vec)
+    })
+}
+
+/// Appends previously [`capture_since`]-captured events to the live
+/// collector. Serialization sorts by `(unit, item, seq)`, so replayed
+/// events land exactly where the original recording placed them. A
+/// no-op when tracing is off.
+pub fn replay(events: &[Event]) {
+    if !is_enabled() || events.is_empty() {
+        return;
+    }
+    if let Some(state) = collector().as_mut() {
+        state.events.extend_from_slice(events);
+    }
+}
+
+/// The `"seq"`-unit arrival-numbering watermark of a captured event
+/// slice: one past the highest sequential-root item id present (0 when
+/// the slice contains none). Item ids are absolute — baked in at
+/// capture time — so a replaying run passes this to [`skip_seq_roots`]
+/// to guarantee its own later roots never collide with replayed ones.
+pub fn seq_watermark(events: &[Event]) -> u64 {
+    events.iter().filter(|e| e.unit == "seq").map(|e| e.item + 1).max().unwrap_or(0)
+}
+
+/// Raises the live sequential-root arrival counter to at least `n`
+/// (typically a [`seq_watermark`]), so spans opened after a [`replay`]
+/// are numbered past every replayed root. Never lowers the counter. A
+/// no-op when tracing is off.
+pub fn skip_seq_roots(n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    SEQ_ROOTS.fetch_max(n, Ordering::Relaxed);
+}
+
 /// RAII span handle: records an `enter` event on creation and an `exit`
 /// event (carrying any attached fields) when dropped.
 #[derive(Debug)]
@@ -533,6 +591,38 @@ mod tests {
         for line in text.lines() {
             crate::json::validate_object(line).expect("valid json line");
         }
+    }
+
+    #[test]
+    fn capture_and_replay_reproduce_event_bytes() {
+        let _g = lock();
+        // Record a stage cold, capture its slice, then replay it into a
+        // fresh collector: the serialized event lines must be identical.
+        assert!(install(ClockKind::Counter));
+        let mark = flushed_len();
+        {
+            let mut s = span("sweep");
+            event("rung", vec![("level", Value::U64(2))]);
+            s.field_u64("kept", 4);
+        }
+        let captured = capture_since(mark);
+        assert_eq!(seq_watermark(&captured), 1);
+        let cold = drain().expect("trace installed").to_jsonl();
+
+        assert!(install(ClockKind::Counter));
+        skip_seq_roots(seq_watermark(&captured));
+        replay(&captured);
+        // A span opened after the replay continues the seq numbering.
+        {
+            let _after = span("project");
+        }
+        let warm = drain().expect("trace installed").to_jsonl();
+        let cold_events: Vec<&str> =
+            cold.lines().filter(|l| l.contains("\"span\":\"sweep\"")).collect();
+        let warm_events: Vec<&str> =
+            warm.lines().filter(|l| l.contains("\"span\":\"sweep\"")).collect();
+        assert_eq!(cold_events, warm_events);
+        assert!(warm.contains("\"unit\":\"seq\",\"item\":1") && warm.contains("\"span\":\"project\""));
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod adaptive;
 mod balanced;
 mod algorithm;
 mod budget;
+pub mod cache;
 mod cross_gramian;
 pub mod fault;
 mod frequency_selective;
@@ -84,6 +85,10 @@ pub use cross_gramian::cross_gramian_pmtbr;
 pub use frequency_selective::frequency_selective_pmtbr;
 pub use input_correlated::{input_correlated_pmtbr, InputCorrelatedOptions};
 pub use budget::Budget;
+pub use cache::{
+    Artifact, ArtifactCache, ArtifactKind, CacheKey, CachedReduction, CachedSweep, LruCache,
+    NullCache,
+};
 pub use order_control::IncrementalBasis;
 pub use fault::{FaultKind, FaultPlan, FaultStage, StageFault};
 pub use pipeline::{

@@ -437,10 +437,44 @@ pub fn run_budgeted<S: LtiSystem + ?Sized>(
     plan: &ReductionPlan,
     budget: &Budget,
 ) -> Result<Reduction, NumError> {
+    run_cached(sys, plan, budget, &crate::cache::NullCache)
+}
+
+/// [`run_budgeted`] consulting a content-addressed [`ArtifactCache`](crate::ArtifactCache) at
+/// stage boundaries — the entry point behind reduction-as-a-service.
+///
+/// The lookup ladder, keyed on [`LtiSystem::pencil_hash`] plus a digest
+/// of the plan, the `PMTBR_FAULT` spec, and the budget caps:
+///
+/// 1. **Model hit** — the finished [`Reduction`] is returned and the
+///    trace events captured by the computing run are replayed
+///    byte-for-byte ([`obs::replay`]); the whole pipeline is skipped.
+/// 2. **Sweep hit** — the realified sample matrix is reused and the run
+///    skips straight to compress/project, so plans differing only in
+///    compressor or order control share the expensive LU sweep.
+/// 3. **Miss** — the full pipeline runs and its artifacts are offered
+///    for admission.
+///
+/// [`NullCache`](crate::cache::NullCache) (what [`run_budgeted`] uses)
+/// makes every lookup miss, so cached and uncached runs execute the
+/// identical code path and are byte-identical — model, report, trace,
+/// and counters. A Degraded result is never admitted (see
+/// [`crate::cache`] for the full identity contract).
+///
+/// # Errors
+///
+/// See [`run`] and [`run_guarded`]. A cache hit can still return
+/// [`NumError::Cancelled`] when the budget's token is already raised.
+pub fn run_cached<S: LtiSystem + ?Sized>(
+    sys: &S,
+    plan: &ReductionPlan,
+    budget: &Budget,
+    cache: &dyn crate::cache::ArtifactCache,
+) -> Result<Reduction, NumError> {
     let policy = RecoveryPolicy::default();
     match crate::fault::FaultPlan::from_env() {
-        Ok(Some(p)) => run_guarded(sys, plan, &policy, &p, budget),
-        Ok(None) => run_guarded(sys, plan, &policy, &NoFaults, budget),
+        Ok(Some(p)) => run_guarded_cached(sys, plan, &policy, &p, budget, cache),
+        Ok(None) => run_guarded_cached(sys, plan, &policy, &NoFaults, budget, cache),
         Err(_) => Err(NumError::InvalidArgument(
             "malformed PMTBR_FAULT spec: fix or unset it (the pmtbr CLI prints the detailed \
              parse error)",
@@ -552,6 +586,107 @@ pub fn run_guarded<S: LtiSystem + ?Sized>(
     faults: &dyn StageFault,
     budget: &Budget,
 ) -> Result<Reduction, NumError> {
+    run_core(sys, plan, policy, faults, budget, None, false).map(|(reduction, _)| reduction)
+}
+
+/// [`run_guarded`] with an [`ArtifactCache`](crate::cache::ArtifactCache)
+/// consulted at stage boundaries: the explicit-everything core behind
+/// [`run_cached`] (and the serve daemon). See [`run_cached`] for the
+/// lookup ladder and the identity contract.
+///
+/// # Errors
+///
+/// See [`run_guarded`].
+pub fn run_guarded_cached<S: LtiSystem + ?Sized>(
+    sys: &S,
+    plan: &ReductionPlan,
+    policy: &RecoveryPolicy,
+    faults: &dyn StageFault,
+    budget: &Budget,
+    cache: &dyn crate::cache::ArtifactCache,
+) -> Result<Reduction, NumError> {
+    use crate::cache::{self, Artifact, CacheKey, CachedReduction};
+
+    plan.validate()?;
+    BudgetTracker::start(budget).check_cancelled()?;
+    // A system without a content address cannot be cached; run the
+    // identical core directly (no lookup spans: there is no key to
+    // look up, and the omission is deterministic per system type).
+    let Some(pencil) = sys.pencil_hash() else {
+        return run_core(sys, plan, policy, faults, budget, None, false)
+            .map(|(reduction, _)| reduction);
+    };
+    let env = cache::fault_env_digest();
+    let traced = obs::is_enabled();
+
+    let model_key = CacheKey::model(pencil, cache::model_digest(plan, env, budget));
+    if let Some(Artifact::Model(entry)) = cache.get(&model_key) {
+        // An entry captured without a trace cannot serve a traced run:
+        // replaying nothing would silently drop the pipeline spans, so
+        // the lookup deterministically degrades to a miss.
+        if entry.traced || !traced {
+            cache::record_lookup(&model_key, true);
+            if traced {
+                obs::skip_seq_roots(entry.seq_watermark);
+                obs::replay(&entry.events);
+            }
+            return Ok(entry.reduction.clone());
+        }
+    }
+    cache::record_lookup(&model_key, false);
+
+    let sweep_key = CacheKey::sweep(pencil, cache::sweep_digest(plan, env, budget));
+    let warm_sweep = match cache.get(&sweep_key) {
+        Some(Artifact::Sweep(s)) => {
+            cache::record_lookup(&sweep_key, true);
+            Some(s)
+        }
+        _ => {
+            cache::record_lookup(&sweep_key, false);
+            None
+        }
+    };
+
+    // Capture the work events from here: a warm model hit replays
+    // exactly this slice (its own `cache_lookup` spans are emitted
+    // live, before the mark).
+    let mark = obs::flushed_len();
+    let (reduction, sweep_artifact) =
+        run_core(sys, plan, policy, faults, budget, warm_sweep.as_deref(), true)?;
+    if let Some(sw) = sweep_artifact {
+        cache::record_offer(cache, sweep_key, Artifact::Sweep(std::sync::Arc::new(sw)));
+    }
+    // Poisoned-entry rejection: a Degraded result encodes this run's
+    // fault/budget history and is never admitted.
+    if !reduction.report.is_degraded() {
+        // A run assembled from a cached sweep has no sweep span to
+        // capture, so its model entry is stored unfaithful (usable only
+        // by untraced runs).
+        let faithful = traced && warm_sweep.is_none();
+        let events = if faithful { obs::capture_since(mark) } else { Vec::new() };
+        let entry = CachedReduction {
+            reduction: reduction.clone(),
+            seq_watermark: obs::seq_watermark(&events),
+            events,
+            traced: faithful,
+        };
+        cache::record_offer(cache, model_key, Artifact::Model(std::sync::Arc::new(entry)));
+    }
+    Ok(reduction)
+}
+
+/// The stage core: sweep (live, or replayed from a cached artifact) →
+/// compress → project. Returns the reduction plus, when requested and
+/// eligible, the sweep artifact for cache admission.
+fn run_core<S: LtiSystem + ?Sized>(
+    sys: &S,
+    plan: &ReductionPlan,
+    policy: &RecoveryPolicy,
+    faults: &dyn StageFault,
+    budget: &Budget,
+    warm_sweep: Option<&crate::cache::CachedSweep>,
+    want_sweep_artifact: bool,
+) -> Result<(Reduction, Option<crate::cache::CachedSweep>), NumError> {
     plan.validate()?;
     let tracker = BudgetTracker::start(budget);
     tracker.check_cancelled()?;
@@ -567,62 +702,114 @@ pub fn run_guarded<S: LtiSystem + ?Sized>(
         }
         _ => policy,
     };
-    let SweptSamples {
-        kept: _,
-        zmat,
-        blocks,
-        zl,
-        reports,
-        requested,
-        surviving,
-        renorm,
-        budget_truncated,
-        mut span,
-    } = sweep(
-        sys,
-        &plan.sampling,
-        &plan.directions,
-        plan.compressor.is_two_sided(),
-        policy,
-        faults,
-        tracker.node_cap(),
-    )?;
-    if budget_truncated > 0 {
-        report.budget_exhausted = Some("lu-factorizations");
-        report.notes.push(format!(
-            "lu-factorization budget truncated the sweep: {budget_truncated} of {requested} \
-             nodes were never attempted"
-        ));
-    }
-    report.sweep = sweep_outcome(&reports);
-    tracker.check_cancelled()?;
-    let compressed = compress(&zmat, &blocks, zl.as_ref(), plan, faults, &tracker, &mut report)?;
-    let svd_retried = compressed.retried();
-    span.field_u64("surviving", surviving as u64);
-    span.field_u64("total_cols", zmat.ncols() as u64);
-    span.field_f64("renorm", renorm);
-    span.field("svd_retried", obs::Value::Bool(svd_retried));
-    span.field_str("outcome", report.sweep.label());
-    drop(span);
-    tracker.check_cancelled()?;
-    let model = project(sys, &zmat, zl.as_ref(), compressed, &plan.order, faults, &mut report)?;
-    if report.budget_exhausted.is_none() {
-        report.budget_exhausted = tracker.exhausted();
-        if let Some(resource) = report.budget_exhausted {
-            report.notes.push(format!("{resource} budget exceeded during the run"));
-        }
-    }
-    Ok(Reduction {
-        model,
-        diagnostics: SweepDiagnostics {
+    let mut sweep_span: Option<obs::SpanGuard> = None;
+    let mut budget_truncated = 0;
+    let cold: Option<crate::cache::CachedSweep> = if warm_sweep.is_some() {
+        None
+    } else {
+        let SweptSamples {
+            kept: _,
+            zmat,
+            blocks,
+            zl,
             reports,
             requested,
             surviving,
-            weight_renormalization: renorm,
-            svd_retried,
-        },
-        report,
-    })
+            renorm,
+            budget_truncated: truncated,
+            span,
+        } = sweep(
+            sys,
+            &plan.sampling,
+            &plan.directions,
+            plan.compressor.is_two_sided(),
+            policy,
+            faults,
+            tracker.node_cap(),
+        )?;
+        sweep_span = Some(span);
+        budget_truncated = truncated;
+        Some(crate::cache::CachedSweep { zmat, blocks, zl, reports, requested, surviving, renorm })
+    };
+    let data = match (cold.as_ref(), warm_sweep) {
+        (Some(s), _) => s,
+        (None, Some(s)) => s,
+        (None, None) => return Err(NumError::InvalidArgument("pipeline: no sweep source")),
+    };
+    // Which stage consumed the budget (satellite of the budget report:
+    // exhaustion names its stage in the notes and the trace).
+    let mut budget_stage: Option<&'static str> = None;
+    if budget_truncated > 0 {
+        report.budget_exhausted = Some("lu-factorizations");
+        budget_stage = Some("sweep");
+        report.notes.push(format!(
+            "lu-factorization budget truncated the sweep: {budget_truncated} of {requested} \
+             nodes were never attempted",
+            requested = data.requested,
+        ));
+    }
+    report.sweep = sweep_outcome(&data.reports);
+    if report.budget_exhausted.is_none() {
+        if let Some(resource) = tracker.exhausted() {
+            report.budget_exhausted = Some(resource);
+            budget_stage = Some("sweep");
+        }
+    }
+    tracker.check_cancelled()?;
+    let compressed =
+        compress(&data.zmat, &data.blocks, data.zl.as_ref(), plan, faults, &tracker, &mut report)?;
+    let svd_retried = compressed.retried();
+    if budget_stage.is_none()
+        && (report.budget_exhausted.is_some() || tracker.exhausted().is_some())
+    {
+        if report.budget_exhausted.is_none() {
+            report.budget_exhausted = tracker.exhausted();
+        }
+        budget_stage = Some("compress");
+    }
+    if let Some(span) = sweep_span.as_mut() {
+        span.field_u64("surviving", data.surviving as u64);
+        span.field_u64("total_cols", data.zmat.ncols() as u64);
+        span.field_f64("renorm", data.renorm);
+        span.field("svd_retried", obs::Value::Bool(svd_retried));
+        span.field_str("outcome", report.sweep.label());
+    }
+    drop(sweep_span);
+    tracker.check_cancelled()?;
+    let model =
+        project(sys, &data.zmat, data.zl.as_ref(), compressed, &plan.order, faults, &mut report)?;
+    if budget_stage.is_none() {
+        if let Some(resource) = tracker.exhausted() {
+            report.budget_exhausted = Some(resource);
+            budget_stage = Some("project");
+        }
+    }
+    if let (Some(resource), Some(stage)) = (report.budget_exhausted, budget_stage) {
+        report.notes.push(format!("{resource} budget exhausted in the {stage} stage"));
+        let mut bsp = obs::span("pmtbr.budget_exhausted");
+        bsp.field_str("resource", resource);
+        bsp.field_str("stage", stage);
+    }
+    let diagnostics = SweepDiagnostics {
+        reports: data.reports.clone(),
+        requested: data.requested,
+        surviving: data.surviving,
+        weight_renormalization: data.renorm,
+        svd_retried,
+    };
+    let reduction = Reduction { model, diagnostics, report };
+    // A sweep is poisoned for reuse if the budget truncated or
+    // otherwise ran out during it, or any node was dropped.
+    let sweep_artifact = if want_sweep_artifact
+        && budget_truncated == 0
+        && budget_stage != Some("sweep")
+        && reduction.report.sweep != StageOutcome::Degraded
+    {
+        cold
+    } else {
+        None
+    };
+    Ok((reduction, sweep_artifact))
 }
 
 /// Folds per-shift reports into the sweep stage's outcome: dropped

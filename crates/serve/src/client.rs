@@ -1,0 +1,43 @@
+//! The submission client: one request frame out, one response frame
+//! back, the whole round trip bounded by a single [`Deadline`].
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::deadline::Deadline;
+use crate::wire::{read_frame, write_frame, JobRequest, JobResponse, WireError};
+
+fn timeout_err() -> WireError {
+    WireError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "submission deadline passed"))
+}
+
+/// Submits one job to a running server and waits for its response.
+///
+/// `timeout` bounds the *entire* round trip — address resolution,
+/// connect, request write, reduction, and response read share the one
+/// deadline. Server-side numerical failures come back as
+/// [`JobResponse::Err`]; everything else (unreachable server, malformed
+/// frames, deadline) is a [`WireError`], which the CLI maps to exit
+/// code 5.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on socket failure or timeout, [`WireError::Protocol`]
+/// on a malformed response.
+pub fn submit(addr: &str, req: &JobRequest, timeout: Duration) -> Result<JobResponse, WireError> {
+    let deadline = Deadline::new(timeout);
+    let sockaddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| WireError::Protocol(format!("`{addr}` resolves to no address")))?;
+    let remaining = deadline.remaining().ok_or_else(timeout_err)?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, remaining)?;
+    stream.set_nodelay(true)?;
+    // Refresh the per-syscall timeouts from the shared deadline before
+    // each phase; a slow connect eats into the write/read allowance.
+    stream.set_write_timeout(Some(deadline.remaining().ok_or_else(timeout_err)?))?;
+    write_frame(&mut stream, &req.encode())?;
+    stream.set_read_timeout(Some(deadline.remaining().ok_or_else(timeout_err)?))?;
+    let payload = read_frame(&mut stream)?;
+    JobResponse::decode(&payload)
+}

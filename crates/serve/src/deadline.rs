@@ -1,0 +1,68 @@
+//! A monotonic submission deadline.
+//!
+//! This module is the serve crate's single sanctioned clock read. The
+//! workspace's determinism rules (numlint DET02) ban `Instant` in
+//! library code because timing that leaks into *results* breaks the
+//! bit-identical-at-any-thread-count contract — but a client-side
+//! timeout never touches results: it only decides whether to keep
+//! waiting on a socket. Like `obs::WallClock`, the type is carved out
+//! by name so every other use of `Instant` in this crate still trips
+//! the lint.
+
+// `Instant` is deliberately not imported at module scope: the numlint
+// carve-out is structural (tokens inside `Deadline` items), so the
+// clock type is named fully qualified inside those items only.
+use std::time::Duration;
+
+/// A fixed point in monotonic time by which a submission must finish.
+///
+/// Socket operations derive their connect/read/write timeouts from
+/// [`Deadline::remaining`], so one `--timeout-ms` bounds the whole
+/// round trip rather than each syscall independently.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    end: std::time::Instant,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn new(timeout: Duration) -> Self {
+        Deadline { end: std::time::Instant::now() + timeout }
+    }
+
+    /// Time left, or `None` once the deadline has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        let now = std::time::Instant::now();
+        if now >= self.end {
+            None
+        } else {
+            Some(self.end - now)
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_time_remaining() {
+        let d = Deadline::new(Duration::from_secs(3600));
+        assert!(!d.expired());
+        let left = d.remaining().expect("not expired");
+        assert!(left <= Duration::from_secs(3600));
+        assert!(left > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let d = Deadline::new(Duration::ZERO);
+        assert!(d.expired());
+        assert!(d.remaining().is_none());
+    }
+}

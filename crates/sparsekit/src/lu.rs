@@ -8,7 +8,7 @@
 //! `(sE − A)x = b` directly — the "immature sparse complex solver"
 //! gap this reproduction had to close.
 
-use numkit::{NumError, Scalar};
+use numkit::{c64, NumError, Scalar};
 
 use crate::Csc;
 
@@ -913,6 +913,241 @@ impl SymbolicLu {
     }
 }
 
+// ---------------------------------------------------------------------
+// Serializable artifacts
+//
+// The artifact cache (pmtbr::cache, crates/serve) treats a symbolic
+// analysis and a factored shift as content-addressed values keyed on
+// `(pencil_hash, shift)`. The byte format is deliberately primitive —
+// a short ASCII magic, then little-endian u64 words — so it needs no
+// external serialization crates and stays bit-exact: floats travel as
+// IEEE-754 bit patterns, and a decode→solve is bit-identical to the
+// original factorization's solve.
+//
+// `from_bytes` validates every structural invariant the numeric passes
+// rely on (permutation bijectivity, monotone column pointers, per-column
+// diagonal-last U patterns, in-bounds row indices), so a corrupted or
+// adversarial artifact is rejected with `NumError::InvalidArgument`
+// instead of panicking mid-solve.
+
+const SYMBOLIC_MAGIC: &[u8; 8] = b"PMTBRSY1";
+const FACTOR_MAGIC: &[u8; 8] = b"PMTBRFZ1";
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usizes(out: &mut Vec<u8>, xs: &[usize]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        put_u64(out, x as u64);
+    }
+}
+
+/// A bounds-checked little-endian u64 reader over an artifact byte
+/// string.
+struct ArtifactReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ArtifactReader<'a> {
+    fn new(buf: &'a [u8], magic: &[u8; 8]) -> Result<Self, NumError> {
+        let Some((head, rest)) = buf.split_at_checked(magic.len()) else {
+            return Err(NumError::InvalidArgument("artifact bytes truncated"));
+        };
+        if head != magic {
+            return Err(NumError::InvalidArgument("artifact magic mismatch"));
+        }
+        Ok(ArtifactReader { buf: rest })
+    }
+
+    fn u64(&mut self) -> Result<u64, NumError> {
+        let Some((head, rest)) = self.buf.split_at_checked(8) else {
+            return Err(NumError::InvalidArgument("artifact bytes truncated"));
+        };
+        let mut word = [0u8; 8];
+        word.copy_from_slice(head);
+        self.buf = rest;
+        Ok(u64::from_le_bytes(word))
+    }
+
+    fn usize(&mut self) -> Result<usize, NumError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| NumError::InvalidArgument("artifact word exceeds usize"))
+    }
+
+    fn usizes(&mut self) -> Result<Vec<usize>, NumError> {
+        let len = self.usize()?;
+        if len > self.buf.len() / 8 {
+            return Err(NumError::InvalidArgument("artifact length field exceeds payload"));
+        }
+        (0..len).map(|_| self.usize()).collect()
+    }
+
+    fn f64(&mut self) -> Result<f64, NumError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self) -> Result<(), NumError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(NumError::InvalidArgument("artifact has trailing bytes"))
+        }
+    }
+}
+
+/// `true` if `p` is a permutation of `0..n` (every value hit once).
+fn is_permutation(p: &[usize], n: usize) -> bool {
+    if p.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &x in p {
+        if x >= n || seen[x] {
+            return false;
+        }
+        seen[x] = true;
+    }
+    true
+}
+
+/// Validates a CSC-style pattern: `colptr` has `n + 1` monotone entries
+/// ending at `rows.len()`, and every row index is `< n`.
+fn pattern_ok(colptr: &[usize], rows: &[usize], n: usize) -> bool {
+    colptr.len() == n + 1
+        && colptr[0] == 0
+        && colptr.windows(2).all(|w| w[0] <= w[1])
+        && colptr[n] == rows.len()
+        && rows.iter().all(|&r| r < n)
+}
+
+/// Validates the U pattern the elimination passes assume: each column
+/// non-empty, rows strictly ascending, diagonal (`== j`) stored last.
+/// This is what keeps `refactor`'s partial `l_vals` indexing in bounds.
+fn u_pattern_ok(u_colptr: &[usize], u_rows: &[usize], n: usize) -> bool {
+    if !pattern_ok(u_colptr, u_rows, n) {
+        return false;
+    }
+    (0..n).all(|j| {
+        let col = &u_rows[u_colptr[j]..u_colptr[j + 1]];
+        col.last() == Some(&j) && col.windows(2).all(|w| w[0] < w[1])
+    })
+}
+
+/// Validates an L pattern (unit lower, diagonal implicit): entries in
+/// column `j` strictly below `j`.
+fn l_pattern_ok(l_colptr: &[usize], l_rows: &[usize], n: usize) -> bool {
+    pattern_ok(l_colptr, l_rows, n)
+        && (0..n).all(|j| l_rows[l_colptr[j]..l_colptr[j + 1]].iter().all(|&r| r > j && r < n))
+}
+
+impl SymbolicLu {
+    /// Serializes the analysis as a content-addressed artifact (magic +
+    /// little-endian u64 words). The inverse is
+    /// [`SymbolicLu::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 * (3 * self.n + self.pattern_nnz()));
+        out.extend_from_slice(SYMBOLIC_MAGIC);
+        put_u64(&mut out, self.n as u64);
+        put_usizes(&mut out, &self.p);
+        put_usizes(&mut out, &self.pinv);
+        put_usizes(&mut out, &self.l_colptr);
+        put_usizes(&mut out, &self.l_rows);
+        put_usizes(&mut out, &self.u_colptr);
+        put_usizes(&mut out, &self.u_rows);
+        put_usizes(&mut out, &self.a_colptr);
+        put_usizes(&mut out, &self.a_rowidx);
+        out
+    }
+
+    /// Reconstructs an analysis from [`SymbolicLu::to_bytes`] output,
+    /// validating every invariant [`SymbolicLu::refactor`] relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::InvalidArgument`] on truncated, trailing, or
+    /// structurally inconsistent bytes — a corrupted artifact can never
+    /// reach the numeric pass.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SymbolicLu, NumError> {
+        let mut r = ArtifactReader::new(bytes, SYMBOLIC_MAGIC)?;
+        let n = r.usize()?;
+        let p = r.usizes()?;
+        let pinv = r.usizes()?;
+        let l_colptr = r.usizes()?;
+        let l_rows = r.usizes()?;
+        let u_colptr = r.usizes()?;
+        let u_rows = r.usizes()?;
+        let a_colptr = r.usizes()?;
+        let a_rowidx = r.usizes()?;
+        r.finish()?;
+        let perms_ok = is_permutation(&p, n)
+            && pinv.len() == n
+            && p.iter().enumerate().all(|(k, &row)| pinv[row] == k);
+        if !perms_ok
+            || !l_pattern_ok(&l_colptr, &l_rows, n)
+            || !u_pattern_ok(&u_colptr, &u_rows, n)
+            || !pattern_ok(&a_colptr, &a_rowidx, n)
+        {
+            return Err(NumError::InvalidArgument("symbolic artifact fails validation"));
+        }
+        Ok(SymbolicLu { n, p, pinv, l_colptr, l_rows, u_colptr, u_rows, a_colptr, a_rowidx })
+    }
+}
+
+impl SparseLu<c64> {
+    /// Serializes this factored (complex-shifted) pencil as a
+    /// content-addressed artifact; values travel as IEEE-754 bit
+    /// patterns, so a round-tripped factorization solves bit-identically.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(24 + 8 * (3 * self.n + 3 * (self.l_vals.len() + self.u_vals.len())));
+        out.extend_from_slice(FACTOR_MAGIC);
+        put_u64(&mut out, self.n as u64);
+        put_usizes(&mut out, &self.l_colptr);
+        put_usizes(&mut out, &self.l_rows);
+        put_usizes(&mut out, &self.u_colptr);
+        put_usizes(&mut out, &self.u_rows);
+        put_usizes(&mut out, &self.p);
+        put_u64(&mut out, self.growth.to_bits());
+        for v in self.l_vals.iter().chain(self.u_vals.iter()) {
+            put_u64(&mut out, v.re.to_bits());
+            put_u64(&mut out, v.im.to_bits());
+        }
+        out
+    }
+
+    /// Reconstructs a factorization from [`SparseLu::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::InvalidArgument`] on truncated, trailing, or
+    /// structurally inconsistent bytes (see [`SymbolicLu::from_bytes`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<SparseLu<c64>, NumError> {
+        let mut r = ArtifactReader::new(bytes, FACTOR_MAGIC)?;
+        let n = r.usize()?;
+        let l_colptr = r.usizes()?;
+        let l_rows = r.usizes()?;
+        let u_colptr = r.usizes()?;
+        let u_rows = r.usizes()?;
+        let p = r.usizes()?;
+        let growth = r.f64()?;
+        if !is_permutation(&p, n)
+            || !l_pattern_ok(&l_colptr, &l_rows, n)
+            || !u_pattern_ok(&u_colptr, &u_rows, n)
+        {
+            return Err(NumError::InvalidArgument("factor artifact fails validation"));
+        }
+        let read_vals = |r: &mut ArtifactReader, len: usize| -> Result<Vec<c64>, NumError> {
+            (0..len).map(|_| Ok(c64::new(r.f64()?, r.f64()?))).collect()
+        };
+        let l_vals = read_vals(&mut r, l_rows.len())?;
+        let u_vals = read_vals(&mut r, u_rows.len())?;
+        r.finish()?;
+        Ok(SparseLu { n, l_colptr, l_rows, l_vals, u_colptr, u_rows, u_vals, p, growth })
+    }
+}
+
 /// Pivot growth `max|U| / max|A|` (1.0 for an empty matrix).
 fn pivot_growth_of<T: Scalar>(a_vals: &[T], u_vals: &[T]) -> f64 {
     let a_max = a_vals.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
@@ -991,6 +1226,64 @@ mod tests {
         for (axi, bi) in ax.iter().zip(&b) {
             assert!((*axi - *bi).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn artifact_roundtrips_are_bit_identical() {
+        // Factored-shift artifact: decode → solve must equal the
+        // original solve bit-for-bit (the cache-identity contract).
+        let t = random_sparse(25, 3, 11);
+        let a = t.to_csc();
+        let s = c64::new(0.3, 1.7);
+        let mut tz = Triplet::<c64>::new(25, 25);
+        for (i, j, v) in t.to_csr().iter() {
+            tz.push(i, j, c64::from_real(-v));
+        }
+        for i in 0..25 {
+            tz.push(i, i, s);
+        }
+        let shifted = tz.to_csc();
+        let lu = SparseLu::new(&shifted).unwrap();
+        let back = SparseLu::from_bytes(&lu.to_bytes()).unwrap();
+        let b: Vec<c64> = (0..25).map(|i| c64::new((i as f64).cos(), 0.5)).collect();
+        let x0 = lu.solve(&b).unwrap();
+        let x1 = back.solve(&b).unwrap();
+        assert!(x0.iter().zip(&x1).all(|(p, q)| p.re.to_bits() == q.re.to_bits()
+            && p.im.to_bits() == q.im.to_bits()));
+
+        // Symbolic artifact: decode → refactor must equal a direct
+        // refactor from the live analysis bit-for-bit.
+        let sym = SparseLu::new(&a).unwrap().symbolic(&a);
+        let sym2 = SymbolicLu::from_bytes(&sym.to_bytes()).unwrap();
+        let f0 = sym.refactor(&a).unwrap();
+        let f1 = sym2.refactor(&a).unwrap();
+        let y0 = f0.solve(&[1.0f64; 25]).unwrap();
+        let y1 = f1.solve(&[1.0f64; 25]).unwrap();
+        assert!(y0.iter().zip(&y1).all(|(p, q)| p.to_bits() == q.to_bits()));
+    }
+
+    #[test]
+    fn corrupted_artifacts_are_rejected() {
+        let t = random_sparse(12, 2, 5);
+        let a = t.to_csc();
+        let sym = SparseLu::new(&a).unwrap().symbolic(&a);
+        let bytes = sym.to_bytes();
+        // Truncation, magic damage, and trailing garbage all fail.
+        assert!(SymbolicLu::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(SymbolicLu::from_bytes(&bad_magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SymbolicLu::from_bytes(&trailing).is_err());
+        // Structural damage: clobber a permutation word past the header
+        // (magic + n + len), breaking bijectivity.
+        let mut bad_perm = bytes;
+        let off = 8 + 8 + 8;
+        for byte in &mut bad_perm[off..off + 8] {
+            *byte = 0xee;
+        }
+        assert!(SymbolicLu::from_bytes(&bad_perm).is_err());
     }
 
     #[test]

@@ -54,6 +54,14 @@ cargo test -q --test obs_counters
 echo "==> chaos gate (PMTBR_FAULT matrix: methods x stages x 1/2/8 threads)"
 cargo test -q -p pmtbr-cli --test chaos
 
+# Service gate: serve/submit round-trips over real sockets — byte-level
+# parity with local `reduce` (stdout and exit codes), the chaos matrix
+# through the server's environment, protocol failures as exit 5, and
+# served traces riding back. Runs as part of `cargo test -q` too; named
+# here so a wire-contract regression is called out explicitly.
+echo "==> service gate (serve/submit parity + chaos through the wire)"
+cargo test -q -p pmtbr-cli --test serve
+
 # Variant-coverage + perf trend gate: every `reduce` method registry
 # entry must reduce the headline 1024-state mesh, and no sampling-based
 # method may regress its wall time more than 1.5x against the committed
@@ -74,6 +82,16 @@ test -s BENCH_variants.json
 echo "==> greedy accuracy-vs-solves gate (BENCH_greedy.json)"
 cargo run --release -q -p bench --bin greedy
 test -s BENCH_greedy.json
+
+# Service perf gate: the 1024-state mesh submitted to a live `serve`
+# scheduler over loopback TCP, cold (empty artifact cache) then warm
+# (model-cache hit). The warm median must be at least 5x faster than
+# the cold run and byte-identical to it; the binary exits non-zero
+# otherwise (SERVE_NO_PERF_GATE=1 skips the speedup check on unusual
+# machines). Writes BENCH_serve.json.
+echo "==> service warm-vs-cold gate (BENCH_serve.json)"
+cargo run --release -q -p bench --bin serve_bench
+test -s BENCH_serve.json
 
 # Doc-consistency gate: every relative link in README.md / DESIGN.md /
 # EXPERIMENTS.md / docs/*.md must resolve, and every method in
